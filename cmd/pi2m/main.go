@@ -1,0 +1,186 @@
+// Command pi2m meshes a segmented phantom image and reports quality,
+// fidelity, and performance statistics — the end-to-end PI2M pipeline
+// of the paper.
+//
+//	pi2m -phantom abdominal -scale 96 -workers 4 -o mesh.vtk -surface surf.off
+//
+// The phantom flag selects the synthetic stand-in for the paper's
+// input images (Table 3): sphere, torus, abdominal, knee, headneck.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/edt"
+	"repro/internal/geom"
+	"repro/internal/img"
+	"repro/internal/meshio"
+	"repro/internal/quality"
+	"repro/internal/render"
+	"repro/internal/smooth"
+)
+
+func buildPhantom(name string, scale int) (*img.Image, error) {
+	switch name {
+	case "sphere":
+		return img.SpherePhantom(scale), nil
+	case "torus":
+		return img.TorusPhantom(scale), nil
+	case "abdominal":
+		return img.AbdominalPhantom(scale, scale, 2*scale/3), nil
+	case "knee":
+		return img.KneePhantom(scale, scale, scale), nil
+	case "headneck":
+		return img.HeadNeckPhantom(scale, scale, scale), nil
+	case "vessels":
+		return img.VesselPhantom(scale), nil
+	}
+	return nil, fmt.Errorf("unknown phantom %q", name)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pi2m: ")
+
+	var (
+		inFile   = flag.String("in", "", "mesh a segmented uint8 NRRD label image instead of a phantom")
+		phantom  = flag.String("phantom", "sphere", "input phantom: sphere|torus|abdominal|knee|headneck|vessels")
+		scale    = flag.Int("scale", 64, "phantom edge length in voxels")
+		workers  = flag.Int("workers", 0, "refinement threads (0 = GOMAXPROCS)")
+		delta    = flag.Float64("delta", 0, "δ sampling parameter in voxels (0 = 2 voxels)")
+		size     = flag.Float64("size", 0, "uniform size bound sf(.) in voxels (0 = none)")
+		cmName   = flag.String("cm", "local", "contention manager: aggressive|random|global|local")
+		balancer = flag.String("balancer", "hws", "load balancer: rws|hws")
+		outVTK   = flag.String("o", "", "write the tetrahedral mesh as legacy VTK")
+		outOFF   = flag.String("surface", "", "write the boundary triangulation as OFF")
+		outPNG   = flag.String("png", "", "render a mid-height cross-section to PNG")
+		fidelity = flag.Bool("fidelity", true, "compute the Hausdorff distance")
+		smoothIt = flag.Int("smooth", 0, "volume-conserving Taubin smoothing iterations for the output")
+		verbose  = flag.Bool("v", false, "print refinement progress")
+		clean    = flag.Int("clean", 0, "remove segmentation islands smaller than this many voxels")
+		down     = flag.Int("downsample", 0, "halve the image resolution this many times before meshing")
+	)
+	flag.Parse()
+
+	var im *img.Image
+	var err error
+	if *inFile != "" {
+		im, err = img.ReadNRRDFile(*inFile)
+	} else {
+		im, err = buildPhantom(*phantom, *scale)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *clean > 0 {
+		n := im.RemoveIslands(*clean)
+		fmt.Printf("cleanup: relabeled %d island voxels\n", n)
+	}
+	for i := 0; i < *down; i++ {
+		im = im.Downsample()
+	}
+
+	cfg := core.Config{
+		Image:             im,
+		Workers:           *workers,
+		Delta:             *delta,
+		ContentionManager: *cmName,
+		Balancer:          *balancer,
+		LivelockTimeout:   2 * time.Minute,
+	}
+	if *size > 0 {
+		s := *size
+		cfg.SizeFunc = func(geom.Vec3) float64 { return s }
+	}
+	if *verbose {
+		cfg.Progress = func(p core.Progress) {
+			fmt.Printf("  ... %8.2fs: %d operations, %d elements\n",
+				p.Wall.Seconds(), p.Operations, p.Elements)
+		}
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Livelocked {
+		log.Fatal("run aborted: livelock detected (try -cm local)")
+	}
+
+	name := *phantom
+	if *inFile != "" {
+		name = *inFile
+	}
+	fmt.Printf("input: %s %dx%dx%d (%d tissues)\n",
+		name, im.NX, im.NY, im.NZ, len(im.LabelVolumes()))
+	fmt.Printf("elements: %d (%.0f per second)\n", res.Elements(), res.ElementsPerSecond())
+	fmt.Printf("time: total %v (EDT %v, refine %v)\n",
+		res.TotalTime.Round(time.Millisecond),
+		res.EDTTime.Round(time.Millisecond),
+		res.RefineTime.Round(time.Millisecond))
+	st := res.Stats
+	fmt.Printf("operations: %d insertions, %d removals, %d rollbacks\n",
+		st.Inserts, st.Removals, st.Rollbacks)
+	fmt.Printf("rules: R1=%d R2=%d R3=%d R4=%d R5=%d R6=%d\n",
+		st.RuleCounts[1], st.RuleCounts[2], st.RuleCounts[3],
+		st.RuleCounts[4], st.RuleCounts[5], st.RuleCounts[6])
+
+	if *workers != 1 {
+		e := res.Energy(core.DefaultEnergyModel())
+		fmt.Printf("energy model: %.1f J busy-wait, %.1f J with DVFS idling (%.0f%% saved), %.0f elements/J\n",
+			e.BusyWaitJoules, e.DVFSJoules, 100*e.SavingsFraction, e.ElementsPerJouleDVFS)
+	}
+
+	q := quality.Evaluate(res.Mesh, res.Final, im)
+	fmt.Printf("quality: max radius-edge %.3f, dihedral (%.1f°, %.1f°), min boundary angle %.1f°\n",
+		q.MaxRadiusEdge, q.MinDihedral, q.MaxDihedral, q.MinBoundaryPlanarAngle)
+
+	tris := quality.BoundaryTriangles(res.Mesh, res.Final, im)
+	fmt.Printf("boundary: %d triangles\n", len(tris))
+	if *fidelity {
+		tr := edt.Compute(im, *workers)
+		m2s, s2m := quality.Hausdorff(tris, im, tr)
+		fmt.Printf("fidelity: Hausdorff mesh→surface %.2f, surface→mesh %.2f (voxels)\n", m2s, s2m)
+	}
+
+	if *outVTK != "" {
+		if *smoothIt > 0 {
+			sm := smooth.Extract(res.Mesh, res.Final, im)
+			st := sm.Taubin(*smoothIt, 0.5, -0.53)
+			fmt.Printf("smoothing: roughness -%.1f%%, volume drift %+.3f%%\n",
+				100*st.RoughnessDrop, 100*(st.VolumeAfter-st.VolumeBefore)/st.VolumeBefore)
+			raw := &meshio.RawMesh{Verts: sm.Verts, Cells: sm.Cells}
+			for _, l := range sm.Labels {
+				raw.Labels = append(raw.Labels, int(l))
+			}
+			if err := meshio.WriteVTKRawFile(*outVTK, raw); err != nil {
+				log.Fatal(err)
+			}
+		} else if err := meshio.WriteVTKFile(*outVTK, res.Mesh, res.Final, im); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outVTK)
+	}
+	if *outOFF != "" {
+		if err := meshio.WriteOFFFile(*outOFF, tris); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outOFF)
+	}
+	if *outPNG != "" {
+		ext := smooth.Extract(res.Mesh, res.Final, im)
+		raw := &meshio.RawMesh{Verts: ext.Verts, Cells: ext.Cells}
+		for _, l := range ext.Labels {
+			raw.Labels = append(raw.Labels, int(l))
+		}
+		_, hi := im.Bounds()
+		if err := render.WritePNGFile(*outPNG, raw, render.Options{Z: hi.Z / 2}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *outPNG)
+	}
+}

@@ -1,0 +1,131 @@
+// FEM: the full pipeline the paper's title promises — Image-to-Mesh
+// conversion *for finite element simulation*. A multi-tissue abdominal
+// phantom is meshed with PI2M and a steady-state bioheat/potential
+// problem is solved on the result with per-tissue conductivities: the
+// aorta held at a source potential, the body surface grounded.
+//
+//	go run ./examples/fem
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fem"
+	"repro/internal/img"
+	"repro/internal/meshio"
+	"repro/internal/smooth"
+)
+
+func main() {
+	// 1. Image to mesh.
+	image := img.AbdominalPhantom(72, 72, 48)
+	result, err := core.Run(core.Config{Image: image, LivelockTimeout: time.Minute})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("meshed %d tetrahedra from a %d-tissue image in %v\n",
+		result.Elements(), len(image.LabelVolumes()), result.TotalTime.Round(time.Millisecond))
+
+	// 2. Extract an indexed mesh with per-cell tissue labels.
+	ext := smooth.Extract(result.Mesh, result.Final, image)
+	raw := &meshio.RawMesh{Verts: ext.Verts, Cells: ext.Cells}
+	for _, l := range ext.Labels {
+		raw.Labels = append(raw.Labels, int(l))
+	}
+
+	// 3. Per-tissue conductivity (arbitrary units): blood conducts
+	//    best, bone worst.
+	conductivity := map[int]float64{
+		1: 0.2, // body / soft tissue
+		2: 0.5, // liver
+		3: 0.4, // kidneys
+		4: 0.4,
+		5: 0.02, // spine (bone)
+		6: 0.7,  // aorta (blood)
+	}
+	perCell := make([]float64, len(raw.Cells))
+	for i, l := range raw.Labels {
+		perCell[i] = conductivity[l]
+	}
+
+	// 4. Boundary conditions: the aorta's vertices at potential 1, the
+	//    outer body surface at 0. The outer surface is identified as
+	//    boundary vertices incident only to body-labeled (1) cells —
+	//    interface vertices between tissues stay free.
+	touches := make(map[int32]map[int]bool)
+	for ci, cell := range raw.Cells {
+		for _, v := range cell {
+			if touches[v] == nil {
+				touches[v] = map[int]bool{}
+			}
+			touches[v][raw.Labels[ci]] = true
+		}
+	}
+	onBoundary := map[int32]bool{}
+	for _, tr := range ext.BoundaryTris {
+		for _, v := range tr {
+			onBoundary[v] = true
+		}
+	}
+	dirichlet := map[int32]float64{}
+	aortaVerts := 0
+	for v, labels := range touches {
+		if labels[6] {
+			dirichlet[v] = 1 // on or inside the aorta
+			aortaVerts++
+		} else if onBoundary[v] && len(labels) == 1 && labels[1] {
+			dirichlet[v] = 0 // outer body surface
+		}
+	}
+	fmt.Printf("boundary conditions: %d constrained vertices (%d at the source)\n",
+		len(dirichlet), aortaVerts)
+
+	// 5. Assemble and solve.
+	sys, err := fem.Assemble(&fem.Problem{
+		Mesh:         raw,
+		Conductivity: perCell,
+		Dirichlet:    dirichlet,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	sol, err := sys.Solve(1e-8, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solved %d unknowns in %d CG iterations (%v, residual %.1e)\n",
+		sys.N, sol.Iterations, time.Since(start).Round(time.Millisecond), sol.Residual)
+
+	// 6. Field summary per tissue: mean potential.
+	sum := map[int]float64{}
+	cnt := map[int]int{}
+	for ci, cell := range raw.Cells {
+		var u float64
+		for _, v := range cell {
+			u += sol.U[v]
+		}
+		sum[raw.Labels[ci]] += u / 4
+		cnt[raw.Labels[ci]]++
+	}
+	names := map[int]string{1: "body", 2: "liver", 3: "kidney L", 4: "kidney R", 5: "spine", 6: "aorta"}
+	fmt.Println("mean potential per tissue:")
+	for l := 1; l <= 6; l++ {
+		if cnt[l] == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %.3f\n", names[l], sum[l]/float64(cnt[l]))
+	}
+
+	// Sanity: the discrete maximum principle — all values in [0, 1].
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, u := range sol.U {
+		lo = math.Min(lo, u)
+		hi = math.Max(hi, u)
+	}
+	fmt.Printf("potential range [%.3f, %.3f] (maximum principle: within [0,1])\n", lo, hi)
+}

@@ -1,0 +1,74 @@
+// Multitissue: mesh the multi-label abdominal phantom (the stand-in
+// for the paper's IRCAD atlas) and report per-tissue meshes — the
+// conformal multi-material capability of Section 2 ("respecting at the
+// same time the exterior and interior boundaries of tissues").
+//
+//	go run ./examples/multitissue
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/img"
+	"repro/internal/meshio"
+	"repro/internal/quality"
+)
+
+func main() {
+	image := img.AbdominalPhantom(96, 96, 64)
+	fmt.Printf("input: %dx%dx%d voxels, %d tissues\n",
+		image.NX, image.NY, image.NZ, len(image.LabelVolumes()))
+
+	// A size function densifies the small structures (vessels,
+	// kidneys) more than the body envelope: custom densities are the
+	// advantage the paper claims over voxel-spacing PLC methods.
+	center := geom.Vec3{X: 48, Y: 54, Z: 32}
+	result, err := core.Run(core.Config{
+		Image: image,
+		SizeFunc: func(p geom.Vec3) float64 {
+			if p.Dist(center) < 20 {
+				return 4 // fine near the aorta/kidney region
+			}
+			return 10 // coarse elsewhere
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("meshed %d tetrahedra in %v (R-counts %v)\n",
+		result.Elements(), result.TotalTime.Round(time.Millisecond),
+		result.Stats.RuleCounts)
+
+	// Partition the final mesh by tissue.
+	perTissue := map[img.Label]int{}
+	for _, h := range result.Final {
+		perTissue[image.LabelAt(result.Mesh.Cells.At(h).CC)]++
+	}
+	var labels []int
+	for l := range perTissue {
+		labels = append(labels, int(l))
+	}
+	sort.Ints(labels)
+	names := map[int]string{
+		1: "body", 2: "liver", 3: "left kidney",
+		4: "right kidney", 5: "spine", 6: "aorta",
+	}
+	for _, l := range labels {
+		fmt.Printf("  %-14s %6d tetrahedra\n", names[l], perTissue[img.Label(l)])
+	}
+
+	// The boundary set includes inter-tissue interfaces, not just the
+	// outer surface.
+	tris := quality.BoundaryTriangles(result.Mesh, result.Final, image)
+	fmt.Printf("boundary + interface triangles: %d\n", len(tris))
+
+	if err := meshio.WriteVTKFile("abdominal.vtk", result.Mesh, result.Final, image); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote abdominal.vtk (tissue labels as cell data)")
+}

@@ -1,0 +1,53 @@
+// Pointremoval: demonstrates rule R6, the paper's headline novelty —
+// parallel Delaunay point *removals*. Circumcenters inserted early by
+// the quality rules that end up within 2δ of a later isosurface sample
+// are deleted on the fly; the example compares a run with removals
+// enabled against the ablated version and shows the effect on mesh
+// size and boundary quality.
+//
+//	go run ./examples/pointremoval
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/img"
+	"repro/internal/quality"
+)
+
+func run(image *img.Image, disable bool) (*core.Result, quality.Stats) {
+	res, err := core.Run(core.Config{
+		Image:           image,
+		DisableRemovals: disable,
+		LivelockTimeout: time.Minute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res, quality.Evaluate(res.Mesh, res.Final, image)
+}
+
+func main() {
+	// The torus has high curvature everywhere: many early circumcenters
+	// land near later surface samples, so R6 fires often.
+	image := img.TorusPhantom(64)
+
+	with, qWith := run(image, false)
+	without, qWithout := run(image, true)
+
+	fmt.Println("rule R6 (dynamic point removal) ablation on a torus phantom:")
+	fmt.Printf("%-28s %14s %14s\n", "", "with removals", "without")
+	fmt.Printf("%-28s %14d %14d\n", "tetrahedra", with.Elements(), without.Elements())
+	fmt.Printf("%-28s %14d %14d\n", "insertions", with.Stats.Inserts, without.Stats.Inserts)
+	fmt.Printf("%-28s %14d %14d\n", "removals (R6)", with.Stats.Removals, without.Stats.Removals)
+	fmt.Printf("%-28s %14.3f %14.3f\n", "max radius-edge", qWith.MaxRadiusEdge, qWithout.MaxRadiusEdge)
+	fmt.Printf("%-28s %13.1f° %13.1f°\n", "min boundary planar angle", qWith.MinBoundaryPlanarAngle, qWithout.MinBoundaryPlanarAngle)
+	fmt.Printf("%-28s %13.1f° %13.1f°\n", "min dihedral", qWith.MinDihedral, qWithout.MinDihedral)
+
+	frac := 100 * float64(with.Stats.Removals) / float64(with.Stats.Inserts+with.Stats.Removals)
+	fmt.Printf("\nremovals were %.1f%% of all operations (the paper reports ~2%%),\n", frac)
+	fmt.Println("deleting circumcenters that crowd isosurface samples (within 2δ).")
+}

@@ -1,0 +1,168 @@
+// Package arena provides chunked, handle-addressed concurrent storage
+// for the mesh kernel.
+//
+// The shared Delaunay mesh stores vertices and cells in arenas instead
+// of individual heap objects: entries are addressed by dense uint32
+// handles, allocation is per-worker (a worker owns the chunk it is
+// currently filling, so allocation is contention-free except when a
+// new chunk must be registered), and storage is append-only so that
+// speculative readers can always dereference a handle they obtained
+// earlier — the entry may be marked dead by its owner, but the memory
+// stays valid and type-stable. This mirrors the custom allocators of
+// the paper's C++ implementation and keeps pressure off the Go GC by
+// using a small number of large slices.
+package arena
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// ChunkShift determines the chunk size (entries per chunk).
+	ChunkShift = 13
+	// ChunkSize is the number of entries in one chunk.
+	ChunkSize = 1 << ChunkShift
+	chunkMask = ChunkSize - 1
+	// MaxChunks bounds the total capacity at MaxChunks*ChunkSize
+	// entries (2^29 with the defaults). The chunk-pointer table is a
+	// fixed array scanned by the garbage collector, so it is kept
+	// small.
+	MaxChunks = 1 << 16
+)
+
+// Handle addresses one entry in an Arena. The zero handle is reserved
+// as "nil" and is never returned by Alloc.
+type Handle uint32
+
+// Nil is the reserved null handle.
+const Nil Handle = 0
+
+// Arena is a concurrent chunked store of T. Create with New, allocate
+// through per-worker Allocators, and dereference with At.
+type Arena[T any] struct {
+	chunks [MaxChunks]atomic.Pointer[[ChunkSize]T]
+
+	mu        sync.Mutex
+	numChunks int32 // guarded by mu for writers; read atomically
+
+	length atomic.Int64 // total entries handed out (monotone)
+}
+
+// New returns an empty arena whose first slot (Handle 0) is burned as
+// the nil handle.
+func New[T any]() *Arena[T] {
+	a := &Arena[T]{}
+	a.chunks[0].Store(new([ChunkSize]T))
+	a.numChunks = 1
+	a.length.Store(1) // slot 0 reserved
+	return a
+}
+
+// At returns a pointer to the entry addressed by h. The pointer stays
+// valid for the lifetime of the arena. At panics on the nil handle or
+// an out-of-range chunk.
+func (a *Arena[T]) At(h Handle) *T {
+	if h == Nil {
+		panic("arena: dereference of nil handle")
+	}
+	c := a.chunks[h>>ChunkShift].Load()
+	return &c[h&chunkMask]
+}
+
+// Len returns the total number of entries allocated so far (including
+// the reserved slot 0 and any per-allocator slack at the tail of
+// partially filled chunks' predecessors).
+func (a *Arena[T]) Len() int { return int(a.length.Load()) }
+
+// ForEach visits every slot of every registered chunk (except the
+// reserved nil slot), including slots not yet handed out by an
+// allocator — those hold zero values, which callers must be able to
+// recognize and skip. It must not race with allocation; intended for
+// whole-structure sweeps after parallel work has quiesced.
+func (a *Arena[T]) ForEach(fn func(Handle, *T)) {
+	a.mu.Lock()
+	n := a.numChunks
+	a.mu.Unlock()
+	for ci := int32(0); ci < n; ci++ {
+		c := a.chunks[ci].Load()
+		if c == nil {
+			continue
+		}
+		start := 0
+		if ci == 0 {
+			start = 1 // skip the nil handle
+		}
+		for off := start; off < ChunkSize; off++ {
+			fn(Handle(uint32(ci)<<ChunkShift|uint32(off)), &c[off])
+		}
+	}
+}
+
+// newChunk registers a fresh chunk and returns its index.
+func (a *Arena[T]) newChunk() int32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx := a.numChunks
+	if idx >= MaxChunks {
+		panic(fmt.Sprintf("arena: capacity exhausted (%d chunks)", MaxChunks))
+	}
+	if a.chunks[idx].Load() == nil {
+		a.chunks[idx].Store(new([ChunkSize]T))
+	}
+	a.numChunks = idx + 1
+	return idx
+}
+
+// Reset logically discards all entries, returning the arena to its
+// initial state while retaining the allocated chunks for reuse (the
+// caller guarantees every field of an entry is initialized on
+// allocation, so stale contents are harmless). It must not race with
+// any concurrent use; it exists for single-owner scratch arenas (the
+// local triangulations of vertex removal) that are rebuilt many
+// times. Outstanding Allocators must be discarded or Reset as well.
+func (a *Arena[T]) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.numChunks = 1
+	a.length.Store(1)
+}
+
+// Allocator hands out handles from chunks owned by a single worker.
+// An Allocator must not be used concurrently; each worker goroutine
+// owns one.
+type Allocator[T any] struct {
+	a     *Arena[T]
+	chunk int32
+	next  uint32 // next free offset within chunk; ChunkSize means "no chunk"
+}
+
+// NewAllocator returns an allocator drawing from a.
+func (a *Arena[T]) NewAllocator() *Allocator[T] {
+	return &Allocator[T]{a: a, chunk: -1, next: ChunkSize}
+}
+
+// Alloc reserves one entry and returns its handle. The entry is
+// zero-valued; the caller initializes it before publishing the handle
+// to other workers.
+func (al *Allocator[T]) Alloc() Handle {
+	if al.next >= ChunkSize {
+		al.chunk = al.a.newChunk()
+		al.next = 0
+	}
+	h := Handle(uint32(al.chunk)<<ChunkShift | al.next)
+	al.next++
+	al.a.length.Add(1)
+	return h
+}
+
+// At is shorthand for the arena's At.
+func (al *Allocator[T]) At(h Handle) *T { return al.a.At(h) }
+
+// Reset detaches the allocator from its current chunk so the next
+// Alloc draws a fresh one; used together with Arena.Reset.
+func (al *Allocator[T]) Reset() {
+	al.chunk = -1
+	al.next = ChunkSize
+}

@@ -1,0 +1,185 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+type entry struct {
+	id  int64
+	pad [2]int64
+}
+
+func TestAllocAndAt(t *testing.T) {
+	a := New[entry]()
+	al := a.NewAllocator()
+	h := al.Alloc()
+	if h == Nil {
+		t.Fatal("Alloc returned the nil handle")
+	}
+	a.At(h).id = 42
+	if got := a.At(h).id; got != 42 {
+		t.Errorf("At(h).id = %d, want 42", got)
+	}
+}
+
+func TestNilHandlePanics(t *testing.T) {
+	a := New[entry]()
+	defer func() {
+		if recover() == nil {
+			t.Error("At(Nil) did not panic")
+		}
+	}()
+	a.At(Nil)
+}
+
+func TestHandlesAreDistinct(t *testing.T) {
+	a := New[entry]()
+	al := a.NewAllocator()
+	const n = 3 * ChunkSize
+	seen := make(map[Handle]bool, n)
+	for i := 0; i < n; i++ {
+		h := al.Alloc()
+		if seen[h] {
+			t.Fatalf("duplicate handle %d at iteration %d", h, i)
+		}
+		seen[h] = true
+	}
+}
+
+func TestPointerStability(t *testing.T) {
+	a := New[entry]()
+	al := a.NewAllocator()
+	h1 := al.Alloc()
+	p1 := a.At(h1)
+	p1.id = 7
+	// Allocate enough to force many new chunks.
+	for i := 0; i < 5*ChunkSize; i++ {
+		al.Alloc()
+	}
+	if p1 != a.At(h1) {
+		t.Error("pointer to early entry moved after growth")
+	}
+	if a.At(h1).id != 7 {
+		t.Error("early entry value lost after growth")
+	}
+}
+
+func TestConcurrentAllocators(t *testing.T) {
+	a := New[entry]()
+	const workers = 8
+	const perWorker = 2 * ChunkSize
+	handles := make([][]Handle, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			al := a.NewAllocator()
+			hs := make([]Handle, perWorker)
+			for i := range hs {
+				h := al.Alloc()
+				a.At(h).id = int64(w)<<32 | int64(i)
+				hs[i] = h
+			}
+			handles[w] = hs
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[Handle]bool)
+	for w, hs := range handles {
+		for i, h := range hs {
+			if seen[h] {
+				t.Fatalf("handle %d allocated twice", h)
+			}
+			seen[h] = true
+			if got := a.At(h).id; got != int64(w)<<32|int64(i) {
+				t.Fatalf("worker %d entry %d corrupted: %d", w, i, got)
+			}
+		}
+	}
+}
+
+func TestLen(t *testing.T) {
+	a := New[entry]()
+	if a.Len() != 1 {
+		t.Errorf("fresh arena Len = %d, want 1 (reserved slot)", a.Len())
+	}
+	al := a.NewAllocator()
+	for i := 0; i < 100; i++ {
+		al.Alloc()
+	}
+	if a.Len() != 101 {
+		t.Errorf("Len = %d, want 101", a.Len())
+	}
+}
+
+func BenchmarkAlloc(b *testing.B) {
+	a := New[entry]()
+	al := a.NewAllocator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := al.Alloc()
+		a.At(h).id = int64(i)
+	}
+}
+
+func TestResetReusesChunks(t *testing.T) {
+	a := New[entry]()
+	al := a.NewAllocator()
+	var first []Handle
+	for i := 0; i < 2*ChunkSize; i++ {
+		h := al.Alloc()
+		a.At(h).id = int64(i)
+		first = append(first, h)
+	}
+	a.Reset()
+	al.Reset()
+	if a.Len() != 1 {
+		t.Fatalf("Len after reset = %d", a.Len())
+	}
+	// Reallocation hands out the same handle space; stale contents are
+	// visible until the caller initializes them (the documented
+	// contract: every field must be written on alloc).
+	h := al.Alloc()
+	if h != first[0] {
+		t.Fatalf("first handle after reset = %d, want %d", h, first[0])
+	}
+	a.At(h).id = 42
+	if a.At(h).id != 42 {
+		t.Fatal("write after reuse lost")
+	}
+}
+
+func TestResetRepeatedlyNoGrowth(t *testing.T) {
+	a := New[entry]()
+	al := a.NewAllocator()
+	var chunksAfterFirst int
+	for cycle := 0; cycle < 5; cycle++ {
+		for i := 0; i < 3*ChunkSize; i++ {
+			al.Alloc()
+		}
+		a.mu.Lock()
+		n := int(a.numChunks)
+		a.mu.Unlock()
+		if cycle == 0 {
+			chunksAfterFirst = n
+		} else if n != chunksAfterFirst {
+			t.Fatalf("cycle %d: %d chunks, want %d (reuse, not growth)", cycle, n, chunksAfterFirst)
+		}
+		a.Reset()
+		al.Reset()
+	}
+}
+
+func TestForEachSkipsNilChunks(t *testing.T) {
+	a := New[entry]()
+	al := a.NewAllocator()
+	al.Alloc()
+	count := 0
+	a.ForEach(func(h Handle, e *entry) { count++ })
+	// Chunk 0 (8191 visitable slots) + chunk 1 (ChunkSize slots).
+	if count != 2*ChunkSize-1 {
+		t.Fatalf("visited %d slots, want %d", count, 2*ChunkSize-1)
+	}
+}

@@ -1,0 +1,192 @@
+// Package core implements PI2M itself: the parallel Delaunay
+// image-to-mesh refinement algorithm of the paper (Sections 3-4). It
+// drives the concurrent Delaunay kernel with the refinement rules
+// R1-R6, per-thread Poor Element Lists, contention management,
+// begging-list load balancing, and on-the-fly final-mesh extraction.
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/balance"
+	"repro/internal/cm"
+	"repro/internal/geom"
+	"repro/internal/img"
+)
+
+// SizeFunc is the user size function sf(.) of rule R5: an upper bound
+// on the circumradius of tetrahedra whose circumcenter lies at the
+// given point.
+type SizeFunc func(geom.Vec3) float64
+
+// Config parameterizes a PI2M run.
+type Config struct {
+	// Image is the segmented multi-label input (required).
+	Image *img.Image
+
+	// Delta is the δ sampling parameter (world units): target spacing
+	// of isosurface samples, fidelity knob of Theorem 1, and the mesh
+	// size control of the weak-scaling study. Default: 2x the minimum
+	// voxel spacing.
+	Delta float64
+
+	// DeltaFunc optionally varies δ over space (paper Section 2:
+	// "parts of the isosurface of high curvature can be meshed with
+	// more elements"; surface density is user-controllable like the
+	// volume density). Values are clamped to [Delta/4, Delta]; Delta
+	// remains the coarse bound and the sparsity-grid resolution.
+	DeltaFunc SizeFunc
+
+	// MaxElements stops refinement early once the final mesh reaches
+	// this many tetrahedra (0 = unlimited). The mesh remains valid;
+	// quality/fidelity criteria may be unmet where refinement stopped.
+	MaxElements int
+
+	// SizeFunc is sf(.) of rule R5; nil means no size constraint
+	// (quality rules only).
+	SizeFunc SizeFunc
+
+	// MaxRadiusEdge is the radius-edge ratio bound of rule R4
+	// (default 2, the paper's provable bound).
+	MaxRadiusEdge float64
+
+	// MinFacetAngle is the boundary planar angle bound of rule R3 in
+	// degrees (default 30).
+	MinFacetAngle float64
+
+	// Workers is the number of refinement threads (default
+	// GOMAXPROCS).
+	Workers int
+
+	// Topology models the machine for the load balancer (default: a
+	// Blacklight-shaped topology sized for Workers).
+	Topology balance.Topology
+
+	// ContentionManager selects the CM: "aggressive", "random",
+	// "global", "local" (default "local").
+	ContentionManager string
+
+	// Balancer selects the begging-list organization: "rws" or "hws"
+	// (default "hws").
+	Balancer string
+
+	// DisableRemovals turns off rule R6 (for ablation).
+	DisableRemovals bool
+
+	// DonateThreshold is the minimum number of valid poor elements a
+	// thread must hold before it may give work away (Section 4.4; the
+	// paper "set that threshold equal to 5, since it yielded the best
+	// results"). Zero selects 5.
+	DonateThreshold int
+
+	// SuccessLimit overrides s+ for the blocking contention managers;
+	// RollbackLimit overrides r+ for Random-CM (both Section 5 tuning
+	// knobs; zero selects the paper's 10 and 5).
+	SuccessLimit  int
+	RollbackLimit int
+
+	// EDTWorkers is the parallelism of the distance-transform
+	// pre-processing (default Workers).
+	EDTWorkers int
+
+	// LivelockTimeout aborts the run when no operation commits for
+	// this long — the watchdog that detects Aggressive-CM/Random-CM
+	// livelocks (Section 5.5). Zero disables it.
+	LivelockTimeout time.Duration
+
+	// TimelineSample enables the Figure 6 overhead timeline with the
+	// given sampling period. Zero disables it.
+	TimelineSample time.Duration
+
+	// Progress, when non-nil, is called from a sampler goroutine every
+	// ProgressSample (default 250ms) with a running snapshot — for
+	// long-running CLI feedback. It must be fast and thread-safe.
+	Progress       func(Progress)
+	ProgressSample time.Duration
+}
+
+// Progress is a point-in-time snapshot of a running refinement.
+type Progress struct {
+	Wall       time.Duration
+	Operations int64
+	Elements   int64 // current final-mesh cell count (approximate)
+}
+
+// withDefaults validates cfg and fills in defaults.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Image == nil {
+		return cfg, fmt.Errorf("core: Config.Image is required")
+	}
+	if cfg.Delta < 0 {
+		return cfg, fmt.Errorf("core: negative Delta")
+	}
+	if cfg.Delta == 0 {
+		cfg.Delta = 2 * cfg.Image.MinSpacing()
+	}
+	if cfg.MaxRadiusEdge == 0 {
+		cfg.MaxRadiusEdge = 2
+	}
+	if cfg.MaxRadiusEdge < 0.5 {
+		return cfg, fmt.Errorf("core: MaxRadiusEdge %g below the provable bound", cfg.MaxRadiusEdge)
+	}
+	if cfg.MinFacetAngle == 0 {
+		cfg.MinFacetAngle = 30
+	}
+	if cfg.SizeFunc == nil {
+		inf := math.Inf(1)
+		cfg.SizeFunc = func(geom.Vec3) float64 { return inf }
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.EDTWorkers <= 0 {
+		cfg.EDTWorkers = cfg.Workers
+	}
+	if cfg.Topology == (balance.Topology{}) {
+		cfg.Topology = balance.ForWorkers(cfg.Workers)
+	}
+	if cfg.DonateThreshold <= 0 {
+		cfg.DonateThreshold = 5
+	}
+	if cfg.ProgressSample <= 0 {
+		cfg.ProgressSample = 250 * time.Millisecond
+	}
+	switch cfg.ContentionManager {
+	case "":
+		cfg.ContentionManager = "local"
+	case "aggressive", "random", "global", "local":
+	default:
+		return cfg, fmt.Errorf("core: unknown contention manager %q", cfg.ContentionManager)
+	}
+	switch cfg.Balancer {
+	case "":
+		cfg.Balancer = "hws"
+	case "rws", "hws":
+	default:
+		return cfg, fmt.Errorf("core: unknown balancer %q", cfg.Balancer)
+	}
+	return cfg, nil
+}
+
+func (cfg Config) newCM(coord *cm.Coordinator) cm.Manager {
+	switch cfg.ContentionManager {
+	case "aggressive":
+		return cm.NewAggressive()
+	case "random":
+		return cm.NewRandomLimit(cfg.Workers, time.Millisecond, cfg.RollbackLimit)
+	case "global":
+		return cm.NewGlobalLimit(cfg.Workers, coord, cfg.SuccessLimit)
+	default:
+		return cm.NewLocalLimit(cfg.Workers, coord, cfg.SuccessLimit)
+	}
+}
+
+func (cfg Config) newBalancer() balance.Balancer {
+	if cfg.Balancer == "rws" {
+		return balance.NewRWS(cfg.Workers, cfg.Topology)
+	}
+	return balance.NewHWS(cfg.Workers, cfg.Topology)
+}

@@ -1,0 +1,73 @@
+package core
+
+import "time"
+
+// EnergyModel estimates the energy cost of a run under a two-state
+// per-core power model, the trade-off the paper's Section 8 puts
+// forward as future work: "threads spend time idling on the contention
+// and load balancing lists... the CPU frequency could be decreased
+// during such an idling", maximizing Elements/(second·Watt).
+//
+// Each worker's wall time splits into useful work (billed at
+// ActiveWatts) and overhead time spent parked on contention or begging
+// lists or discarded by rollbacks. A conventional runtime burns
+// ActiveWatts throughout (busy-waiting); a DVFS-aware runtime drops
+// parked cores to IdleWatts. Both are reported so the paper's
+// opportunity — the gap between them — can be quantified per run.
+type EnergyModel struct {
+	ActiveWatts float64 // per-core power while doing useful work
+	IdleWatts   float64 // per-core power while parked, after DVFS
+}
+
+// DefaultEnergyModel uses 15 W active / 3 W idle per core, the rough
+// proportions of the paper-era Xeon X7560 (130 W TDP / 8 cores, deep
+// C-states at ~20%).
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{ActiveWatts: 15, IdleWatts: 3}
+}
+
+// EnergyReport is the outcome of applying an EnergyModel to a run.
+type EnergyReport struct {
+	// BusyWaitJoules bills every thread at active power for the whole
+	// run (the measured implementation's busy-wait behavior).
+	BusyWaitJoules float64
+	// DVFSJoules bills overhead time at idle power instead.
+	DVFSJoules float64
+	// SavingsFraction is 1 - DVFS/BusyWait.
+	SavingsFraction float64
+
+	// ElementsPerJoule under each policy — the paper's
+	// Elements/(second*Watt) merit figure, integrated over the run.
+	ElementsPerJouleBusy float64
+	ElementsPerJouleDVFS float64
+
+	UsefulSeconds   float64 // across threads
+	OverheadSeconds float64 // across threads
+}
+
+// Energy applies the model to this result.
+func (r *Result) Energy(m EnergyModel) EnergyReport {
+	threads := float64(r.Stats.Threads)
+	wall := r.RefineTime.Seconds()
+	total := threads * wall
+	overhead := float64(r.Stats.TotalOverheadNs()) / float64(time.Second)
+	if overhead > total {
+		overhead = total
+	}
+	useful := total - overhead
+
+	rep := EnergyReport{
+		UsefulSeconds:   useful,
+		OverheadSeconds: overhead,
+	}
+	rep.BusyWaitJoules = m.ActiveWatts * total
+	rep.DVFSJoules = m.ActiveWatts*useful + m.IdleWatts*overhead
+	if rep.BusyWaitJoules > 0 {
+		rep.SavingsFraction = 1 - rep.DVFSJoules/rep.BusyWaitJoules
+		rep.ElementsPerJouleBusy = float64(r.Elements()) / rep.BusyWaitJoules
+	}
+	if rep.DVFSJoules > 0 {
+		rep.ElementsPerJouleDVFS = float64(r.Elements()) / rep.DVFSJoules
+	}
+	return rep
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/img"
+)
+
+func TestEnergyModelArithmetic(t *testing.T) {
+	// Synthetic result: 4 threads, 10 s wall, 8 thread-seconds of
+	// overhead. Busy-wait bills 40 thread-seconds at 15 W = 600 J;
+	// DVFS bills 32 s at 15 W + 8 s at 3 W = 504 J.
+	r := &Result{RefineTime: 10 * time.Second}
+	r.Stats.Threads = 4
+	r.Stats.LoadBalanceNs = 8e9
+	rep := r.Energy(DefaultEnergyModel())
+	if rep.BusyWaitJoules != 600 {
+		t.Errorf("busy-wait joules = %v, want 600", rep.BusyWaitJoules)
+	}
+	if rep.DVFSJoules != 504 {
+		t.Errorf("DVFS joules = %v, want 504", rep.DVFSJoules)
+	}
+}
+
+func TestEnergyReport(t *testing.T) {
+	im := img.SpherePhantom(32)
+	res, err := Run(Config{Image: im, Workers: 4, LivelockTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Energy(DefaultEnergyModel())
+	if rep.BusyWaitJoules <= 0 || rep.DVFSJoules <= 0 {
+		t.Fatalf("non-positive energy: %+v", rep)
+	}
+	if rep.DVFSJoules > rep.BusyWaitJoules {
+		t.Error("DVFS policy costs more than busy-wait")
+	}
+	if rep.SavingsFraction < 0 || rep.SavingsFraction >= 1 {
+		t.Errorf("savings fraction %v", rep.SavingsFraction)
+	}
+	if rep.ElementsPerJouleDVFS < rep.ElementsPerJouleBusy {
+		t.Error("DVFS worsened Elements/Joule")
+	}
+	if rep.UsefulSeconds < 0 || rep.OverheadSeconds < 0 {
+		t.Errorf("negative time split: %+v", rep)
+	}
+	total := float64(res.Stats.Threads) * res.RefineTime.Seconds()
+	if got := rep.UsefulSeconds + rep.OverheadSeconds; got > total*1.001 {
+		t.Errorf("time split %v exceeds total %v", got, total)
+	}
+}
+
+func TestEnergyOverheadClamped(t *testing.T) {
+	// If accounting noise makes overhead exceed wall*threads, the model
+	// must clamp rather than go negative.
+	r := &Result{RefineTime: time.Millisecond}
+	r.Stats.Threads = 1
+	r.Stats.ContentionNs = int64(10 * time.Second)
+	rep := r.Energy(DefaultEnergyModel())
+	if rep.UsefulSeconds < 0 {
+		t.Errorf("negative useful time: %+v", rep)
+	}
+}

@@ -1,0 +1,528 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/balance"
+	"repro/internal/cm"
+	"repro/internal/delaunay"
+	"repro/internal/edt"
+	"repro/internal/geom"
+	"repro/internal/img"
+	"repro/internal/spatial"
+)
+
+// Refiner runs the parallel image-to-mesh conversion.
+type Refiner struct {
+	cfg  Config
+	im   *img.Image
+	edt  *edt.Transform
+	mesh *delaunay.Mesh
+
+	isoGrid *spatial.Grid // isosurface samples (Kind Iso/Surface), spacing δ
+	ccGrid  *spatial.Grid // inserted circumcenters, for R6
+
+	cmgr  cm.Manager
+	bal   balance.Balancer
+	coord *cm.Coordinator
+
+	threads []*thread
+
+	done        atomic.Bool
+	aborted     atomic.Bool // livelock watchdog fired
+	ops         atomic.Int64
+	insideCount atomic.Int64 // live final-mesh cells (for MaxElements)
+
+	startWall time.Time
+	timeline  []TimelinePoint
+	tlMu      sync.Mutex
+}
+
+// thread is the per-worker refinement state.
+type thread struct {
+	id int
+	w  *delaunay.Worker
+
+	pel      []pelItem      // poor element list (LIFO)
+	removals []arena.Handle // pending R6 victim vertices
+
+	inbox struct {
+		mu    sync.Mutex
+		items []pelItem
+	}
+
+	inside []arena.Handle // cells created with circumcenter inside O
+
+	// poorCount tracks the valid poor elements currently in this
+	// thread's PEL (paper Section 4.4): incremented when an element is
+	// pushed here (by anyone), decremented by whichever thread pops or
+	// invalidates it. Cell.Aux holds the owning thread id + 1 while an
+	// element is counted, so increment/decrement pair up exactly once.
+	poorCount atomic.Int64
+
+	// Overheads (paper Section 5.5). Contention time lives in the CM,
+	// idle time in the balancer; rollbackNs is the partially-completed
+	// work thrown away by rollbacks.
+	rollbackNs int64
+
+	ruleCount [7]int64 // indexed by Rule
+	scratch   []pelItem
+}
+
+// pelItem is a poor element, optionally with a classification already
+// computed (act.rule != RuleNone): a conflicted operation re-queues
+// its element with the action cached so the retry skips
+// re-classification.
+type pelItem struct {
+	cell arena.Handle
+	act  action
+}
+
+// Run performs the complete PI2M pipeline on cfg: parallel EDT, then
+// parallel Delaunay refinement to the quality/fidelity criteria, then
+// final-mesh extraction.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r := &Refiner{cfg: cfg, im: cfg.Image}
+
+	res := &Result{Config: cfg}
+	wallStart := time.Now()
+
+	// Pre-processing: the parallel Euclidean distance transform.
+	edtStart := time.Now()
+	r.edt = edt.Compute(r.im, cfg.EDTWorkers)
+	res.EDTTime = time.Since(edtStart)
+
+	// The virtual box is the image's world bounding box.
+	lo, hi := r.im.Bounds()
+	r.mesh = delaunay.NewMesh(lo, hi)
+	r.isoGrid = spatial.NewGrid(lo, hi, cfg.Delta)
+	r.ccGrid = spatial.NewGrid(lo, hi, 2*cfg.Delta)
+
+	r.coord = cm.NewCoordinator(cfg.Workers)
+	r.cmgr = cfg.newCM(r.coord)
+	r.bal = cfg.newBalancer()
+
+	r.threads = make([]*thread, cfg.Workers)
+	for i := range r.threads {
+		r.threads[i] = &thread{id: i, w: r.mesh.NewWorker(i)}
+	}
+
+	// Seed thread 0 with the bootstrap cells (only the main thread has
+	// work initially, Section 4.4).
+	t0 := r.threads[0]
+	r.mesh.LiveCells(func(h arena.Handle, c *delaunay.Cell) {
+		r.noteCreated(t0, h, c)
+	})
+	r.flushScratch(t0)
+
+	r.startWall = time.Now()
+	stopAux := r.startAux()
+
+	var wg sync.WaitGroup
+	for _, t := range r.threads {
+		wg.Add(1)
+		go func(t *thread) {
+			defer wg.Done()
+			r.workerLoop(t)
+		}(t)
+	}
+	wg.Wait()
+	stopAux()
+
+	res.RefineTime = time.Since(r.startWall)
+	res.TotalTime = time.Since(wallStart)
+	res.Livelocked = r.aborted.Load()
+	r.collect(res)
+	return res, nil
+}
+
+// noteCreated classifies a fresh (or bootstrap) cell: records it in
+// the final-mesh list when its circumcenter is inside O, and appends
+// it to the thread's PEL when a rule applies.
+func (r *Refiner) noteCreated(t *thread, h arena.Handle, c *delaunay.Cell) {
+	if r.im.LabelAt(c.CC) != 0 {
+		c.SetInside(true)
+		t.inside = append(t.inside, h)
+		r.insideCount.Add(1)
+	}
+	if r.poorQuick(c) {
+		t.scratch = append(t.scratch, pelItem{cell: h})
+	}
+}
+
+// flushScratch moves newly found poor elements to the thread's own PEL
+// or donates them to a beggar. Per Section 4.4, a thread may only give
+// work away while its own counter of valid poor elements is at least
+// the threshold.
+func (r *Refiner) flushScratch(t *thread) {
+	if len(t.scratch) == 0 {
+		return
+	}
+	if t.poorCount.Load() >= int64(r.cfg.DonateThreshold) {
+		if beggar, ok := r.bal.ClaimBeggar(t.id); ok {
+			bt := r.threads[beggar]
+			for _, item := range t.scratch {
+				r.countIn(bt, item.cell)
+			}
+			bt.inbox.mu.Lock()
+			bt.inbox.items = append(bt.inbox.items, t.scratch...)
+			bt.inbox.mu.Unlock()
+			r.bal.Wake(beggar)
+			t.scratch = t.scratch[:0]
+			return
+		}
+	}
+	for _, item := range t.scratch {
+		r.countIn(t, item.cell)
+	}
+	t.pel = append(t.pel, t.scratch...)
+	t.scratch = t.scratch[:0]
+}
+
+// countIn marks cell ch as a counted poor element of thread t.
+func (r *Refiner) countIn(t *thread, ch arena.Handle) {
+	r.mesh.Cells.At(ch).Aux.Store(uint64(t.id + 1))
+	t.poorCount.Add(1)
+}
+
+// countOut releases the poor-element count for ch, whichever thread
+// holds it; reports whether it was still counted.
+func (r *Refiner) countOut(ch arena.Handle) bool {
+	old := r.mesh.Cells.At(ch).Aux.Swap(0)
+	if old == 0 {
+		return false
+	}
+	r.threads[old-1].poorCount.Add(-1)
+	return true
+}
+
+func (t *thread) drainInbox() {
+	t.inbox.mu.Lock()
+	if len(t.inbox.items) > 0 {
+		t.pel = append(t.pel, t.inbox.items...)
+		t.inbox.items = t.inbox.items[:0]
+	}
+	t.inbox.mu.Unlock()
+}
+
+// workerLoop is Algorithm 1: pop a poor element, apply the rule's
+// operation speculatively, handle rollbacks through the contention
+// manager, update PELs, and balance load until global termination.
+func (r *Refiner) workerLoop(t *thread) {
+	for !r.done.Load() {
+		t.drainInbox()
+
+		// Pending R6 removals first: they unblock termination near the
+		// isosurface.
+		if len(t.removals) > 0 {
+			vh := t.removals[len(t.removals)-1]
+			t.removals = t.removals[:len(t.removals)-1]
+			r.doRemoval(t, vh)
+			continue
+		}
+
+		if len(t.pel) == 0 {
+			if !r.idle(t) {
+				return
+			}
+			continue
+		}
+
+		item := t.pel[len(t.pel)-1]
+		t.pel = t.pel[:len(t.pel)-1]
+		r.countOut(item.cell)
+		c := r.mesh.Cells.At(item.cell)
+		if c.Dead() {
+			continue // invalidated while queued (Section 4.3)
+		}
+		act := item.act
+		// Fresh items carry no classification (the creating thread only
+		// ran the cheap poorness test); conflicted retries carry theirs,
+		// revalidated against the sparsity gates that newer samples may
+		// have closed.
+		fresh := act.rule == RuleNone
+		stale := (act.rule == R1 && r.isoGrid.AnyWithin(act.point, r.cfg.Delta)) ||
+			(act.rule == R3 && r.isoGrid.AnyWithin(act.point, r.cfg.Delta/4))
+		if fresh || stale {
+			var ok bool
+			act, ok = r.classify(item.cell, c)
+			if !ok {
+				continue
+			}
+		}
+		r.doInsertion(t, item.cell, act)
+	}
+}
+
+// doInsertion executes one rule-driven point insertion.
+func (r *Refiner) doInsertion(t *thread, ch arena.Handle, act action) {
+	start := time.Now()
+	res, st := t.w.Insert(act.point, act.kind, ch)
+	switch st {
+	case delaunay.OK:
+		t.ruleCount[act.rule]++
+		r.ops.Add(1)
+		r.postCommit(t, act, res)
+		r.cmgr.OnSuccess(t.id)
+		r.flushScratch(t)
+	case delaunay.Conflict:
+		atomic.AddInt64(&t.rollbackNs, int64(time.Since(start)))
+		// The element was not refined: it goes back to the PEL — to the
+		// bottom of the stack, so the thread "moves on to the next bad
+		// element" (Section 4.2) — and the thread consults the
+		// contention manager (Section 4.5).
+		r.countIn(t, ch)
+		t.pel = append(t.pel, pelItem{cell: ch, act: act})
+		if n := len(t.pel) - 1; n > 0 {
+			t.pel[0], t.pel[n] = t.pel[n], t.pel[0]
+		}
+		r.cmgr.OnRollback(t.id, t.w.ConflictTid)
+	case delaunay.Stale:
+		// The cell died between pop and operation; its replacements
+		// were classified by whoever killed it.
+	case delaunay.Failed, delaunay.Outside:
+		// Geometric failure (duplicate sample raced in, or a
+		// circumcenter outside the hull): drop. If the region still
+		// violates a rule, a later operation re-discovers it.
+	}
+}
+
+// doRemoval executes one R6 vertex removal.
+func (r *Refiner) doRemoval(t *thread, vh arena.Handle) {
+	v := r.mesh.Verts.At(vh)
+	if v.Dead() || v.Kind != delaunay.KindCircum {
+		return
+	}
+	start := time.Now()
+	res, st := t.w.Remove(vh)
+	switch st {
+	case delaunay.OK:
+		t.ruleCount[R6]++
+		r.ops.Add(1)
+		r.postCommit(t, action{rule: R6}, res)
+		r.cmgr.OnSuccess(t.id)
+		r.flushScratch(t)
+	case delaunay.Conflict:
+		atomic.AddInt64(&t.rollbackNs, int64(time.Since(start)))
+		t.removals = append([]arena.Handle{vh}, t.removals...)
+		r.cmgr.OnRollback(t.id, t.w.ConflictTid)
+	case delaunay.Stale, delaunay.Failed:
+		// Already removed, or a degenerate link: keep the vertex (the
+		// quality rules still hold; R6 is a termination aid).
+	}
+}
+
+// cellBudgetExceeded reports whether the MaxElements cap is hit.
+func (r *Refiner) cellBudgetExceeded() bool {
+	return r.cfg.MaxElements > 0 && r.insideCount.Load() >= int64(r.cfg.MaxElements)
+}
+
+// postCommit performs the bookkeeping after a committed operation:
+// classify created cells, register new samples in the spatial grids,
+// and trigger R6 removals around new isosurface vertices.
+func (r *Refiner) postCommit(t *thread, act action, res *delaunay.OpResult) {
+	// Invalidated elements release their poor-element counts (Section
+	// 4.4: "when T_i invalidates an element c ... it decreases
+	// accordingly the counter of the thread that contains c in its
+	// PEL").
+	for _, kh := range res.Killed {
+		r.countOut(kh)
+		if r.mesh.Cells.At(kh).Inside() {
+			r.insideCount.Add(-1)
+		}
+	}
+	for _, nh := range res.Created {
+		r.noteCreated(t, nh, r.mesh.Cells.At(nh))
+	}
+	if r.cellBudgetExceeded() {
+		r.finish()
+	}
+	if res.NewVert == arena.Nil {
+		return
+	}
+	switch act.kind {
+	case delaunay.KindIso, delaunay.KindSurface:
+		r.isoGrid.Add(act.point, uint32(res.NewVert))
+		if !r.cfg.DisableRemovals {
+			// R6: already inserted circumcenters closer than 2δ to the
+			// new isosurface vertex are deleted.
+			r.ccGrid.ForEachWithin(act.point, 2*r.deltaAt(act.point), func(id uint32, q geom.Vec3) bool {
+				vh := arena.Handle(id)
+				if !r.mesh.Verts.At(vh).Dead() {
+					t.removals = append(t.removals, vh)
+				}
+				return true
+			})
+		}
+	case delaunay.KindCircum:
+		r.ccGrid.Add(act.point, uint32(res.NewVert))
+	}
+}
+
+// idle parks the thread on the begging list. It returns false when the
+// run is over. The last active thread never parks: it first wakes a
+// contention-list waiter, and if there is none — every other thread is
+// parked with an empty PEL — it declares termination (the deadlock
+// rule of Section 5.3).
+func (r *Refiner) idle(t *thread) bool {
+	for {
+		if r.done.Load() {
+			return false
+		}
+		if r.coord.TryDeactivate() {
+			ok := r.bal.AwaitWork(t.id)
+			r.coord.Reactivate()
+			if !ok {
+				return false
+			}
+			t.drainInbox()
+			return true
+		}
+		// Last active thread.
+		if r.cmgr.WakeOne() {
+			runtime.Gosched()
+			t.drainInbox()
+			if len(t.pel) > 0 || len(t.removals) > 0 {
+				return true
+			}
+			continue
+		}
+		t.drainInbox()
+		if len(t.pel) > 0 || len(t.removals) > 0 {
+			return true
+		}
+		// Work may have been donated to a parked thread that has not
+		// resumed yet; its inbox is the only place it can hide.
+		if r.anyInboxPending() {
+			runtime.Gosched()
+			continue
+		}
+		// No work anywhere: terminate the run.
+		r.finish()
+		return false
+	}
+}
+
+// anyInboxPending reports whether any thread has undelivered donated
+// work.
+func (r *Refiner) anyInboxPending() bool {
+	for _, t := range r.threads {
+		t.inbox.mu.Lock()
+		n := len(t.inbox.items)
+		t.inbox.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// finish flips the done flag and releases every parked or blocked
+// thread.
+func (r *Refiner) finish() {
+	if r.done.CompareAndSwap(false, true) {
+		r.cmgr.Quiesce()
+		r.bal.Quiesce()
+	}
+}
+
+// startAux launches the livelock watchdog and the timeline sampler;
+// the returned function stops them.
+func (r *Refiner) startAux() func() {
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	if r.cfg.LivelockTimeout > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(r.cfg.LivelockTimeout / 10)
+			defer tick.Stop()
+			last := r.ops.Load()
+			lastChange := time.Now()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					cur := r.ops.Load()
+					if cur != last {
+						last = cur
+						lastChange = time.Now()
+						continue
+					}
+					if time.Since(lastChange) >= r.cfg.LivelockTimeout {
+						r.aborted.Store(true)
+						r.finish()
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	if r.cfg.Progress != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(r.cfg.ProgressSample)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					r.cfg.Progress(Progress{
+						Wall:       time.Since(r.startWall),
+						Operations: r.ops.Load(),
+						Elements:   r.insideCount.Load(),
+					})
+				}
+			}
+		}()
+	}
+
+	if r.cfg.TimelineSample > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(r.cfg.TimelineSample)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					r.sampleTimeline()
+				}
+			}
+		}()
+	}
+
+	return func() {
+		close(stop)
+		wg.Wait()
+	}
+}
+
+func (r *Refiner) sampleTimeline() {
+	var totalNs int64
+	for i, t := range r.threads {
+		totalNs += r.cmgr.ContentionNs(i) + r.bal.IdleNs(i) + atomic.LoadInt64(&t.rollbackNs)
+	}
+	pt := TimelinePoint{
+		Wall:       time.Since(r.startWall),
+		OverheadNs: totalNs,
+	}
+	r.tlMu.Lock()
+	r.timeline = append(r.timeline, pt)
+	r.tlMu.Unlock()
+}

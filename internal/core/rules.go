@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/arena"
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+)
+
+// Rule identifies which refinement rule (Section 3) fired.
+type Rule int
+
+// The refinement rules.
+const (
+	RuleNone Rule = iota
+	R1            // isosurface sample for a surface-crossing circumball
+	R2            // circumcenter of a large surface-crossing tetrahedron
+	R3            // surface-center of a boundary facet
+	R4            // circumcenter of a poor-quality interior tetrahedron
+	R5            // circumcenter of an oversized interior tetrahedron
+	R6            // removal of circumcenters crowding an isosurface vertex
+)
+
+func (r Rule) String() string {
+	switch r {
+	case R1:
+		return "R1"
+	case R2:
+		return "R2"
+	case R3:
+		return "R3"
+	case R4:
+		return "R4"
+	case R5:
+		return "R5"
+	case R6:
+		return "R6"
+	}
+	return "none"
+}
+
+// action is a planned refinement operation for one poor element.
+type action struct {
+	rule  Rule
+	kind  delaunay.VertKind
+	point geom.Vec3
+}
+
+// surfaceTol is the bisection tolerance for isosurface intersections,
+// as a fraction of the minimum voxel spacing.
+const surfaceTol = 1e-3
+
+// deltaAt evaluates the (possibly spatially varying) sampling spacing
+// at p, clamped so the sparsity grid and termination bounds stay
+// valid.
+func (r *Refiner) deltaAt(p geom.Vec3) float64 {
+	if r.cfg.DeltaFunc == nil {
+		return r.cfg.Delta
+	}
+	d := r.cfg.DeltaFunc(p)
+	if d > r.cfg.Delta {
+		return r.cfg.Delta
+	}
+	if min := r.cfg.Delta / 4; d < min {
+		return min
+	}
+	return d
+}
+
+// distanceToSurface estimates the distance from p to the isosurface,
+// clamping points outside the image onto its boundary (huge early
+// cells have circumcenters far outside the image).
+func (r *Refiner) distanceToSurface(p geom.Vec3) (float64, geom.Vec3, bool) {
+	lo, hi := r.im.Bounds()
+	eps := r.im.MinSpacing() / 2
+	q := p.Max(lo.Add(geom.Vec3{X: eps, Y: eps, Z: eps})).
+		Min(hi.Sub(geom.Vec3{X: eps, Y: eps, Z: eps}))
+	sv, ok := r.edt.NearestSurfaceVoxel(q)
+	if !ok {
+		return math.Inf(1), geom.Vec3{}, false
+	}
+	return p.Dist(sv), sv, true
+}
+
+// isoPointNear computes ẑ, the isosurface point closest to p (paper
+// Section 3): the EDT yields the nearest surface voxel q, and the ray
+// p→q is marched and bisected across the label interface. The ray is
+// extended one voxel past q because the sub-voxel interface can lie
+// just behind the voxel center.
+func (r *Refiner) isoPointNear(p geom.Vec3, sv geom.Vec3) (geom.Vec3, bool) {
+	dir := sv.Sub(p)
+	if n := dir.Norm(); n > 0 {
+		dir = dir.Scale((n + 2*r.im.MinSpacing()) / n)
+	} else {
+		dir = geom.Vec3{X: 2 * r.im.MinSpacing()}
+	}
+	return r.im.SurfacePoint(p, p.Add(dir), surfaceTol*r.im.MinSpacing())
+}
+
+// poorQuick is the creation-time poorness test: a cheap conservative
+// over-approximation of "some rule applies", used when the creating
+// thread classifies new cells for its PEL and for donation (Section
+// 4.4). The expensive geometry (surface marches) is deferred to the
+// full classify at pop time.
+func (r *Refiner) poorQuick(c *delaunay.Cell) bool {
+	if math.IsInf(c.R2, 1) {
+		return false
+	}
+	cc := c.CC
+	rad := math.Sqrt(c.R2)
+	dist, _, haveSurface := r.distanceToSurface(cc)
+	margin := 2*r.im.MinSpacing() + r.im.Spacing.Norm()
+	if haveSurface && dist <= rad+margin {
+		return true // R1/R2/R3 candidate near the surface
+	}
+	if r.im.LabelAt(cc) != 0 {
+		se := shortestEdge(r.mesh, c)
+		if se > 0 && rad/se > r.cfg.MaxRadiusEdge {
+			return true // R4
+		}
+		if rad > r.cfg.SizeFunc(cc) {
+			return true // R5
+		}
+	}
+	// R3 across a facet whose Voronoi edge strays near the surface
+	// while this circumcenter is far: the neighbor's own quick test
+	// covers it from the other side, and the full classify at pop
+	// checks both directions.
+	return false
+}
+
+// classify decides which rule, if any, applies to live cell ch and
+// returns the operation to perform. Rules are evaluated in the paper's
+// order R1..R5; R6 is triggered separately when isosurface vertices
+// are committed.
+func (r *Refiner) classify(ch arena.Handle, c *delaunay.Cell) (action, bool) {
+	if c.Dead() {
+		return action{}, false
+	}
+	if math.IsInf(c.R2, 1) {
+		return action{}, false
+	}
+	cc := c.CC
+	rad := math.Sqrt(c.R2)
+
+	dist, sv, haveSurface := r.distanceToSurface(cc)
+	if haveSurface && dist <= rad {
+		// The circumball intersects ∂O.
+		// R1: sample the isosurface at ẑ if no sample is within δ(ẑ).
+		if z, ok := r.isoPointNear(cc, sv); ok && !r.isoGrid.AnyWithin(z, r.deltaAt(z)) {
+			return action{rule: R1, kind: delaunay.KindIso, point: z}, true
+		}
+		// R2: large surface-crossing tetrahedra are split.
+		if rad > 2*r.deltaAt(cc) {
+			return action{rule: R2, kind: delaunay.KindCircum, point: cc}, true
+		}
+	}
+
+	// R3: boundary facets (Voronoi edge crosses ∂O) with a small
+	// planar angle or a vertex off the isosurface get their
+	// surface-center inserted. A δ/4 sparsity gate guarantees
+	// termination on the voxelized (non-smooth) isosurface.
+	m := r.mesh
+	for f := 0; f < 4; f++ {
+		nbh := c.Neighbor(f)
+		if nbh == arena.Nil {
+			continue
+		}
+		nb := m.Cells.At(nbh)
+		if math.IsInf(nb.R2, 1) {
+			continue
+		}
+		// Cheap rejection: every point of the Voronoi edge is at least
+		// dist - |edge| from the surface, so the edge cannot cross ∂O
+		// when dist exceeds its length (plus a voxel-quantization
+		// margin, since dist is measured to voxel centers).
+		segLen := cc.Dist(nb.CC)
+		if haveSurface && dist > segLen+2*r.im.MinSpacing()+r.im.Spacing.Norm() {
+			continue
+		}
+		cSurf, ok := r.im.SurfacePoint(cc, nb.CC, surfaceTol*r.im.MinSpacing())
+		if !ok {
+			continue
+		}
+		face := c.Face(f)
+		offSurface := false
+		for _, vh := range face {
+			k := m.Verts.At(vh).Kind
+			if k != delaunay.KindIso && k != delaunay.KindSurface {
+				offSurface = true
+				break
+			}
+		}
+		if !offSurface {
+			a := m.Pos(face[0])
+			b := m.Pos(face[1])
+			c3 := m.Pos(face[2])
+			offSurface = geom.MinTriangleAngle(a, b, c3) < r.cfg.MinFacetAngle
+		}
+		if offSurface && !r.isoGrid.AnyWithin(cSurf, r.deltaAt(cSurf)/4) {
+			return action{rule: R3, kind: delaunay.KindSurface, point: cSurf}, true
+		}
+	}
+
+	// Interior rules need the circumcenter inside O.
+	if r.im.LabelAt(cc) != 0 {
+		// R4: radius-edge quality.
+		se := shortestEdge(m, c)
+		if se > 0 && rad/se > r.cfg.MaxRadiusEdge {
+			return action{rule: R4, kind: delaunay.KindCircum, point: cc}, true
+		}
+		// R5: user size function.
+		if rad > r.cfg.SizeFunc(cc) {
+			return action{rule: R5, kind: delaunay.KindCircum, point: cc}, true
+		}
+	}
+	return action{}, false
+}
+
+func shortestEdge(m *delaunay.Mesh, c *delaunay.Cell) float64 {
+	return geom.ShortestEdge(m.Pos(c.V[0]), m.Pos(c.V[1]), m.Pos(c.V[2]), m.Pos(c.V[3]))
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/balance"
+	"repro/internal/delaunay"
+)
+
+// TimelinePoint is one sample of the Figure 6 overhead curve: by wall
+// time Wall, the threads had cumulatively wasted OverheadNs
+// nanoseconds on contention, idling and rollbacks.
+type TimelinePoint struct {
+	Wall       time.Duration
+	OverheadNs int64
+}
+
+// RunStats aggregates the per-thread counters of a run (the wasted-
+// cycles breakdown of Section 5.5).
+type RunStats struct {
+	Threads int
+
+	// Committed operations.
+	Inserts  int64
+	Removals int64
+
+	// Outcomes of failed speculative attempts.
+	Rollbacks int64
+	StaleOps  int64
+	FailedOps int64
+
+	// RuleCounts[rule] counts committed operations per refinement rule.
+	RuleCounts [7]int64
+
+	// The three overhead components (totals across threads).
+	ContentionNs  int64 // busy-waiting in / accessing the contention manager
+	LoadBalanceNs int64 // idling on the begging list
+	RollbackNs    int64 // partially-completed work discarded by rollbacks
+
+	// PerThreadOverheadNs is the per-thread sum of all three.
+	PerThreadOverheadNs []int64
+
+	Transfers balance.TransferStats
+
+	// Kernel-level counters.
+	WalkSteps     int64
+	LocksAcquired int64
+	CavityCells   int64
+
+	// DanglingPoorCount is the sum of the per-thread poor-element
+	// counters at termination; the push/pop/invalidate protocol pairs
+	// every increment with exactly one decrement, so it must be zero.
+	DanglingPoorCount int64
+}
+
+// TotalOverheadNs is the sum of the three overhead components.
+func (s *RunStats) TotalOverheadNs() int64 {
+	return s.ContentionNs + s.LoadBalanceNs + s.RollbackNs
+}
+
+// Result is the outcome of a PI2M run.
+type Result struct {
+	Config Config
+
+	// Mesh is the full triangulation; Final lists the cells whose
+	// circumcenter lies inside the object O — the output mesh M of
+	// Figure 1c.
+	Mesh  *delaunay.Mesh
+	Final []arena.Handle
+
+	EDTTime    time.Duration
+	RefineTime time.Duration
+	TotalTime  time.Duration
+
+	// Livelocked reports that the watchdog aborted the run because no
+	// operation committed for Config.LivelockTimeout.
+	Livelocked bool
+
+	Stats    RunStats
+	Timeline []TimelinePoint
+}
+
+// Elements returns the number of tetrahedra in the final mesh.
+func (r *Result) Elements() int { return len(r.Final) }
+
+// ElementsPerSecond is the generation rate the paper reports.
+func (r *Result) ElementsPerSecond() float64 {
+	if r.TotalTime <= 0 {
+		return 0
+	}
+	return float64(r.Elements()) / r.TotalTime.Seconds()
+}
+
+// collect assembles the Result after the workers have quiesced.
+func (r *Refiner) collect(res *Result) {
+	res.Mesh = r.mesh
+	res.Timeline = r.timeline
+
+	s := &res.Stats
+	s.Threads = r.cfg.Workers
+	s.PerThreadOverheadNs = make([]int64, r.cfg.Workers)
+	for i, t := range r.threads {
+		ws := t.w.Stats
+		s.Inserts += ws.Inserts
+		s.Removals += ws.Removals
+		s.Rollbacks += ws.Rollbacks
+		s.StaleOps += ws.StaleOps
+		s.FailedOps += ws.FailedOps
+		s.WalkSteps += ws.WalkSteps
+		s.LocksAcquired += ws.LocksAcquired
+		s.CavityCells += ws.CavityCells
+		for rule, n := range t.ruleCount {
+			s.RuleCounts[rule] += n
+		}
+		cn := r.cmgr.ContentionNs(i)
+		ln := r.bal.IdleNs(i)
+		rn := atomic.LoadInt64(&t.rollbackNs)
+		s.ContentionNs += cn
+		s.LoadBalanceNs += ln
+		s.RollbackNs += rn
+		s.PerThreadOverheadNs[i] = cn + ln + rn
+	}
+	s.Transfers = r.bal.Transfers()
+	for _, t := range r.threads {
+		s.DanglingPoorCount += t.poorCount.Load()
+	}
+
+	// Final mesh: the per-thread inside lists, filtered for cells that
+	// survived refinement (Section 4.3's on-the-fly bookkeeping).
+	for _, t := range r.threads {
+		for _, h := range t.inside {
+			if !r.mesh.Cells.At(h).Dead() {
+				res.Final = append(res.Final, h)
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package delaunay
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arena"
+	"repro/internal/geom"
+	"repro/internal/predicates"
+)
+
+// LiveCells visits every live cell. It must not race with operations
+// (quiesce workers first).
+func (m *Mesh) LiveCells(fn func(arena.Handle, *Cell)) {
+	m.Cells.ForEach(func(h arena.Handle, c *Cell) {
+		if c.V[0] == arena.Nil || c.Dead() {
+			return
+		}
+		fn(h, c)
+	})
+}
+
+// LiveVerts visits every live (not removed, initialized) vertex.
+func (m *Mesh) LiveVerts(fn func(arena.Handle, *Vertex)) {
+	m.Verts.ForEach(func(h arena.Handle, v *Vertex) {
+		if v.Stamp == 0 || v.Dead() {
+			return
+		}
+		fn(h, v)
+	})
+}
+
+// NumLiveCells counts live cells (sweep; quiesced meshes only).
+func (m *Mesh) NumLiveCells() int {
+	n := 0
+	m.LiveCells(func(arena.Handle, *Cell) { n++ })
+	return n
+}
+
+// NumLiveVerts counts live vertices.
+func (m *Mesh) NumLiveVerts() int {
+	n := 0
+	m.LiveVerts(func(arena.Handle, *Vertex) { n++ })
+	return n
+}
+
+// Check verifies the structural invariants of a quiesced mesh:
+// positive orientation of every live cell, no dead or removed
+// vertices referenced, symmetric adjacency with matching shared faces,
+// local Delaunayhood (no neighbor apex inside a cell's symbolically
+// perturbed circumsphere), valid incident-cell hints, and that the
+// live cells tile the hull (by total volume). It returns the first
+// violation found.
+func (m *Mesh) Check() error {
+	var err error
+	fail := func(format string, args ...any) bool {
+		if err == nil {
+			err = fmt.Errorf(format, args...)
+		}
+		return true
+	}
+
+	var vol float64
+	live := make(map[arena.Handle]bool)
+	m.LiveCells(func(h arena.Handle, c *Cell) { live[h] = true })
+
+	m.LiveCells(func(h arena.Handle, c *Cell) {
+		if err != nil {
+			return
+		}
+		var p [4]geom.Vec3
+		for i := 0; i < 4; i++ {
+			if c.V[i] == arena.Nil {
+				fail("cell %d: nil vertex %d", h, i)
+				return
+			}
+			v := m.Verts.At(c.V[i])
+			if v.Dead() {
+				fail("cell %d: references removed vertex %d", h, c.V[i])
+				return
+			}
+			p[i] = v.Pos
+		}
+		if predicates.Orient3D(p[0], p[1], p[2], p[3]) <= 0 {
+			fail("cell %d: not positively oriented", h)
+			return
+		}
+		vol += geom.TetraVolume(p[0], p[1], p[2], p[3])
+
+		for f := 0; f < 4; f++ {
+			nb := c.Neighbor(f)
+			if nb == arena.Nil {
+				continue
+			}
+			if !live[nb] {
+				fail("cell %d: neighbor %d across face %d is dead", h, nb, f)
+				return
+			}
+			n := m.Cells.At(nb)
+			back := n.FaceIndex(h)
+			if back < 0 {
+				fail("cell %d: neighbor %d does not point back", h, nb)
+				return
+			}
+			if sortedFace(c, f) != sortedFace(n, back) {
+				fail("cell %d face %d: shared face mismatch with %d", h, f, nb)
+				return
+			}
+			// Local Delaunay: the apex of the neighbor must not lie
+			// strictly inside this cell's circumsphere.
+			apex := n.V[back]
+			if c.HasVert(apex) {
+				fail("cell %d: neighbor %d apex %d is shared", h, nb, apex)
+				return
+			}
+			if predicates.InSphereSoS(p[0], p[1], p[2], p[3], m.Verts.At(apex).Pos) > 0 {
+				fail("cell %d: neighbor apex %d strictly inside circumsphere (not Delaunay)", h, apex)
+				return
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	want := m.hullVolume
+	if math.Abs(vol-want) > 1e-6*want {
+		return fmt.Errorf("live cells volume %g does not tile hull volume %g", vol, want)
+	}
+
+	m.LiveVerts(func(h arena.Handle, v *Vertex) {
+		if err != nil {
+			return
+		}
+		inc := v.Incident()
+		if inc == arena.Nil {
+			fail("vertex %d: nil incident hint", h)
+			return
+		}
+		c := m.Cells.At(inc)
+		if c.Dead() {
+			fail("vertex %d: incident hint %d is dead", h, inc)
+			return
+		}
+		if !c.HasVert(h) {
+			fail("vertex %d: incident hint %d does not contain it", h, inc)
+		}
+	})
+	return err
+}
+
+// CheckDelaunayGlobal verifies the empty-circumsphere property against
+// every live vertex (O(cells x verts); small meshes only).
+func (m *Mesh) CheckDelaunayGlobal() error {
+	var verts []arena.Handle
+	m.LiveVerts(func(h arena.Handle, v *Vertex) { verts = append(verts, h) })
+	var err error
+	m.LiveCells(func(h arena.Handle, c *Cell) {
+		if err != nil {
+			return
+		}
+		p0 := m.Pos(c.V[0])
+		p1 := m.Pos(c.V[1])
+		p2 := m.Pos(c.V[2])
+		p3 := m.Pos(c.V[3])
+		for _, vh := range verts {
+			if c.HasVert(vh) {
+				continue
+			}
+			if predicates.InSphereSoS(p0, p1, p2, p3, m.Pos(vh)) > 0 {
+				err = fmt.Errorf("cell %d: vertex %d strictly inside circumsphere", h, vh)
+				return
+			}
+		}
+	})
+	return err
+}

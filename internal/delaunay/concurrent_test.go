@@ -1,0 +1,182 @@
+package delaunay
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/arena"
+)
+
+// TestConcurrentInserts stresses the speculative protocol: several
+// workers insert random points simultaneously, retrying on rollbacks,
+// and the final mesh must satisfy every invariant.
+func TestConcurrentInserts(t *testing.T) {
+	m := unitBox()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	const perWorker = 400
+
+	var rollbacks atomic.Int64
+	var wg sync.WaitGroup
+	for tid := 0; tid < workers; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			w := m.NewWorker(tid)
+			rng := rand.New(rand.NewSource(int64(tid) + 100))
+			start := m.FirstCell()
+			inserted := 0
+			for inserted < perWorker {
+				p := v3(rng.Float64(), rng.Float64(), rng.Float64())
+				res, st := w.Insert(p, KindCircum, start)
+				switch st {
+				case OK:
+					inserted++
+					start = res.Created[0]
+				case Conflict:
+					rollbacks.Add(1)
+				case Stale:
+					start = m.FirstCell()
+				default:
+					t.Errorf("worker %d: unexpected status %v", tid, st)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+
+	want := workers*perWorker + 12
+	if got := m.NumLiveVerts(); got != want {
+		t.Errorf("verts = %d, want %d", got, want)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("mesh invalid after concurrent inserts: %v", err)
+	}
+	t.Logf("workers=%d rollbacks=%d", workers, rollbacks.Load())
+}
+
+// TestConcurrentInsertRemove mixes insertions and removals across
+// workers. Each worker only removes vertices it inserted itself, so
+// the vertex is live unless the removal already happened (retried
+// conflicts aside).
+func TestConcurrentInsertRemove(t *testing.T) {
+	m := unitBox()
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	const ops = 500
+
+	var wg sync.WaitGroup
+	for tid := 0; tid < workers; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			w := m.NewWorker(tid)
+			rng := rand.New(rand.NewSource(int64(tid) + 999))
+			start := m.FirstCell()
+			var mine []arena.Handle
+			for n := 0; n < ops; n++ {
+				if len(mine) > 10 && rng.Float64() < 0.25 {
+					k := rng.Intn(len(mine))
+					_, st := w.Remove(mine[k])
+					switch st {
+					case OK, Failed:
+						if st == OK {
+							mine[k] = mine[len(mine)-1]
+							mine = mine[:len(mine)-1]
+						}
+					case Conflict:
+						// retry later
+					default:
+						t.Errorf("worker %d remove: %v", tid, st)
+						return
+					}
+					continue
+				}
+				p := v3(rng.Float64(), rng.Float64(), rng.Float64())
+				res, st := w.Insert(p, KindCircum, start)
+				switch st {
+				case OK:
+					mine = append(mine, res.NewVert)
+					start = res.Created[0]
+				case Conflict:
+					// retry later
+				case Stale:
+					start = m.FirstCell()
+				default:
+					t.Errorf("worker %d insert: %v", tid, st)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+
+	if err := m.Check(); err != nil {
+		t.Fatalf("mesh invalid after concurrent insert/remove: %v", err)
+	}
+	// No locks may remain.
+	m.LiveVerts(func(h arena.Handle, v *Vertex) {
+		if v.LockedBy() != -1 {
+			t.Errorf("vertex %d still locked by %d", h, v.LockedBy())
+		}
+	})
+}
+
+// TestConcurrentDenseContention forces heavy conflicts by inserting
+// into a tiny region from many workers.
+func TestConcurrentDenseContention(t *testing.T) {
+	m := unitBox()
+	workers := 8
+	const perWorker = 150
+
+	var wg sync.WaitGroup
+	var totalRollbacks atomic.Int64
+	for tid := 0; tid < workers; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			w := m.NewWorker(tid)
+			rng := rand.New(rand.NewSource(int64(tid) * 31))
+			start := m.FirstCell()
+			inserted := 0
+			for inserted < perWorker {
+				// All points crowd into a small ball.
+				p := v3(
+					0.5+0.05*(rng.Float64()-0.5),
+					0.5+0.05*(rng.Float64()-0.5),
+					0.5+0.05*(rng.Float64()-0.5),
+				)
+				res, st := w.Insert(p, KindCircum, start)
+				switch st {
+				case OK:
+					inserted++
+					start = res.Created[0]
+				case Conflict:
+					totalRollbacks.Add(1)
+				case Stale:
+					start = m.FirstCell()
+				case Failed:
+					inserted++ // exact duplicate of a concurrent point
+				default:
+					t.Errorf("status %v", st)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if err := m.Check(); err != nil {
+		t.Fatalf("mesh invalid under dense contention: %v", err)
+	}
+	if totalRollbacks.Load() == 0 {
+		t.Log("warning: no rollbacks observed (contention not exercised)")
+	}
+}

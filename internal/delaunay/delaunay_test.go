@@ -1,0 +1,444 @@
+package delaunay
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/geom"
+)
+
+func v3(x, y, z float64) geom.Vec3 { return geom.Vec3{X: x, Y: y, Z: z} }
+
+func unitBox() *Mesh { return NewMesh(v3(0, 0, 0), v3(1, 1, 1)) }
+
+func TestNewMeshInvariants(t *testing.T) {
+	m := unitBox()
+	if got := m.NumLiveVerts(); got != 12 {
+		t.Fatalf("initial verts = %d, want 12 (super-tet + box corners)", got)
+	}
+	if got := m.NumLiveCells(); got < 6 {
+		t.Fatalf("initial cells = %d, want >= 6", got)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("initial mesh invalid: %v", err)
+	}
+	if err := m.CheckDelaunayGlobal(); err != nil {
+		t.Fatalf("initial mesh not Delaunay: %v", err)
+	}
+}
+
+func TestSingleInsert(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	res, st := w.Insert(v3(0.5, 0.5, 0.5), KindCircum, m.FirstCell())
+	if st != OK {
+		t.Fatalf("Insert status = %v", st)
+	}
+	if res.NewVert == arena.Nil {
+		t.Fatal("no new vertex")
+	}
+	if len(res.Created) == 0 || len(res.Killed) == 0 {
+		t.Fatalf("created %d, killed %d", len(res.Created), len(res.Killed))
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("mesh invalid after insert: %v", err)
+	}
+	if err := m.CheckDelaunayGlobal(); err != nil {
+		t.Fatalf("not Delaunay after insert: %v", err)
+	}
+	// All locks must be released.
+	m.LiveVerts(func(h arena.Handle, v *Vertex) {
+		if v.LockedBy() != -1 {
+			t.Errorf("vertex %d still locked by %d", h, v.LockedBy())
+		}
+	})
+}
+
+func TestInsertRandomSequential(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	rng := rand.New(rand.NewSource(42))
+	start := m.FirstCell()
+	for i := 0; i < 300; i++ {
+		p := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		res, st := w.Insert(p, KindCircum, start)
+		if st != OK {
+			t.Fatalf("insert %d: status %v", i, st)
+		}
+		start = res.Created[0]
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("mesh invalid: %v", err)
+	}
+	if err := m.CheckDelaunayGlobal(); err != nil {
+		t.Fatalf("not Delaunay: %v", err)
+	}
+	if got := m.NumLiveVerts(); got != 312 {
+		t.Errorf("verts = %d, want 312", got)
+	}
+}
+
+func TestInsertGridDegenerate(t *testing.T) {
+	// A regular grid maximizes cospherical/coplanar degeneracies; the
+	// exact predicates plus the cospherical=no-conflict rule must still
+	// produce a valid triangulation.
+	m := unitBox()
+	w := m.NewWorker(0)
+	start := m.FirstCell()
+	const n = 5
+	for k := 1; k <= n; k++ {
+		for j := 1; j <= n; j++ {
+			for i := 1; i <= n; i++ {
+				p := v3(float64(i)/(n+1), float64(j)/(n+1), float64(k)/(n+1))
+				res, st := w.Insert(p, KindCircum, start)
+				if st != OK {
+					t.Fatalf("grid insert (%d,%d,%d): %v", i, j, k, st)
+				}
+				start = res.Created[0]
+			}
+		}
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("grid mesh invalid: %v", err)
+	}
+}
+
+func TestInsertDuplicateFails(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	p := v3(0.5, 0.5, 0.5)
+	res, st := w.Insert(p, KindCircum, m.FirstCell())
+	if st != OK {
+		t.Fatalf("first insert: %v", st)
+	}
+	_, st = w.Insert(p, KindCircum, res.Created[0])
+	if st != Failed {
+		t.Fatalf("duplicate insert status = %v, want Failed", st)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("mesh invalid after failed duplicate: %v", err)
+	}
+}
+
+func TestInsertOutsideHull(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	_, st := w.Insert(v3(1e6, 1e6, 1e6), KindCircum, m.FirstCell())
+	if st != Outside {
+		t.Fatalf("status = %v, want Outside", st)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("mesh mutated by Outside insert: %v", err)
+	}
+	// Points outside the virtual box but inside the super-tetrahedron
+	// are insertable (the refiner's rules, not the kernel, confine
+	// refinement to the box).
+	if _, st := w.Insert(v3(2, 2, 2), KindCircum, m.FirstCell()); st != OK {
+		t.Fatalf("inside-hull insert: %v", st)
+	}
+}
+
+func TestInsertStaleStart(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	res, st := w.Insert(v3(0.5, 0.5, 0.5), KindCircum, m.FirstCell())
+	if st != OK {
+		t.Fatal(st)
+	}
+	dead := res.Killed[0]
+	_, st = w.Insert(v3(0.4, 0.4, 0.4), KindCircum, dead)
+	if st != Stale {
+		t.Fatalf("status = %v, want Stale", st)
+	}
+}
+
+func TestRemoveSingle(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	rng := rand.New(rand.NewSource(7))
+	start := m.FirstCell()
+	var inserted []arena.Handle
+	for i := 0; i < 60; i++ {
+		p := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		res, st := w.Insert(p, KindCircum, start)
+		if st != OK {
+			t.Fatal(st)
+		}
+		inserted = append(inserted, res.NewVert)
+		start = res.Created[0]
+	}
+	before := m.NumLiveVerts()
+	res, st := w.Remove(inserted[30])
+	if st != OK {
+		t.Fatalf("Remove status = %v", st)
+	}
+	if len(res.Created) == 0 || len(res.Killed) == 0 {
+		t.Fatal("removal produced no cells")
+	}
+	if m.Verts.At(inserted[30]).Dead() != true {
+		t.Error("removed vertex not flagged dead")
+	}
+	if got := m.NumLiveVerts(); got != before-1 {
+		t.Errorf("verts = %d, want %d", got, before-1)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("mesh invalid after removal: %v", err)
+	}
+	if err := m.CheckDelaunayGlobal(); err != nil {
+		t.Fatalf("not Delaunay after removal: %v", err)
+	}
+}
+
+func TestRemoveMany(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	rng := rand.New(rand.NewSource(11))
+	start := m.FirstCell()
+	var inserted []arena.Handle
+	for i := 0; i < 200; i++ {
+		p := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		res, st := w.Insert(p, KindCircum, start)
+		if st != OK {
+			t.Fatal(st)
+		}
+		inserted = append(inserted, res.NewVert)
+		start = res.Created[0]
+	}
+	rng.Shuffle(len(inserted), func(i, j int) { inserted[i], inserted[j] = inserted[j], inserted[i] })
+	removed := 0
+	for _, vh := range inserted[:100] {
+		_, st := w.Remove(vh)
+		switch st {
+		case OK:
+			removed++
+		case Failed:
+			// Acceptable on degenerate links; must be rare for random
+			// points.
+		default:
+			t.Fatalf("Remove status = %v", st)
+		}
+	}
+	if removed < 95 {
+		t.Errorf("only %d/100 random removals succeeded", removed)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("mesh invalid: %v", err)
+	}
+	if err := m.CheckDelaunayGlobal(); err != nil {
+		t.Fatalf("not Delaunay: %v", err)
+	}
+}
+
+func TestRemoveBoxCornerRejected(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	var corner arena.Handle
+	m.LiveVerts(func(h arena.Handle, v *Vertex) {
+		if v.Kind == KindBox {
+			corner = h
+		}
+	})
+	if _, st := w.Remove(corner); st != Failed {
+		t.Fatalf("removing box corner: status %v, want Failed", st)
+	}
+}
+
+func TestRemoveDeadVertexStale(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	res, st := w.Insert(v3(0.5, 0.5, 0.5), KindCircum, m.FirstCell())
+	if st != OK {
+		t.Fatal(st)
+	}
+	vh := res.NewVert
+	if _, st := w.Remove(vh); st != OK {
+		t.Fatalf("first remove: %v", st)
+	}
+	if _, st := w.Remove(vh); st != Stale {
+		t.Fatalf("second remove: %v, want Stale", st)
+	}
+}
+
+func TestInsertRemoveInterleaved(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	rng := rand.New(rand.NewSource(13))
+	start := m.FirstCell()
+	var live []arena.Handle
+	for i := 0; i < 500; i++ {
+		if len(live) > 20 && rng.Float64() < 0.3 {
+			k := rng.Intn(len(live))
+			res, st := w.Remove(live[k])
+			if st != OK && st != Failed {
+				t.Fatalf("remove: %v", st)
+			}
+			if st == OK {
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+				start = res.Created[0]
+			}
+		} else {
+			p := v3(rng.Float64(), rng.Float64(), rng.Float64())
+			res, st := w.Insert(p, KindCircum, start)
+			if st != OK {
+				t.Fatalf("insert: %v", st)
+			}
+			live = append(live, res.NewVert)
+			start = res.Created[0]
+		}
+		if i%100 == 99 {
+			if err := m.Check(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := m.CheckDelaunayGlobal(); err != nil {
+		t.Fatalf("not Delaunay at end: %v", err)
+	}
+}
+
+func TestLocateFindsContainingCell(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	rng := rand.New(rand.NewSource(17))
+	start := m.FirstCell()
+	for i := 0; i < 100; i++ {
+		p := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		res, st := w.Insert(p, KindCircum, start)
+		if st != OK {
+			t.Fatal(st)
+		}
+		start = res.Created[0]
+	}
+	// Locate random points and verify containment via orientation.
+	for i := 0; i < 200; i++ {
+		p := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		h, st := w.locate(p, start)
+		if st != OK {
+			t.Fatalf("locate: %v", st)
+		}
+		c := m.Cells.At(h)
+		for f := 0; f < 4; f++ {
+			a := m.Pos(c.V[ftab[f][0]])
+			b := m.Pos(c.V[ftab[f][1]])
+			cc := m.Pos(c.V[ftab[f][2]])
+			if geom.TetraVolume(a, b, cc, p) < -1e-12 {
+				t.Fatalf("located cell does not contain point (face %d)", f)
+			}
+		}
+	}
+}
+
+func TestWorkerStats(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	rng := rand.New(rand.NewSource(3))
+	start := m.FirstCell()
+	for i := 0; i < 50; i++ {
+		res, st := w.Insert(v3(rng.Float64(), rng.Float64(), rng.Float64()), KindCircum, start)
+		if st != OK {
+			t.Fatal(st)
+		}
+		start = res.Created[0]
+	}
+	if w.Stats.Inserts != 50 {
+		t.Errorf("Inserts = %d", w.Stats.Inserts)
+	}
+	if w.Stats.CavityCells < 50 {
+		t.Errorf("CavityCells = %d", w.Stats.CavityCells)
+	}
+	if w.Stats.LocksAcquired == 0 || w.Stats.WalkSteps == 0 {
+		t.Error("locks/walk steps not counted")
+	}
+}
+
+func TestVertexKindsAndStamps(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	res, st := w.Insert(v3(0.3, 0.3, 0.3), KindIso, m.FirstCell())
+	if st != OK {
+		t.Fatal(st)
+	}
+	v := m.Verts.At(res.NewVert)
+	if v.Kind != KindIso {
+		t.Errorf("Kind = %v", v.Kind)
+	}
+	if v.Stamp != 13 { // 4 super-tet + 8 box corners + 1
+		t.Errorf("Stamp = %d, want 13", v.Stamp)
+	}
+	res2, st := w.Insert(v3(0.7, 0.7, 0.7), KindSurface, res.Created[0])
+	if st != OK {
+		t.Fatal(st)
+	}
+	if m.Verts.At(res2.NewVert).Stamp != v.Stamp+1 {
+		t.Error("stamps not monotone")
+	}
+}
+
+func TestPublicLocate(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	res, st := w.Insert(v3(0.5, 0.5, 0.5), KindCircum, m.FirstCell())
+	if st != OK {
+		t.Fatal(st)
+	}
+	h, st := w.Locate(v3(0.25, 0.25, 0.25), res.Created[0])
+	if st != OK {
+		t.Fatalf("Locate: %v", st)
+	}
+	if m.Cells.At(h).Dead() {
+		t.Fatal("located a dead cell")
+	}
+	if _, st := w.Locate(v3(1e9, 0, 0), res.Created[0]); st != Outside {
+		t.Fatalf("far point: %v, want Outside", st)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(3)
+	if w.Mesh() != m {
+		t.Error("Worker.Mesh")
+	}
+	if w.ID() != 3 {
+		t.Error("Worker.ID")
+	}
+	lo, hi := m.Bounds()
+	if lo != v3(0, 0, 0) || hi != v3(1, 1, 1) {
+		t.Errorf("Bounds = %v %v", lo, hi)
+	}
+	if m.NumVerts() != 12 {
+		t.Errorf("NumVerts = %d", m.NumVerts())
+	}
+	if m.NumCellsAllocated() < m.NumLiveCells() {
+		t.Error("allocated < live")
+	}
+	for _, st := range []Status{OK, Conflict, Stale, Failed, Outside, Status(99)} {
+		if st.String() == "" {
+			t.Errorf("empty Status string for %d", st)
+		}
+	}
+	// Face returns the ftab ordering with the opposite vertex positive.
+	var anyCell arena.Handle
+	m.LiveCells(func(h arena.Handle, c *Cell) { anyCell = h })
+	c := m.Cells.At(anyCell)
+	for f := 0; f < 4; f++ {
+		face := c.Face(f)
+		if geom.TetraVolume(m.Pos(face[0]), m.Pos(face[1]), m.Pos(face[2]), m.Pos(c.V[f])) <= 0 {
+			t.Fatalf("Face(%d) orientation wrong", f)
+		}
+	}
+	// Inside flag defaults to false and latches on.
+	if c.Inside() {
+		t.Error("fresh cell marked inside")
+	}
+	c.SetInside(false)
+	if c.Inside() {
+		t.Error("SetInside(false) set the flag")
+	}
+	c.SetInside(true)
+	if !c.Inside() {
+		t.Error("SetInside(true) did not set the flag")
+	}
+}

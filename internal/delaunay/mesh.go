@@ -1,0 +1,338 @@
+// Package delaunay implements the concurrent 3D Delaunay kernel at the
+// heart of PI2M: a shared tetrahedral mesh supporting speculative
+// Bowyer-Watson point insertion and Devillers-style vertex removal by
+// multiple workers, synchronized with fine-grained per-vertex locks
+// and rollbacks (paper Section 4.2).
+//
+// Concurrency protocol. Every operation (insertion or removal) locks —
+// via a compare-and-swap per-vertex lock — every vertex of every cell
+// it reads during cavity expansion or ball gathering, *before* reading
+// that cell's connectivity. Cell mutation (marking dead, rewiring a
+// neighbor pointer across a face) is only performed by an operation
+// holding the locks of the mutated cell's — respectively the shared
+// face's — vertices. Consequently, once an operation holds a cell's
+// four vertex locks and observes the cell alive, the cell's
+// connectivity is frozen until the operation completes. A failed lock
+// acquisition aborts the operation (a rollback): all held locks are
+// released, no mutation has happened, and the conflicting owner is
+// reported to the contention manager.
+//
+// Storage is append-only (package arena): a speculative reader holding
+// a stale handle always sees type-stable memory, at worst flagged
+// dead, never recycled.
+package delaunay
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/geom"
+	"repro/internal/predicates"
+)
+
+// VertKind classifies mesh vertices according to the refinement rules
+// that created them (paper Section 3).
+type VertKind uint8
+
+const (
+	// KindBox marks the eight virtual-box corners.
+	KindBox VertKind = iota
+	// KindIso marks isosurface samples (rules R1, R3's surface
+	// centers are KindSurface).
+	KindIso
+	// KindCircum marks inserted circumcenters (rules R2, R4, R5).
+	KindCircum
+	// KindSurface marks surface-centers of facets (rule R3).
+	KindSurface
+)
+
+// Vertex is a mesh vertex. Pos, Kind and Stamp are immutable after
+// creation; lock, flags and incident are atomic.
+type Vertex struct {
+	Pos  geom.Vec3
+	lock atomic.Int32 // 0 free, otherwise owner worker id + 1
+
+	// incident is a hint: a cell that contained this vertex when the
+	// last operation holding this vertex's lock committed. For a live,
+	// locked vertex the hint is a live cell containing it.
+	incident atomic.Uint32
+
+	flags atomic.Uint32 // vertDead
+
+	// Stamp is the global insertion order, used to replay insertions
+	// in the same order inside the local triangulations of vertex
+	// removal (paper Section 4.2).
+	Stamp uint64
+
+	Kind VertKind
+}
+
+const vertDead = 1
+
+// Dead reports whether the vertex has been removed from the mesh.
+func (v *Vertex) Dead() bool { return v.flags.Load()&vertDead != 0 }
+
+// Incident returns the vertex's incident-cell hint.
+func (v *Vertex) Incident() arena.Handle { return arena.Handle(v.incident.Load()) }
+
+// LockedBy returns the id of the worker currently holding the vertex
+// lock, or -1 when free. Intended for diagnostics.
+func (v *Vertex) LockedBy() int { return int(v.lock.Load()) - 1 }
+
+// Cell flags.
+const (
+	cellDead = 1 << iota
+	// CellInside is set by the refiner when the cell's circumcenter
+	// lies inside the imaged object O (the final mesh is the set of
+	// such cells, paper Fig. 1c).
+	CellInside = 1 << 1
+)
+
+// Cell is a tetrahedron. V, CC and R2 are immutable after creation;
+// neighbor pointers and flags are atomic and mutated only under the
+// locking protocol described in the package comment.
+type Cell struct {
+	// V holds the four vertex handles, positively oriented:
+	// Orient3D(V[0], V[1], V[2], V[3]) > 0.
+	V [4]arena.Handle
+	n [4]atomic.Uint32
+
+	// CC and R2 cache the circumcenter and squared circumradius.
+	CC geom.Vec3
+	R2 float64
+
+	flags atomic.Uint32
+
+	// Aux is scratch space for the refiner's per-cell bookkeeping
+	// (poor-element-list membership); the kernel never touches it.
+	Aux atomic.Uint64
+}
+
+// ftab lists, for each face index i (the face opposite vertex i), the
+// three vertex indices of the face, ordered so that
+// Orient3D(face, V[i]) > 0 for a positively oriented cell.
+var ftab = [4][3]int{{1, 3, 2}, {0, 2, 3}, {0, 3, 1}, {0, 1, 2}}
+
+// Dead reports whether the cell has been replaced by a later operation.
+func (c *Cell) Dead() bool { return c.flags.Load()&cellDead != 0 }
+
+// Inside reports whether the refiner classified the cell as having its
+// circumcenter inside the object.
+func (c *Cell) Inside() bool { return c.flags.Load()&CellInside != 0 }
+
+// SetInside raises the CellInside flag (classification is monotone:
+// a cell's circumcenter position never changes, so the flag is only
+// ever set once, at creation).
+func (c *Cell) SetInside(in bool) {
+	if in {
+		c.flags.Or(CellInside)
+	}
+}
+
+// Neighbor returns the cell across face i (arena.Nil on the hull).
+func (c *Cell) Neighbor(i int) arena.Handle { return arena.Handle(c.n[i].Load()) }
+
+func (c *Cell) setNeighbor(i int, h arena.Handle) { c.n[i].Store(uint32(h)) }
+
+// FaceIndex returns which face of c is shared with neighbor handle nb,
+// or -1 if nb is not a neighbor.
+func (c *Cell) FaceIndex(nb arena.Handle) int {
+	for i := 0; i < 4; i++ {
+		if c.Neighbor(i) == nb {
+			return i
+		}
+	}
+	return -1
+}
+
+// VertIndex returns the index of vertex handle v in c, or -1.
+func (c *Cell) VertIndex(v arena.Handle) int {
+	for i := 0; i < 4; i++ {
+		if c.V[i] == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasVert reports whether v is a vertex of c.
+func (c *Cell) HasVert(v arena.Handle) bool { return c.VertIndex(v) >= 0 }
+
+// Mesh is the shared Delaunay triangulation.
+type Mesh struct {
+	Verts *arena.Arena[Vertex]
+	Cells *arena.Arena[Cell]
+
+	stamp atomic.Uint64
+
+	// Virtual box and super-tetrahedron geometry.
+	boxLo, boxHi     geom.Vec3
+	superLo, superHi geom.Vec3
+	hullVolume       float64
+
+	// firstCell is a recently created (hence probably live) cell used
+	// as a default walk start; refreshed by every commit.
+	firstCell atomic.Uint32
+}
+
+// NewMesh builds the initial triangulation enclosing the virtual box
+// [lo, hi] (paper Fig. 1a). A super-tetrahedron comfortably containing
+// the box is created first, and the eight box corners are then
+// inserted through the regular kernel, so that the initial mesh is —
+// like every later state — the unique symbolically perturbed Delaunay
+// triangulation of its vertices. (The paper triangulates the box into
+// six tetrahedra directly; routing the corners through the kernel
+// preserves that picture while keeping the cospherical corners
+// consistent with the perturbation scheme.) This bootstrap is the
+// algorithm's only sequential part.
+func NewMesh(lo, hi geom.Vec3) *Mesh {
+	m := &Mesh{
+		Verts: arena.New[Vertex](),
+		Cells: arena.New[Cell](),
+	}
+	m.bootstrap(lo, hi)
+	return m
+}
+
+// resetTo clears the mesh and rebuilds the initial triangulation. Only
+// valid for single-owner scratch meshes (vertex removal's local
+// triangulations).
+func (m *Mesh) resetTo(lo, hi geom.Vec3) {
+	m.Verts.Reset()
+	m.Cells.Reset()
+	m.stamp.Store(0)
+	m.bootstrap(lo, hi)
+}
+
+func (m *Mesh) bootstrap(lo, hi geom.Vec3) {
+	m.boxLo, m.boxHi = lo, hi
+	va := m.Verts.NewAllocator()
+	ca := m.Cells.NewAllocator()
+
+	// Super-tetrahedron: a regular tetrahedron whose insphere contains
+	// the box with a wide margin, centered on the box.
+	ctr := lo.Add(hi).Scale(0.5)
+	r := hi.Sub(lo).Norm() * 4 // >> box half-diagonal
+	dirs := [4]geom.Vec3{
+		{X: 1, Y: 1, Z: 1}, {X: 1, Y: -1, Z: -1}, {X: -1, Y: 1, Z: -1}, {X: -1, Y: -1, Z: 1},
+	}
+	var sv [4]arena.Handle
+	for i, d := range dirs {
+		h := va.Alloc()
+		v := m.Verts.At(h)
+		// The insphere radius of a regular tetrahedron is 1/3 of its
+		// circumradius; scale so the insphere radius is 3r. Every field
+		// is (re)initialized: scratch meshes recycle arena chunks.
+		v.Pos = ctr.Add(d.Scale(3 * r * 3 / 1.7320508075688772)) // |d| = sqrt(3)
+		v.Kind = KindBox
+		v.Stamp = m.stamp.Add(1)
+		v.flags.Store(0)
+		v.lock.Store(0)
+		sv[i] = h
+	}
+	if predicates.Orient3D(m.Verts.At(sv[0]).Pos, m.Verts.At(sv[1]).Pos,
+		m.Verts.At(sv[2]).Pos, m.Verts.At(sv[3]).Pos) < 0 {
+		sv[1], sv[2] = sv[2], sv[1]
+	}
+	ch := ca.Alloc()
+	c := m.Cells.At(ch)
+	c.V = sv
+	c.CC, c.R2 = circum(m, sv)
+	c.flags.Store(0)
+	c.Aux.Store(0)
+	for i := 0; i < 4; i++ {
+		c.setNeighbor(i, arena.Nil)
+	}
+	for _, h := range sv {
+		m.Verts.At(h).incident.Store(uint32(ch))
+	}
+	m.firstCell.Store(uint32(ch))
+	m.hullVolume = geom.TetraVolume(m.Verts.At(sv[0]).Pos, m.Verts.At(sv[1]).Pos,
+		m.Verts.At(sv[2]).Pos, m.Verts.At(sv[3]).Pos)
+	mn, mx := m.Verts.At(sv[0]).Pos, m.Verts.At(sv[0]).Pos
+	for _, h := range sv[1:] {
+		mn = mn.Min(m.Verts.At(h).Pos)
+		mx = mx.Max(m.Verts.At(h).Pos)
+	}
+	m.superLo, m.superHi = mn, mx
+
+	// Insert the eight box corners through the kernel.
+	w := m.NewWorker(0)
+	start := ch
+	for b := 0; b < 8; b++ {
+		p := geom.Vec3{
+			X: pick(b&1 != 0, hi.X, lo.X),
+			Y: pick(b&2 != 0, hi.Y, lo.Y),
+			Z: pick(b&4 != 0, hi.Z, lo.Z),
+		}
+		res, st := w.Insert(p, KindBox, start)
+		if st != OK {
+			panic("delaunay: bootstrap corner insertion failed: " + st.String())
+		}
+		start = res.Created[0]
+	}
+	m.firstCell.Store(uint32(start))
+}
+
+// circum computes the cached circumsphere of a cell; degenerate cells
+// (which the kernel never creates) get an infinite radius so that
+// quality rules reject them.
+func circum(m *Mesh, vh [4]arena.Handle) (geom.Vec3, float64) {
+	cc, r2, ok := geom.Circumsphere(
+		m.Verts.At(vh[0]).Pos, m.Verts.At(vh[1]).Pos,
+		m.Verts.At(vh[2]).Pos, m.Verts.At(vh[3]).Pos)
+	if !ok {
+		return geom.Vec3{}, math.Inf(1)
+	}
+	return cc, r2
+}
+
+// sortedFace returns face i of c as a sorted vertex-handle triple (a
+// canonical key for face matching).
+func sortedFace(c *Cell, i int) [3]arena.Handle {
+	k := [3]arena.Handle{c.V[ftab[i][0]], c.V[ftab[i][1]], c.V[ftab[i][2]]}
+	if k[0] > k[1] {
+		k[0], k[1] = k[1], k[0]
+	}
+	if k[1] > k[2] {
+		k[1], k[2] = k[2], k[1]
+	}
+	if k[0] > k[1] {
+		k[0], k[1] = k[1], k[0]
+	}
+	return k
+}
+
+// FirstCell returns a recently created cell to start walks from. It
+// may have died since (the caller retries with a fresh value on a
+// Stale status); it is refreshed on every committed operation, so
+// retries make progress.
+func (m *Mesh) FirstCell() arena.Handle { return arena.Handle(m.firstCell.Load()) }
+
+// Bounds returns the virtual box.
+func (m *Mesh) Bounds() (lo, hi geom.Vec3) { return m.boxLo, m.boxHi }
+
+// NumVerts returns the number of vertex slots allocated (including
+// removed vertices).
+func (m *Mesh) NumVerts() int { return m.Verts.Len() - 1 }
+
+// NumCellsAllocated returns the number of cell slots allocated
+// (including dead cells).
+func (m *Mesh) NumCellsAllocated() int { return m.Cells.Len() - 1 }
+
+// Pos returns the position of vertex h.
+func (m *Mesh) Pos(h arena.Handle) geom.Vec3 { return m.Verts.At(h).Pos }
+
+func pick(cond bool, a, b float64) float64 {
+	if cond {
+		return a
+	}
+	return b
+}
+
+// Face returns the vertex handles of face i (the face opposite vertex
+// i), ordered so that Orient3D(face, V[i]) > 0.
+func (c *Cell) Face(i int) [3]arena.Handle {
+	return [3]arena.Handle{c.V[ftab[i][0]], c.V[ftab[i][1]], c.V[ftab[i][2]]}
+}

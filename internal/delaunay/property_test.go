@@ -1,0 +1,167 @@
+package delaunay
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arena"
+)
+
+// TestQuickRandomOpSequences drives the kernel with many short random
+// insert/remove programs (different seeds = different interleavings of
+// positions, duplicates, and removal targets) and checks the full
+// structural invariant set after each program.
+func TestQuickRandomOpSequences(t *testing.T) {
+	run := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := unitBox()
+		w := m.NewWorker(0)
+		start := m.FirstCell()
+		var live []arena.Handle
+		ops := 60 + rng.Intn(120)
+		for i := 0; i < ops; i++ {
+			switch {
+			case len(live) > 8 && rng.Float64() < 0.35:
+				k := rng.Intn(len(live))
+				if _, st := w.Remove(live[k]); st == OK {
+					live[k] = live[len(live)-1]
+					live = live[:len(live)-1]
+				} else if st != Failed && st != Stale {
+					t.Logf("seed %d: remove status %v", seed, st)
+					return false
+				}
+			default:
+				// Mix of generic random points and lattice points that
+				// force degenerate configurations.
+				var p [3]float64
+				if rng.Intn(3) == 0 {
+					p = [3]float64{
+						float64(1+rng.Intn(7)) / 8,
+						float64(1+rng.Intn(7)) / 8,
+						float64(1+rng.Intn(7)) / 8,
+					}
+				} else {
+					p = [3]float64{rng.Float64(), rng.Float64(), rng.Float64()}
+				}
+				res, st := w.Insert(v3(p[0], p[1], p[2]), KindCircum, start)
+				switch st {
+				case OK:
+					live = append(live, res.NewVert)
+					start = res.Created[0]
+				case Failed:
+					// duplicate lattice point: fine
+				case Stale:
+					start = m.FirstCell()
+				default:
+					t.Logf("seed %d: insert status %v", seed, st)
+					return false
+				}
+			}
+		}
+		if err := m.Check(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(run, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRemoveReinsertRoundtrip removes a vertex and re-inserts the same
+// position: by uniqueness of the (perturbed) Delaunay triangulation
+// the live vertex count and Delaunayness must be restored.
+func TestRemoveReinsertRoundtrip(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	rng := rand.New(rand.NewSource(123))
+	start := m.FirstCell()
+	var live []arena.Handle
+	for i := 0; i < 80; i++ {
+		res, st := w.Insert(v3(rng.Float64(), rng.Float64(), rng.Float64()), KindCircum, start)
+		if st != OK {
+			t.Fatal(st)
+		}
+		live = append(live, res.NewVert)
+		start = res.Created[0]
+	}
+	cellsBefore := m.NumLiveCells()
+
+	for trial := 0; trial < 20; trial++ {
+		k := rng.Intn(len(live))
+		vh := live[k]
+		pos := m.Pos(vh)
+		res, st := w.Remove(vh)
+		if st == Failed {
+			continue
+		}
+		if st != OK {
+			t.Fatalf("remove: %v", st)
+		}
+		res, st = w.Insert(pos, KindCircum, res.Created[0])
+		if st != OK {
+			t.Fatalf("re-insert: %v", st)
+		}
+		live[k] = res.NewVert
+		if got := m.NumLiveCells(); got != cellsBefore {
+			t.Fatalf("trial %d: cell count %d != %d after roundtrip (triangulation not unique?)",
+				trial, got, cellsBefore)
+		}
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckDelaunayGlobal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWalkFromArbitraryStarts verifies point location succeeds from
+// any live cell, not just a nearby hint.
+func TestWalkFromArbitraryStarts(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	rng := rand.New(rand.NewSource(7))
+	start := m.FirstCell()
+	for i := 0; i < 150; i++ {
+		res, st := w.Insert(v3(rng.Float64(), rng.Float64(), rng.Float64()), KindCircum, start)
+		if st != OK {
+			t.Fatal(st)
+		}
+		start = res.Created[0]
+	}
+	var starts []arena.Handle
+	m.LiveCells(func(h arena.Handle, c *Cell) { starts = append(starts, h) })
+	for trial := 0; trial < 100; trial++ {
+		p := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		from := starts[rng.Intn(len(starts))]
+		if _, st := w.locate(p, from); st != OK {
+			t.Fatalf("locate from arbitrary cell: %v", st)
+		}
+	}
+}
+
+// TestStampsStrictlyIncreasing checks the removal-ordering invariant
+// the paper relies on.
+func TestStampsStrictlyIncreasing(t *testing.T) {
+	m := unitBox()
+	w := m.NewWorker(0)
+	rng := rand.New(rand.NewSource(77))
+	start := m.FirstCell()
+	var last uint64
+	for i := 0; i < 50; i++ {
+		res, st := w.Insert(v3(rng.Float64(), rng.Float64(), rng.Float64()), KindCircum, start)
+		if st != OK {
+			t.Fatal(st)
+		}
+		stamp := m.Verts.At(res.NewVert).Stamp
+		if stamp <= last {
+			t.Fatalf("stamp %d not increasing (prev %d)", stamp, last)
+		}
+		last = stamp
+		start = res.Created[0]
+	}
+}

@@ -1,0 +1,290 @@
+package delaunay
+
+import (
+	"sort"
+
+	"repro/internal/arena"
+	"repro/internal/geom"
+)
+
+// holeFace records one face of the hole boundary left by removing a
+// vertex: the retiring ball cell that provided it and the live cell
+// outside the hole (arena.Nil on the hull).
+type holeFace struct {
+	ball arena.Handle
+	out  arena.Handle
+}
+
+// Remove speculatively deletes vertex vh from the triangulation,
+// re-triangulating its ball so that the mesh remains Delaunay (paper
+// Section 4.2). The hole left by the vertex is filled with the
+// conflict region of the vertex's position inside a *local* Delaunay
+// triangulation of its link, built by re-inserting the link vertices
+// in their global insertion (timestamp) order — the paper's strategy
+// for keeping the local re-triangulation compatible with the shared
+// mesh in degenerate configurations. If the local and global
+// triangulations still disagree (exactly cospherical links), the
+// operation returns Failed and the mesh is untouched.
+func (w *Worker) Remove(vh arena.Handle) (*OpResult, Status) {
+	w.reset()
+	m := w.m
+
+	if !w.tryLock(vh) {
+		w.rollback()
+		return nil, Conflict
+	}
+	v := m.Verts.At(vh)
+	if v.Dead() {
+		w.unlockAll()
+		w.Stats.StaleOps++
+		return nil, Stale
+	}
+	if v.Kind == KindBox {
+		w.unlockAll()
+		w.Stats.FailedOps++
+		return nil, Failed
+	}
+
+	// Gather the ball of v. Cells containing v cannot die while we
+	// hold v's lock, so the hint is live and the BFS below sees a
+	// frozen star; we still must lock every ball vertex because the
+	// commit rewires cells incident to them.
+	ball := w.cavity[:0] // reuse the cavity scratch buffer
+	start := v.Incident()
+	if start == arena.Nil {
+		w.unlockAll()
+		w.Stats.FailedOps++
+		return nil, Failed
+	}
+	if !w.lockCell(m.Cells.At(start)) {
+		w.rollback()
+		return nil, Conflict
+	}
+	w.visited[start] = visitCavity
+	ball = append(ball, start)
+	hole := make(map[[3]arena.Handle]holeFace)
+	for i := 0; i < len(ball); i++ {
+		ch := ball[i]
+		c := m.Cells.At(ch)
+		iv := c.VertIndex(vh)
+		for f := 0; f < 4; f++ {
+			nb := c.Neighbor(f)
+			if f == iv {
+				// Face opposite v: hole boundary. nb is live: a
+				// neighbor pointer read under the face's vertex locks
+				// always refers to a live cell.
+				hole[sortedFace(c, f)] = holeFace{ball: ch, out: nb}
+				continue
+			}
+			if nb == arena.Nil {
+				// v on the hull: only box corners are hull vertices and
+				// those were rejected above; defensive.
+				w.unlockAll()
+				w.Stats.FailedOps++
+				return nil, Failed
+			}
+			if w.visited[nb] != 0 {
+				continue
+			}
+			if !w.lockCell(m.Cells.At(nb)) {
+				w.rollback()
+				return nil, Conflict
+			}
+			w.visited[nb] = visitCavity
+			ball = append(ball, nb)
+		}
+	}
+	w.cavity = ball
+
+	// Link vertices, sorted by global insertion stamp.
+	linkSet := make(map[arena.Handle]struct{}, 3*len(ball))
+	for _, ch := range ball {
+		c := m.Cells.At(ch)
+		for i := 0; i < 4; i++ {
+			if c.V[i] != vh {
+				linkSet[c.V[i]] = struct{}{}
+			}
+		}
+	}
+	link := make([]arena.Handle, 0, len(linkSet))
+	for h := range linkSet {
+		link = append(link, h)
+	}
+	sort.Slice(link, func(i, j int) bool {
+		return m.Verts.At(link[i]).Stamp < m.Verts.At(link[j]).Stamp
+	})
+
+	fill, st := w.triangulateHole(v.Pos, link, hole)
+	if st != OK {
+		// No mutation has happened; release and report.
+		if st == Conflict {
+			w.rollback()
+		} else {
+			w.unlockAll()
+			w.countFailure(st)
+		}
+		return nil, st
+	}
+
+	// Commit: publish fill cells (triangulateHole wired them), refresh
+	// hints, retire the ball, kill the vertex.
+	for _, nh := range fill {
+		nc := m.Cells.At(nh)
+		for i := 0; i < 4; i++ {
+			m.Verts.At(nc.V[i]).incident.Store(uint32(nh))
+		}
+		w.result.Created = append(w.result.Created, nh)
+	}
+	for _, ch := range ball {
+		m.Cells.At(ch).flags.Or(cellDead)
+		w.result.Killed = append(w.result.Killed, ch)
+	}
+	v.flags.Or(vertDead)
+	m.firstCell.Store(uint32(fill[0]))
+	w.Stats.Removals++
+	w.unlockAll()
+	return &w.result, OK
+}
+
+// triangulateHole builds the local Delaunay triangulation of the link
+// vertices and instantiates the conflict region of p as new global
+// cells, wired internally and to the hole boundary. It returns the new
+// cell handles without publishing them (they are unreachable until the
+// caller retires the ball). Nothing is mutated on failure: the new
+// cells are allocated but never linked, which the append-only arena
+// tolerates (they are simply garbage).
+func (w *Worker) triangulateHole(
+	p geom.Vec3,
+	link []arena.Handle,
+	hole map[[3]arena.Handle]holeFace,
+) ([]arena.Handle, Status) {
+	m := w.m
+
+	// (Re)build the scratch mesh: the global hull's bounding box
+	// inflated 4x, so every global vertex — box corners and super-tet
+	// corners included — stays strictly interior to the scratch hull.
+	lo, hi := m.superLo, m.superHi
+	span := hi.Sub(lo)
+	slo := lo.Sub(span.Scale(1.5))
+	shi := hi.Add(span.Scale(1.5))
+	if w.scratch == nil {
+		w.scratch = NewMesh(slo, shi)
+		w.scratchW = w.scratch.NewWorker(0)
+	} else {
+		w.scratch.resetTo(slo, shi)
+		w.scratchW.va.Reset()
+		w.scratchW.ca.Reset()
+	}
+	sm, sw := w.scratch, w.scratchW
+
+	// Insert link vertices in stamp order, tracking local->global.
+	toGlobal := make(map[arena.Handle]arena.Handle, len(link)+8)
+	hint := sm.FirstCell()
+	for _, gh := range link {
+		res, st := sw.Insert(m.Verts.At(gh).Pos, KindIso, hint)
+		if st != OK {
+			return nil, Failed
+		}
+		toGlobal[res.NewVert] = gh
+		hint = res.Created[0]
+	}
+
+	// Conflict region of p in the local triangulation.
+	loc, st := sw.locate(p, hint)
+	if st != OK {
+		return nil, Failed
+	}
+	sw.reset()
+	st = sw.growCavity(p, loc)
+	sw.unlockAll()
+	if st != OK {
+		return nil, Failed
+	}
+
+	// Every conflict cell must consist purely of link vertices.
+	for _, lch := range sw.cavity {
+		lc := sm.Cells.At(lch)
+		for i := 0; i < 4; i++ {
+			if _, ok := toGlobal[lc.V[i]]; !ok {
+				return nil, Failed
+			}
+		}
+	}
+	// The conflict region's boundary must match the hole boundary
+	// exactly: same number of faces, every face present.
+	if len(sw.boundary) != len(hole) {
+		return nil, Failed
+	}
+
+	// Instantiate fill cells.
+	localToNew := make(map[arena.Handle]arena.Handle, len(sw.cavity))
+	fill := make([]arena.Handle, 0, len(sw.cavity))
+	for _, lch := range sw.cavity {
+		lc := sm.Cells.At(lch)
+		nh := w.ca.Alloc()
+		nc := m.Cells.At(nh)
+		for i := 0; i < 4; i++ {
+			nc.V[i] = toGlobal[lc.V[i]]
+		}
+		nc.CC, nc.R2 = circum(m, nc.V)
+		nc.flags.Store(0)
+		nc.Aux.Store(0)
+		localToNew[lch] = nh
+		fill = append(fill, nh)
+	}
+
+	// Wire adjacency. Interior faces copy the local structure;
+	// boundary faces attach to the hole.
+	type rewire struct {
+		out     arena.Handle
+		oldBall arena.Handle
+		cell    arena.Handle
+		face    int
+	}
+	// discard abandons the (still unpublished) fill cells on a late
+	// failure so that post-hoc sweeps do not see them as live.
+	discard := func() {
+		for _, h := range fill {
+			m.Cells.At(h).flags.Or(cellDead)
+		}
+	}
+	var rewires []rewire
+	for _, lch := range sw.cavity {
+		lc := sm.Cells.At(lch)
+		nh := localToNew[lch]
+		nc := m.Cells.At(nh)
+		for f := 0; f < 4; f++ {
+			lnb := lc.Neighbor(f)
+			if inner, ok := localToNew[lnb]; ok {
+				nc.setNeighbor(f, inner)
+				continue
+			}
+			key := sortedFace(nc, f)
+			hf, ok := hole[key]
+			if !ok {
+				discard()
+				return nil, Failed
+			}
+			nc.setNeighbor(f, hf.out)
+			rewires = append(rewires, rewire{out: hf.out, oldBall: hf.ball, cell: nh, face: f})
+			delete(hole, key)
+		}
+	}
+	if len(hole) != 0 {
+		discard()
+		return nil, Failed
+	}
+
+	// Point the outside cells at the fill. This is the first mutation
+	// visible to other workers; all checks have passed.
+	for _, r := range rewires {
+		if r.out == arena.Nil {
+			continue
+		}
+		out := m.Cells.At(r.out)
+		if j := out.FaceIndex(r.oldBall); j >= 0 {
+			out.setNeighbor(j, r.cell)
+		}
+	}
+	return fill, OK
+}

@@ -1,0 +1,194 @@
+package delaunay
+
+import (
+	"math/rand"
+
+	"repro/internal/arena"
+)
+
+// Status is the outcome of a speculative operation.
+type Status int
+
+const (
+	// OK: the operation committed.
+	OK Status = iota
+	// Conflict: a vertex lock was held by another worker; the
+	// operation rolled back with no effect. ConflictTid identifies the
+	// owner for the contention manager.
+	Conflict
+	// Stale: the operation's target (start cell or vertex) was dead on
+	// arrival; the caller should drop the work item.
+	Stale
+	// Failed: the operation could not be applied for geometric reasons
+	// (exact duplicate point, degenerate configuration, removal
+	// retriangulation mismatch). No effect.
+	Failed
+	// Outside: the point to insert lies outside the triangulated box.
+	Outside
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "OK"
+	case Conflict:
+		return "Conflict"
+	case Stale:
+		return "Stale"
+	case Failed:
+		return "Failed"
+	case Outside:
+		return "Outside"
+	}
+	return "Unknown"
+}
+
+// OpResult reports the cells changed by a committed operation. The
+// slices are owned by the worker and valid until its next operation.
+type OpResult struct {
+	Created []arena.Handle
+	Killed  []arena.Handle
+	NewVert arena.Handle
+}
+
+// Stats counts a worker's kernel-level activity.
+type Stats struct {
+	Inserts       int64 // committed insertions
+	Removals      int64 // committed removals
+	Rollbacks     int64 // operations aborted on a lock conflict
+	StaleOps      int64 // operations dropped on dead targets
+	FailedOps     int64 // geometric failures
+	WalkSteps     int64 // point-location steps
+	CavityCells   int64 // cells deleted by insertions (cavity sizes)
+	LocksAcquired int64
+}
+
+// Worker performs speculative operations on a shared Mesh on behalf of
+// one thread. A Worker must only be used from a single goroutine.
+type Worker struct {
+	m   *Mesh
+	tid int32
+
+	va *arena.Allocator[Vertex]
+	ca *arena.Allocator[Cell]
+
+	// locked holds the vertices locked by the in-flight operation, in
+	// acquisition order.
+	locked []arena.Handle
+
+	// Scratch buffers reused across operations.
+	cavity   []arena.Handle
+	boundary []bFace
+	visited  map[arena.Handle]uint8
+	edges    map[[2]arena.Handle]edgeRef
+	result   OpResult
+	rng      *rand.Rand
+
+	// scratch is the reusable local mesh for vertex removal's hole
+	// re-triangulation (see Remove).
+	scratch  *Mesh
+	scratchW *Worker
+
+	// ConflictTid is the owner of the lock that caused the most recent
+	// Conflict status (-1 otherwise).
+	ConflictTid int
+
+	Stats Stats
+}
+
+// bFace is a cavity boundary face: face `face` of inside (cavity) cell
+// `in`, with the live outside cell `out` across it.
+type bFace struct {
+	in   arena.Handle
+	face int
+	out  arena.Handle
+}
+
+// edgeRef identifies a pending internal face during cavity
+// re-triangulation.
+type edgeRef struct {
+	cell arena.Handle
+	face int
+}
+
+// NewWorker creates a worker with the given id (ids must be unique
+// among concurrently operating workers and >= 0).
+func (m *Mesh) NewWorker(tid int) *Worker {
+	return &Worker{
+		m:       m,
+		tid:     int32(tid),
+		va:      m.Verts.NewAllocator(),
+		ca:      m.Cells.NewAllocator(),
+		visited: make(map[arena.Handle]uint8, 64),
+		edges:   make(map[[2]arena.Handle]edgeRef, 64),
+		rng:     rand.New(rand.NewSource(int64(tid)*7919 + 1)),
+	}
+}
+
+// Mesh returns the shared mesh the worker operates on.
+func (w *Worker) Mesh() *Mesh { return w.m }
+
+// ID returns the worker id.
+func (w *Worker) ID() int { return int(w.tid) }
+
+// tryLock attempts to acquire v's lock. It reports success; on failure
+// it records the conflicting owner in w.ConflictTid. Re-acquiring a
+// vertex already held by this worker succeeds without recording it
+// twice.
+func (w *Worker) tryLock(vh arena.Handle) bool {
+	v := w.m.Verts.At(vh)
+	if v.lock.CompareAndSwap(0, w.tid+1) {
+		w.locked = append(w.locked, vh)
+		w.Stats.LocksAcquired++
+		return true
+	}
+	owner := v.lock.Load()
+	if owner == w.tid+1 {
+		return true // reentrant
+	}
+	// The owner may have released between the CAS and the Load; retry
+	// once to avoid a spurious rollback.
+	if v.lock.CompareAndSwap(0, w.tid+1) {
+		w.locked = append(w.locked, vh)
+		w.Stats.LocksAcquired++
+		return true
+	}
+	owner = v.lock.Load()
+	w.ConflictTid = int(owner) - 1
+	return false
+}
+
+// lockCell locks all four vertices of cell c.
+func (w *Worker) lockCell(c *Cell) bool {
+	for i := 0; i < 4; i++ {
+		if !w.tryLock(c.V[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// unlockAll releases every lock held by the in-flight operation.
+func (w *Worker) unlockAll() {
+	for _, vh := range w.locked {
+		w.m.Verts.At(vh).lock.Store(0)
+	}
+	w.locked = w.locked[:0]
+}
+
+// reset prepares the worker's scratch state for a new operation.
+func (w *Worker) reset() {
+	w.cavity = w.cavity[:0]
+	w.boundary = w.boundary[:0]
+	clear(w.visited)
+	w.result.Created = w.result.Created[:0]
+	w.result.Killed = w.result.Killed[:0]
+	w.result.NewVert = arena.Nil
+	w.ConflictTid = -1
+}
+
+// rollback aborts the in-flight operation.
+func (w *Worker) rollback() {
+	w.unlockAll()
+	w.Stats.Rollbacks++
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// CSV writers: one file per table/figure, ready for plotting tools.
+// cmd/experiments -csv <dir> writes them next to the text output.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(x float64) string { return strconv.FormatFloat(x, 'g', 6, 64) }
+func d(x int64) string   { return strconv.FormatInt(x, 10) }
+
+// Table1CSV writes the contention-manager comparison.
+func Table1CSV(w io.Writer, rows []Table1Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.CM, strconv.Itoa(r.Threads), f(r.Time.Seconds()), d(r.Rollbacks),
+			f(r.ContentionSecs), f(r.LoadBalSecs), f(r.RollbackSecs),
+			f(r.TotalOverhead), f(r.Speedup), strconv.FormatBool(r.Livelocked),
+			strconv.Itoa(r.Elements),
+		})
+	}
+	return writeCSV(w, []string{
+		"cm", "threads", "time_s", "rollbacks", "contention_s", "loadbal_s",
+		"rollback_s", "total_overhead_s", "speedup", "livelocked", "elements",
+	}, out)
+}
+
+// Fig5CSV writes the strong-scaling / locality comparison.
+func Fig5CSV(w io.Writer, rows []Fig5Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.Threads),
+			f(r.TimeRWS.Seconds()), f(r.TimeHWS.Seconds()),
+			f(r.SpeedupRWS), f(r.SpeedupHWS),
+			d(r.InterBladeRWS), d(r.InterBladeHWS),
+			d(r.TransfersRWS), d(r.TransfersHWS),
+			f(r.ContentionSecs), f(r.LoadBalSecs), f(r.RollbackSecs),
+		})
+	}
+	return writeCSV(w, []string{
+		"threads", "time_rws_s", "time_hws_s", "speedup_rws", "speedup_hws",
+		"interblade_rws", "interblade_hws", "transfers_rws", "transfers_hws",
+		"hws_contention_s_per_thread", "hws_loadbal_s_per_thread", "hws_rollback_s_per_thread",
+	}, out)
+}
+
+// Table4CSV writes a weak-scaling table.
+func Table4CSV(w io.Writer, rows []Table4Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.Threads), strconv.Itoa(r.Elements),
+			f(r.Time.Seconds()), f(r.TimeStdDev.Seconds()),
+			f(r.ElementsPerSec), f(r.Speedup), f(r.Efficiency), f(r.OverheadSecs),
+		})
+	}
+	return writeCSV(w, []string{
+		"threads", "elements", "time_s", "time_stddev_s", "elements_per_s",
+		"speedup", "efficiency", "overhead_s_per_thread",
+	}, out)
+}
+
+// Table5CSV writes the oversubscription table.
+func Table5CSV(w io.Writer, rows []Table5Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(r.Cores), strconv.Itoa(r.Elements),
+			f(r.Time.Seconds()), f(r.ElementsPerSec), f(r.Speedup), f(r.OverheadSecs),
+		})
+	}
+	return writeCSV(w, []string{
+		"cores", "elements", "time_s", "elements_per_s", "speedup_vs_1x",
+		"overhead_s_per_thread",
+	}, out)
+}
+
+// Fig6CSV writes the overhead timeline.
+func Fig6CSV(w io.Writer, points []core.TimelinePoint) error {
+	out := make([][]string, 0, len(points))
+	for _, pt := range points {
+		out = append(out, []string{
+			f(pt.Wall.Seconds()), f(float64(pt.OverheadNs) / 1e9),
+		})
+	}
+	return writeCSV(w, []string{"wall_s", "cumulative_overhead_s"}, out)
+}
+
+// Table6CSV writes the single-threaded comparison.
+func Table6CSV(w io.Writer, rows []Table6Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		h := ""
+		if r.Hausdorff >= 0 {
+			h = f(r.Hausdorff)
+		}
+		out = append(out, []string{
+			r.Input, r.Mesher, strconv.Itoa(r.Tetrahedra),
+			f(r.Time.Seconds()), f(r.TetraPerSecond),
+			f(r.MaxRadiusEdge), f(r.MinBoundaryAngle),
+			f(r.MinDihedral), f(r.MaxDihedral), h,
+		})
+	}
+	return writeCSV(w, []string{
+		"input", "mesher", "tets", "time_s", "tets_per_s", "max_radius_edge",
+		"min_boundary_angle_deg", "min_dihedral_deg", "max_dihedral_deg",
+		"hausdorff",
+	}, out)
+}

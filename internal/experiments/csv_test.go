@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer, wantCols int) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if len(r) != wantCols {
+			t.Fatalf("row %d has %d columns, want %d", i, len(r), wantCols)
+		}
+	}
+	return rows
+}
+
+func TestCSVWriters(t *testing.T) {
+	var buf bytes.Buffer
+
+	t1 := []Table1Row{{CM: "local", Threads: 4, Time: time.Second, Rollbacks: 7,
+		Speedup: 1.5, Elements: 100}}
+	if err := Table1CSV(&buf, t1); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf, 11)
+	if len(rows) != 2 || rows[1][0] != "local" || rows[1][3] != "7" {
+		t.Fatalf("table1 rows: %v", rows)
+	}
+
+	buf.Reset()
+	f5 := []Fig5Row{{Threads: 8, TimeRWS: time.Second, TimeHWS: 500 * time.Millisecond,
+		InterBladeRWS: 21, InterBladeHWS: 3}}
+	if err := Fig5CSV(&buf, f5); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf, 12)
+	if rows[1][5] != "21" || rows[1][6] != "3" {
+		t.Fatalf("fig5 rows: %v", rows)
+	}
+
+	buf.Reset()
+	t4 := []Table4Row{{Threads: 2, Elements: 1000, Time: time.Second,
+		TimeStdDev: 100 * time.Millisecond, Speedup: 1.1, Efficiency: 0.55}}
+	if err := Table4CSV(&buf, t4); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf, 8)
+	if rows[1][3] != "0.1" {
+		t.Fatalf("table4 stddev column: %v", rows[1])
+	}
+
+	buf.Reset()
+	if err := Table5CSV(&buf, []Table5Row{{Cores: 4, Elements: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	parseCSV(t, &buf, 6)
+
+	buf.Reset()
+	pts := []core.TimelinePoint{{Wall: time.Second, OverheadNs: 2e9}}
+	if err := Fig6CSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf, 2)
+	if rows[1][1] != "2" {
+		t.Fatalf("fig6 rows: %v", rows)
+	}
+
+	buf.Reset()
+	t6 := []Table6Row{
+		{Input: "knee", Mesher: "PI2M", Tetrahedra: 5, Time: time.Second, Hausdorff: 1.5},
+		{Input: "knee", Mesher: "PLC", Tetrahedra: 5, Time: time.Second, Hausdorff: -1},
+	}
+	if err := Table6CSV(&buf, t6); err != nil {
+		t.Fatal(err)
+	}
+	rows = parseCSV(t, &buf, 10)
+	if rows[1][9] != "1.5" {
+		t.Fatalf("hausdorff column: %v", rows[1])
+	}
+	if rows[2][9] != "" {
+		t.Fatalf("n/a hausdorff should be empty: %q", rows[2][9])
+	}
+	if rows[0][5] != "max_radius_edge" {
+		t.Fatalf("header: %v", rows[0])
+	}
+}

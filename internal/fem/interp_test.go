@@ -1,0 +1,120 @@
+package fem
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestFieldSingleTetra(t *testing.T) {
+	m := unitTetraMesh()
+	// Linear field u = x + 2y + 3z at the vertices.
+	u := []float64{0, 1, 2, 3}
+	f := NewField(m, u)
+
+	// Exact at vertices.
+	for v, p := range m.Verts {
+		got, ok := f.At(p)
+		if !ok {
+			t.Fatalf("vertex %d not located", v)
+		}
+		if math.Abs(got-u[v]) > 1e-12 {
+			t.Fatalf("At(vertex %d) = %v, want %v", v, got, u[v])
+		}
+	}
+	// Barycentric interpolation at the centroid: mean of the values.
+	centroid := geom.Vec3{X: 0.25, Y: 0.25, Z: 0.25}
+	got, ok := f.At(centroid)
+	if !ok || math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("At(centroid) = %v (%v), want 1.5", got, ok)
+	}
+	// Outside.
+	if _, ok := f.At(geom.Vec3{X: 2, Y: 2, Z: 2}); ok {
+		t.Fatal("point outside the mesh located")
+	}
+}
+
+func TestFieldLinearReproduction(t *testing.T) {
+	// On a real mesh, a linear nodal field must interpolate exactly
+	// (P1 elements reproduce linears).
+	raw, _ := meshedSphere(t, 32)
+	u := make([]float64, len(raw.Verts))
+	lin := func(p geom.Vec3) float64 { return 2*p.X - p.Y + 0.5*p.Z + 7 }
+	for v, p := range raw.Verts {
+		u[v] = lin(p)
+	}
+	f := NewField(raw, u)
+	hits := 0
+	for i := 0; i < 500; i++ {
+		// Points near the sphere center are inside the mesh.
+		p := geom.Vec3{
+			X: 12 + 8*float64(i%10)/10,
+			Y: 12 + 8*float64((i/10)%10)/10,
+			Z: 12 + 8*float64(i/100)/10,
+		}
+		got, ok := f.At(p)
+		if !ok {
+			continue
+		}
+		hits++
+		if math.Abs(got-lin(p)) > 1e-9 {
+			t.Fatalf("linear field not reproduced at %v: %v vs %v", p, got, lin(p))
+		}
+	}
+	if hits < 100 {
+		t.Fatalf("only %d interior probes located", hits)
+	}
+}
+
+func TestFieldSample(t *testing.T) {
+	m := unitTetraMesh()
+	f := NewField(m, []float64{0, 1, 0, 0}) // u = x
+	vals := f.Sample(geom.Vec3{X: 0.05, Y: 0.05, Z: 0.05}, geom.Vec3{X: 0.6, Y: 0.05, Z: 0.05}, 10)
+	if len(vals) != 11 {
+		t.Fatalf("len = %d", len(vals))
+	}
+	for i, v := range vals {
+		x := 0.05 + (0.6-0.05)*float64(i)/10
+		if math.IsNaN(v) {
+			t.Fatalf("sample %d NaN", i)
+		}
+		if math.Abs(v-x) > 1e-12 {
+			t.Fatalf("sample %d = %v, want %v", i, v, x)
+		}
+	}
+	// Line exiting the mesh yields NaN tail.
+	vals = f.Sample(geom.Vec3{X: 0.05, Y: 0.05, Z: 0.05}, geom.Vec3{X: 3, Y: 0.05, Z: 0.05}, 10)
+	if !math.IsNaN(vals[10]) {
+		t.Fatal("outside sample not NaN")
+	}
+}
+
+func TestGradientLinearField(t *testing.T) {
+	raw, _ := meshedSphere(t, 24)
+	u := make([]float64, len(raw.Verts))
+	for v, p := range raw.Verts {
+		u[v] = 3*p.X - 2*p.Y + p.Z
+	}
+	f := NewField(raw, u)
+	want := geom.Vec3{X: 3, Y: -2, Z: 1}
+	hits := 0
+	for i := 0; i < 200; i++ {
+		p := geom.Vec3{
+			X: 9 + 6*float64(i%10)/10,
+			Y: 9 + 6*float64((i/10)%10)/10,
+			Z: 9 + 6*float64(i/100)/10,
+		}
+		g, ok := f.GradientAt(p)
+		if !ok {
+			continue
+		}
+		hits++
+		if g.Sub(want).Norm() > 1e-9 {
+			t.Fatalf("gradient at %v = %v, want %v", p, g, want)
+		}
+	}
+	if hits < 20 {
+		t.Fatalf("only %d probes hit the mesh", hits)
+	}
+}

@@ -1,0 +1,127 @@
+package fem
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// AssembleParallel is Assemble with element loops fanned out over
+// workers (0 = GOMAXPROCS). Patient-specific pipelines assemble right
+// after meshing; the paper's related work (Tu et al. [29]) couples
+// parallel meshing with the solver, and assembly is the natural
+// parallel step on the solver side. Results are identical to Assemble
+// up to floating-point summation order within a matrix entry.
+func AssembleParallel(p *Problem, workers int) (*System, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	m := p.Mesh
+	if len(m.Cells) == 0 {
+		return nil, fmt.Errorf("fem: empty mesh")
+	}
+	if workers == 1 || len(m.Cells) < 4*workers {
+		return Assemble(p)
+	}
+	nv := len(m.Verts)
+
+	inv := make([]int32, nv)
+	var ids []int32
+	for v := 0; v < nv; v++ {
+		if _, fixed := p.Dirichlet[int32(v)]; fixed {
+			inv[v] = -1
+		} else {
+			inv[v] = int32(len(ids))
+			ids = append(ids, int32(v))
+		}
+	}
+	n := len(ids)
+	if n == 0 {
+		return nil, fmt.Errorf("fem: every vertex is constrained")
+	}
+
+	type partial struct {
+		rows [][]entry
+		b    []float64
+		err  error
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	chunk := (len(m.Cells) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(m.Cells))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			pt := &parts[w]
+			pt.rows = make([][]entry, n)
+			pt.b = make([]float64, n)
+			for ci := lo; ci < hi; ci++ {
+				cell := m.Cells[ci]
+				var pos [4]geom.Vec3
+				for i, v := range cell {
+					pos[i] = m.Verts[v]
+				}
+				vol := geom.TetraVolume(pos[0], pos[1], pos[2], pos[3])
+				if vol <= 0 {
+					pt.err = fmt.Errorf("fem: cell %d has non-positive volume %g", ci, vol)
+					return
+				}
+				k := 1.0
+				if p.Conductivity != nil {
+					k = p.Conductivity[ci]
+				}
+				grads := p1Gradients(pos, vol)
+				for i := 0; i < 4; i++ {
+					fi := inv[cell[i]]
+					if fi < 0 {
+						continue
+					}
+					if p.Source != nil {
+						centroid := pos[0].Add(pos[1]).Add(pos[2]).Add(pos[3]).Scale(0.25)
+						pt.b[fi] += p.Source(centroid) * vol / 4
+					}
+					for j := 0; j < 4; j++ {
+						kij := k * vol * grads[i].Dot(grads[j])
+						if fj := inv[cell[j]]; fj >= 0 {
+							pt.rows[fi] = append(pt.rows[fi], entry{col: fj, val: kij})
+						} else {
+							pt.b[fi] -= kij * p.Dirichlet[cell[j]]
+						}
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	builder := newCSRBuilder(n)
+	b := make([]float64, n)
+	for w := range parts {
+		pt := &parts[w]
+		if pt.err != nil {
+			return nil, pt.err
+		}
+		if pt.rows == nil {
+			continue
+		}
+		for i, row := range pt.rows {
+			builder.rows[i] = append(builder.rows[i], row...)
+		}
+		for i, v := range pt.b {
+			b[i] += v
+		}
+	}
+
+	u0 := make([]float64, nv)
+	for v, g := range p.Dirichlet {
+		u0[v] = g
+	}
+	return &System{N: n, K: builder.build(), B: b, ids: ids, inv: inv, u0: u0}, nil
+}

@@ -1,0 +1,76 @@
+// Package geom provides the 3D geometric primitives used throughout the
+// PI2M mesher: vectors, tetrahedron circumspheres, and element quality
+// measures (radius-edge ratio, dihedral angles, planar angles).
+//
+// All routines are allocation-free and safe for concurrent use; values
+// are plain data.
+package geom
+
+import "math"
+
+// Vec3 is a point or vector in R^3.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the dot product v . w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm2 returns the squared Euclidean length of v.
+func (v Vec3) Norm2() float64 { return v.Dot(v) }
+
+// Dist returns the Euclidean distance between v and w.
+func (v Vec3) Dist(w Vec3) float64 { return v.Sub(w).Norm() }
+
+// Dist2 returns the squared Euclidean distance between v and w.
+func (v Vec3) Dist2(w Vec3) float64 { return v.Sub(w).Norm2() }
+
+// Normalize returns v scaled to unit length. The zero vector is
+// returned unchanged.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Lerp returns the point (1-t)*v + t*w.
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{
+		v.X + t*(w.X-v.X),
+		v.Y + t*(w.Y-v.Y),
+		v.Z + t*(w.Z-v.Z),
+	}
+}
+
+// Min returns the component-wise minimum of v and w.
+func (v Vec3) Min(w Vec3) Vec3 {
+	return Vec3{math.Min(v.X, w.X), math.Min(v.Y, w.Y), math.Min(v.Z, w.Z)}
+}
+
+// Max returns the component-wise maximum of v and w.
+func (v Vec3) Max(w Vec3) Vec3 {
+	return Vec3{math.Max(v.X, w.X), math.Max(v.Y, w.Y), math.Max(v.Z, w.Z)}
+}

@@ -1,0 +1,39 @@
+package img
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadNRRD hardens the header parser: arbitrary input must either
+// parse into a consistent image or return an error — never panic or
+// return an image whose buffers disagree with its header.
+func FuzzReadNRRD(f *testing.F) {
+	var ok bytes.Buffer
+	if err := WriteNRRD(&ok, SpherePhantom(4)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ok.Bytes())
+	f.Add([]byte("NRRD0004\ntype: uint8\ndimension: 3\nsizes: 2 2 2\nencoding: raw\n\n12345678"))
+	f.Add([]byte("NRRD0004\ntype: uint8\ndimension: 3\nsizes: 1000000 1000000 1000000\nencoding: raw\n\n"))
+	f.Add([]byte("NRRD0004\n"))
+	f.Add([]byte("NRRD0004\ntype: uint8\ndimension: 3\nsizes: -1 2 2\nencoding: raw\n\nxx"))
+	f.Add([]byte("NRRD0004\ntype: uint8\ndimension: 3\nsizes: 2 2 2\nspacings: nan 1 1\nencoding: raw\n\n12345678"))
+	f.Add([]byte("NRRD0004\ntype: uint8\ndimension: 3\nsizes: 2 2 2\nencoding: gzip\n\nnot-gzip"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := ReadNRRD(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if im.NX <= 0 || im.NY <= 0 || im.NZ <= 0 {
+			t.Fatalf("accepted non-positive dims %dx%dx%d", im.NX, im.NY, im.NZ)
+		}
+		if im.NumVoxels() != im.NX*im.NY*im.NZ {
+			t.Fatal("voxel buffer disagrees with header")
+		}
+		// Accessors must work over the whole advertised range.
+		_ = im.At(im.NX-1, im.NY-1, im.NZ-1)
+		_ = im.SurfaceVoxels()
+	})
+}

@@ -1,0 +1,282 @@
+package img
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNewAndAt(t *testing.T) {
+	im := New(4, 5, 6, geom.Vec3{X: 1, Y: 2, Z: 3})
+	if im.NumVoxels() != 4*5*6 {
+		t.Fatalf("NumVoxels = %d", im.NumVoxels())
+	}
+	if im.At(1, 2, 3) != 0 {
+		t.Error("fresh image not background")
+	}
+	im.Set(1, 2, 3, 7)
+	if im.At(1, 2, 3) != 7 {
+		t.Error("Set/At roundtrip failed")
+	}
+	// Out of range is background.
+	if im.At(-1, 0, 0) != 0 || im.At(4, 0, 0) != 0 || im.At(0, 5, 0) != 0 || im.At(0, 0, 6) != 0 {
+		t.Error("out-of-range voxels not background")
+	}
+}
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1, 1, geom.Vec3{X: 1, Y: 1, Z: 1}) },
+		func() { New(1, 1, 1, geom.Vec3{X: 0, Y: 1, Z: 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("New accepted invalid arguments")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestVoxelRoundtrip(t *testing.T) {
+	im := New(10, 12, 14, geom.Vec3{X: 0.5, Y: 1.5, Z: 2.0})
+	for _, idx := range [][3]int{{0, 0, 0}, {9, 11, 13}, {3, 7, 2}} {
+		c := im.VoxelCenter(idx[0], idx[1], idx[2])
+		i, j, k := im.Voxel(c)
+		if i != idx[0] || j != idx[1] || k != idx[2] {
+			t.Errorf("Voxel(VoxelCenter(%v)) = (%d,%d,%d)", idx, i, j, k)
+		}
+	}
+}
+
+func TestUnindexRoundtrip(t *testing.T) {
+	im := New(7, 8, 9, geom.Vec3{X: 1, Y: 1, Z: 1})
+	for k := 0; k < 9; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 7; i++ {
+				ii, jj, kk := im.Unindex(im.index(i, j, k))
+				if ii != i || jj != j || kk != k {
+					t.Fatalf("Unindex(%d,%d,%d) = (%d,%d,%d)", i, j, k, ii, jj, kk)
+				}
+			}
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	im := New(10, 20, 30, geom.Vec3{X: 1, Y: 0.5, Z: 2})
+	lo, hi := im.Bounds()
+	if lo != (geom.Vec3{}) {
+		t.Errorf("lo = %v", lo)
+	}
+	if hi != (geom.Vec3{X: 10, Y: 10, Z: 60}) {
+		t.Errorf("hi = %v", hi)
+	}
+	if im.MinSpacing() != 0.5 {
+		t.Errorf("MinSpacing = %v", im.MinSpacing())
+	}
+}
+
+func TestSurfaceVoxels(t *testing.T) {
+	// A 1-voxel cube in the middle of a 3x3x3 image: it is entirely
+	// surface (its neighbors are background).
+	im := New(3, 3, 3, geom.Vec3{X: 1, Y: 1, Z: 1})
+	im.Set(1, 1, 1, 1)
+	if !im.IsSurfaceVoxel(1, 1, 1) {
+		t.Error("isolated voxel should be a surface voxel")
+	}
+	if im.IsSurfaceVoxel(0, 0, 0) {
+		t.Error("background voxel classified as surface")
+	}
+	sv := im.SurfaceVoxels()
+	if len(sv) != 1 {
+		t.Errorf("SurfaceVoxels = %d, want 1", len(sv))
+	}
+}
+
+func TestSurfaceVoxelsSolidCube(t *testing.T) {
+	// A 4x4x4 solid block: only its outer shell is surface.
+	im := New(8, 8, 8, geom.Vec3{X: 1, Y: 1, Z: 1})
+	for k := 2; k < 6; k++ {
+		for j := 2; j < 6; j++ {
+			for i := 2; i < 6; i++ {
+				im.Set(i, j, k, 1)
+			}
+		}
+	}
+	want := 4*4*4 - 2*2*2 // all but the 2^3 interior
+	if got := len(im.SurfaceVoxels()); got != want {
+		t.Errorf("surface voxels = %d, want %d", got, want)
+	}
+}
+
+func TestMultiLabelInterface(t *testing.T) {
+	// Two adjacent tissues: voxels at the interface are surface even
+	// though both are foreground.
+	im := New(4, 3, 3, geom.Vec3{X: 1, Y: 1, Z: 1})
+	for k := 0; k < 3; k++ {
+		for j := 0; j < 3; j++ {
+			im.Set(1, j, k, 1)
+			im.Set(2, j, k, 2)
+		}
+	}
+	if !im.IsSurfaceVoxel(1, 1, 1) || !im.IsSurfaceVoxel(2, 1, 1) {
+		t.Error("tissue interface voxels should be surface voxels")
+	}
+}
+
+func TestLabelAtAndInside(t *testing.T) {
+	im := SpherePhantom(32)
+	center := geom.Vec3{X: 16, Y: 16, Z: 16}
+	if !im.Inside(center) {
+		t.Error("sphere center not inside")
+	}
+	if im.Inside(geom.Vec3{X: 1, Y: 1, Z: 1}) {
+		t.Error("image corner inside")
+	}
+	if im.LabelAt(geom.Vec3{X: -5, Y: 0, Z: 0}) != 0 {
+		t.Error("negative coordinates not background")
+	}
+}
+
+func TestSurfacePointOnSphere(t *testing.T) {
+	n := 64
+	im := SpherePhantom(n)
+	c := geom.Vec3{X: float64(n) / 2, Y: float64(n) / 2, Z: float64(n) / 2}
+	r := 0.35 * float64(n)
+	// March from the center outward in several directions; the found
+	// interface must lie within a voxel of the analytic sphere.
+	dirs := []geom.Vec3{
+		{X: 1}, {Y: 1}, {Z: 1}, {X: -1}, {Y: -1}, {Z: -1},
+		{X: 1, Y: 1, Z: 1}, {X: -1, Y: 2, Z: 0.5},
+	}
+	for _, d := range dirs {
+		q := c.Add(d.Normalize().Scale(float64(n) * 0.49))
+		p, ok := im.SurfacePoint(c, q, 1e-3)
+		if !ok {
+			t.Fatalf("no surface point along %v", d)
+		}
+		if got := p.Dist(c); math.Abs(got-r) > 1.0 {
+			t.Errorf("surface point at radius %v, want %v +- 1 voxel", got, r)
+		}
+	}
+}
+
+func TestSurfacePointNoCrossing(t *testing.T) {
+	im := SpherePhantom(32)
+	a := geom.Vec3{X: 1, Y: 1, Z: 1}
+	b := geom.Vec3{X: 2, Y: 1, Z: 1}
+	if _, ok := im.SurfacePoint(a, b, 1e-3); ok {
+		t.Error("found a surface point on an all-background segment")
+	}
+	if _, ok := im.SurfacePoint(a, a, 1e-3); ok {
+		t.Error("zero-length segment returned a crossing")
+	}
+}
+
+func TestSceneMatchesVoxelization(t *testing.T) {
+	scene := AbdominalScene(24, 24, 12, geom.Vec3{X: 1, Y: 1, Z: 2})
+	im := scene.Voxelize(24, 24, 12, geom.Vec3{X: 1, Y: 1, Z: 2})
+	for k := 0; k < 12; k++ {
+		for j := 0; j < 24; j++ {
+			for i := 0; i < 24; i++ {
+				if im.At(i, j, k) != scene.LabelAt(im.VoxelCenter(i, j, k)) {
+					t.Fatalf("voxel (%d,%d,%d) disagrees with scene", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestPhantomsHaveAllTissues(t *testing.T) {
+	cases := []struct {
+		name   string
+		im     *Image
+		labels int
+	}{
+		{"abdominal", AbdominalPhantom(48, 48, 32), 6},
+		{"knee", KneePhantom(48, 48, 48), 5},
+		{"headneck", HeadNeckPhantom(48, 48, 48), 4},
+	}
+	for _, c := range cases {
+		vols := c.im.LabelVolumes()
+		if len(vols) != c.labels {
+			t.Errorf("%s: %d labels present, want %d (%v)", c.name, len(vols), c.labels, vols)
+		}
+		for l, v := range vols {
+			if v == 0 {
+				t.Errorf("%s: label %d empty", c.name, l)
+			}
+		}
+	}
+}
+
+func TestPhantomsDoNotTouchBoundary(t *testing.T) {
+	// Closed-2-manifold requirement: no foreground on the image faces.
+	ims := map[string]*Image{
+		"sphere":    SpherePhantom(32),
+		"torus":     TorusPhantom(32),
+		"abdominal": AbdominalPhantom(40, 40, 24),
+		"knee":      KneePhantom(40, 40, 40),
+		"headneck":  HeadNeckPhantom(40, 40, 40),
+	}
+	for name, im := range ims {
+		for k := 0; k < im.NZ; k++ {
+			for j := 0; j < im.NY; j++ {
+				for i := 0; i < im.NX; i++ {
+					onFace := i == 0 || j == 0 || k == 0 || i == im.NX-1 || j == im.NY-1 || k == im.NZ-1
+					if onFace && im.At(i, j, k) != 0 {
+						t.Fatalf("%s: foreground voxel on image boundary at (%d,%d,%d)", name, i, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPrimitives(t *testing.T) {
+	e := Ellipsoid{Center: geom.Vec3{X: 0, Y: 0, Z: 0}, Radii: geom.Vec3{X: 2, Y: 1, Z: 1}}
+	if !e.Contains(geom.Vec3{X: 1.9, Y: 0, Z: 0}) || e.Contains(geom.Vec3{X: 0, Y: 1.1, Z: 0}) {
+		t.Error("Ellipsoid.Contains wrong")
+	}
+	c := Capsule{A: geom.Vec3{X: 0, Y: 0, Z: 0}, B: geom.Vec3{X: 10, Y: 0, Z: 0}, Radius: 1}
+	if !c.Contains(geom.Vec3{X: 5, Y: 0.9, Z: 0}) || !c.Contains(geom.Vec3{X: -0.9, Y: 0, Z: 0}) {
+		t.Error("Capsule.Contains wrong inside")
+	}
+	if c.Contains(geom.Vec3{X: 5, Y: 1.1, Z: 0}) || c.Contains(geom.Vec3{X: 11.1, Y: 0, Z: 0}) {
+		t.Error("Capsule.Contains wrong outside")
+	}
+	to := Torus{Center: geom.Vec3{}, Axis: geom.Vec3{Z: 1}, R: 3, Rt: 0.5}
+	if !to.Contains(geom.Vec3{X: 3, Y: 0, Z: 0.4}) || to.Contains(geom.Vec3{X: 0, Y: 0, Z: 0}) {
+		t.Error("Torus.Contains wrong")
+	}
+}
+
+func TestVesselPhantom(t *testing.T) {
+	im := VesselPhantom(48)
+	vols := im.LabelVolumes()
+	if len(vols) != 2 {
+		t.Fatalf("labels = %v", vols)
+	}
+	if vols[2] == 0 {
+		t.Fatal("empty vessel tree")
+	}
+	// Thin structure: vessels are a small fraction of the tissue.
+	if float64(vols[2]) > 0.2*float64(vols[1]) {
+		t.Errorf("vessels too fat: %d vs tissue %d", vols[2], vols[1])
+	}
+	// Nothing on the image boundary.
+	for k := 0; k < im.NZ; k++ {
+		for j := 0; j < im.NY; j++ {
+			for i := 0; i < im.NX; i++ {
+				onFace := i == 0 || j == 0 || k == 0 || i == im.NX-1 || j == im.NY-1 || k == im.NZ-1
+				if onFace && im.At(i, j, k) != 0 {
+					t.Fatalf("foreground on boundary at (%d,%d,%d)", i, j, k)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package img
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNRRDRoundtrip(t *testing.T) {
+	im := AbdominalPhantom(24, 20, 16)
+	var buf bytes.Buffer
+	if err := WriteNRRD(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNRRD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NX != im.NX || got.NY != im.NY || got.NZ != im.NZ {
+		t.Fatalf("dims %dx%dx%d", got.NX, got.NY, got.NZ)
+	}
+	if got.Spacing != im.Spacing {
+		t.Fatalf("spacing %v", got.Spacing)
+	}
+	for k := 0; k < im.NZ; k++ {
+		for j := 0; j < im.NY; j++ {
+			for i := 0; i < im.NX; i++ {
+				if got.At(i, j, k) != im.At(i, j, k) {
+					t.Fatalf("voxel (%d,%d,%d) differs", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestNRRDFileRoundtrip(t *testing.T) {
+	im := SpherePhantom(16)
+	path := t.TempDir() + "/sphere.nrrd"
+	if err := WriteNRRDFile(path, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNRRDFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVoxels() != im.NumVoxels() {
+		t.Fatal("voxel count mismatch")
+	}
+}
+
+func TestNRRDAnisotropicSpacing(t *testing.T) {
+	im := New(4, 5, 6, geom.Vec3{X: 0.96, Y: 0.96, Z: 2.4})
+	im.Set(2, 2, 3, 7)
+	var buf bytes.Buffer
+	if err := WriteNRRD(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNRRD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spacing != im.Spacing {
+		t.Fatalf("spacing %v", got.Spacing)
+	}
+	if got.At(2, 2, 3) != 7 {
+		t.Fatal("voxel content lost")
+	}
+}
+
+func TestNRRDGzipEncoding(t *testing.T) {
+	im := TorusPhantom(16)
+	// Hand-build a gzip-encoded NRRD.
+	var data bytes.Buffer
+	gz := gzip.NewWriter(&data)
+	gz.Write(labelBytes(im))
+	gz.Close()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "NRRD0004\ntype: uint8\ndimension: 3\nsizes: %d %d %d\nspacings: 1 1 1\nencoding: gzip\n\n",
+		im.NX, im.NY, im.NZ)
+	buf.Write(data.Bytes())
+
+	got, err := ReadNRRD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(8, 8, 8) != im.At(8, 8, 8) || got.NumVoxels() != im.NumVoxels() {
+		t.Fatal("gzip roundtrip mismatch")
+	}
+}
+
+func TestNRRDHeaderVariants(t *testing.T) {
+	// Comments, uchar alias, spacing singular.
+	body := make([]byte, 8)
+	body[3] = 2
+	var buf bytes.Buffer
+	buf.WriteString("NRRD0001\n# a comment\ntype: uchar\ndimension: 3\nsizes: 2 2 2\nspacing: 1 2 3\nencoding: raw\n\n")
+	buf.Write(body)
+	got, err := ReadNRRD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spacing != (geom.Vec3{X: 1, Y: 2, Z: 3}) {
+		t.Fatalf("spacing %v", got.Spacing)
+	}
+	if got.At(1, 1, 0) != 2 {
+		t.Fatal("data order wrong")
+	}
+}
+
+func TestNRRDErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad magic":     "NOPE\n\n",
+		"bad type":      "NRRD0004\ntype: float\ndimension: 3\nsizes: 1 1 1\nencoding: raw\n\n",
+		"bad dimension": "NRRD0004\ntype: uint8\ndimension: 2\nsizes: 4 4\nencoding: raw\n\n",
+		"bad encoding":  "NRRD0004\ntype: uint8\ndimension: 3\nsizes: 1 1 1\nencoding: hex\n\n",
+		"detached":      "NRRD0004\ntype: uint8\ndimension: 3\nsizes: 1 1 1\nencoding: raw\ndata file: x.raw\n\n",
+		"zero spacing":  "NRRD0004\ntype: uint8\ndimension: 3\nsizes: 1 1 1\nspacings: 0 1 1\nencoding: raw\n\n",
+		"short data":    "NRRD0004\ntype: uint8\ndimension: 3\nsizes: 4 4 4\nencoding: raw\n\nxx",
+	}
+	for name, input := range cases {
+		if _, err := ReadNRRD(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package img
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRemoveIslands(t *testing.T) {
+	im := SpherePhantom(32)
+	// Plant two artifacts: an isolated foreground voxel in background,
+	// and a tiny blob of label 3 inside the sphere.
+	im.Set(2, 2, 2, 1)
+	center := 16
+	im.Set(center, center, center, 3)
+	im.Set(center+1, center, center, 3)
+
+	changed := im.RemoveIslands(5)
+	if changed != 3 {
+		t.Errorf("relabeled %d voxels, want 3", changed)
+	}
+	if im.At(2, 2, 2) != 0 {
+		t.Error("isolated voxel not removed")
+	}
+	if im.At(center, center, center) != 1 || im.At(center+1, center, center) != 1 {
+		t.Error("interior blob not merged into the sphere")
+	}
+	// The sphere itself (large component) must be untouched.
+	if !im.Inside(geom.Vec3{X: 16, Y: 16, Z: 10}) {
+		t.Error("main component damaged")
+	}
+}
+
+func TestRemoveIslandsKeepsLargeComponents(t *testing.T) {
+	im := AbdominalPhantom(48, 48, 32)
+	before := im.LabelVolumes()
+	changed := im.RemoveIslands(4)
+	after := im.LabelVolumes()
+	// Phantom components are solid; at most stray voxelization slivers
+	// may move.
+	if changed > im.NumVoxels()/500 {
+		t.Errorf("relabeled %d voxels of a clean phantom", changed)
+	}
+	for l, v := range before {
+		if after[l] < v*9/10 {
+			t.Errorf("label %d shrank %d -> %d", l, v, after[l])
+		}
+	}
+}
+
+func TestRemoveIslandsImprovesOrKeepsSurfaceCount(t *testing.T) {
+	im := SpherePhantom(24)
+	im.Set(1, 1, 1, 2)
+	before := len(im.SurfaceVoxels())
+	im.RemoveIslands(3)
+	after := len(im.SurfaceVoxels())
+	if after >= before {
+		t.Errorf("surface voxels %d -> %d, expected cleanup to reduce", before, after)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	im := AbdominalPhantom(64, 64, 44)
+	half := im.Downsample()
+	if half.NX != 32 || half.NY != 32 || half.NZ != 22 {
+		t.Fatalf("dims %dx%dx%d", half.NX, half.NY, half.NZ)
+	}
+	if half.Spacing != (geom.Vec3{X: 2, Y: 2, Z: 2}) {
+		t.Fatalf("spacing %v", half.Spacing)
+	}
+	// World geometry preserved: same label at the same world point for
+	// points deep inside structures.
+	probes := []geom.Vec3{
+		{X: 32, Y: 32, Z: 8},  // body, away from organs
+		{X: 23, Y: 29, Z: 24}, // liver center
+		{X: 2, Y: 2, Z: 2},    // background
+	}
+	for _, p := range probes {
+		if im.LabelAt(p) != half.LabelAt(p) {
+			t.Errorf("label changed at %v: %d -> %d", p, im.LabelAt(p), half.LabelAt(p))
+		}
+	}
+	// All original tissues survive at half resolution.
+	if len(half.LabelVolumes()) < len(im.LabelVolumes())-1 {
+		t.Errorf("labels lost: %v -> %v", im.LabelVolumes(), half.LabelVolumes())
+	}
+}
+
+func TestDownsampleOddDims(t *testing.T) {
+	im := New(5, 5, 3, geom.Vec3{X: 1, Y: 1, Z: 1})
+	im.Set(4, 4, 2, 7)
+	half := im.Downsample()
+	if half.NX != 3 || half.NY != 3 || half.NZ != 2 {
+		t.Fatalf("dims %dx%dx%d", half.NX, half.NY, half.NZ)
+	}
+	// The lone corner voxel is a 1/8 minority in its block; majority
+	// (background) wins.
+	if half.At(2, 2, 1) != 0 {
+		t.Errorf("minority label won the block")
+	}
+}
+
+func TestDownsampleMajority(t *testing.T) {
+	im := New(2, 2, 2, geom.Vec3{X: 1, Y: 1, Z: 1})
+	// 5 voxels of label 2, 3 of label 1.
+	vox := [][3]int{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}, {0, 0, 1}}
+	for _, v := range vox {
+		im.Set(v[0], v[1], v[2], 2)
+	}
+	im.Set(1, 0, 1, 1)
+	im.Set(0, 1, 1, 1)
+	im.Set(1, 1, 1, 1)
+	half := im.Downsample()
+	if half.At(0, 0, 0) != 2 {
+		t.Errorf("majority label = %d, want 2", half.At(0, 0, 0))
+	}
+}

@@ -1,0 +1,184 @@
+package meshio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// RawMesh is a plain indexed tetrahedral mesh, the interchange form
+// for post-processed (e.g. smoothed) meshes that no longer live in the
+// Delaunay kernel's arena.
+type RawMesh struct {
+	Verts  []geom.Vec3
+	Cells  [][4]int32
+	Labels []int // optional per-cell tissue labels (len 0 or len(Cells))
+}
+
+// WriteVTKRaw writes a RawMesh as a legacy-ASCII VTK unstructured
+// grid.
+func WriteVTKRaw(w io.Writer, m *RawMesh) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	fmt.Fprintln(bw, "PI2M tetrahedral mesh")
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET UNSTRUCTURED_GRID")
+	fmt.Fprintf(bw, "POINTS %d double\n", len(m.Verts))
+	for _, p := range m.Verts {
+		fmt.Fprintf(bw, "%g %g %g\n", p.X, p.Y, p.Z)
+	}
+	fmt.Fprintf(bw, "CELLS %d %d\n", len(m.Cells), 5*len(m.Cells))
+	for _, c := range m.Cells {
+		fmt.Fprintf(bw, "4 %d %d %d %d\n", c[0], c[1], c[2], c[3])
+	}
+	fmt.Fprintf(bw, "CELL_TYPES %d\n", len(m.Cells))
+	for range m.Cells {
+		fmt.Fprintln(bw, 10)
+	}
+	if len(m.Labels) == len(m.Cells) && len(m.Labels) > 0 {
+		fmt.Fprintf(bw, "CELL_DATA %d\n", len(m.Cells))
+		fmt.Fprintln(bw, "SCALARS tissue int 1")
+		fmt.Fprintln(bw, "LOOKUP_TABLE default")
+		for _, l := range m.Labels {
+			fmt.Fprintln(bw, l)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteVTKRawFile is WriteVTKRaw to a named file.
+func WriteVTKRawFile(path string, m *RawMesh) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WriteVTKRaw(f, m); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ReadVTK parses the legacy-ASCII tetrahedral VTK files this package
+// writes (POINTS/CELLS/CELL_TYPES and the optional tissue scalars).
+func ReadVTK(r io.Reader) (*RawMesh, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	m := &RawMesh{}
+
+	readN := func(n int, fn func(fields []string) error) error {
+		for i := 0; i < n; i++ {
+			if !sc.Scan() {
+				return fmt.Errorf("vtk: unexpected EOF (wanted %d more lines)", n-i)
+			}
+			if err := fn(strings.Fields(sc.Text())); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "POINTS "):
+			var n int
+			var typ string
+			if _, err := fmt.Sscanf(line, "POINTS %d %s", &n, &typ); err != nil {
+				return nil, fmt.Errorf("vtk: bad POINTS line %q", line)
+			}
+			m.Verts = make([]geom.Vec3, 0, clampCap(n))
+			if err := readN(n, func(f []string) error {
+				var p geom.Vec3
+				if len(f) != 3 {
+					return fmt.Errorf("vtk: bad point line")
+				}
+				if _, err := fmt.Sscanf(strings.Join(f, " "), "%g %g %g", &p.X, &p.Y, &p.Z); err != nil {
+					return err
+				}
+				m.Verts = append(m.Verts, p)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "CELLS "):
+			var n, ints int
+			if _, err := fmt.Sscanf(line, "CELLS %d %d", &n, &ints); err != nil {
+				return nil, fmt.Errorf("vtk: bad CELLS line %q", line)
+			}
+			m.Cells = make([][4]int32, 0, clampCap(n))
+			if err := readN(n, func(f []string) error {
+				var k int
+				var c [4]int32
+				if len(f) != 5 {
+					return fmt.Errorf("vtk: only tetrahedra are supported")
+				}
+				if _, err := fmt.Sscanf(strings.Join(f, " "), "%d %d %d %d %d",
+					&k, &c[0], &c[1], &c[2], &c[3]); err != nil {
+					return err
+				}
+				if k != 4 {
+					return fmt.Errorf("vtk: cell arity %d (want 4)", k)
+				}
+				for _, v := range c {
+					if int(v) >= len(m.Verts) || v < 0 {
+						return fmt.Errorf("vtk: vertex index %d out of range", v)
+					}
+				}
+				m.Cells = append(m.Cells, c)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "LOOKUP_TABLE"):
+			m.Labels = make([]int, 0, clampCap(len(m.Cells)))
+			if err := readN(len(m.Cells), func(f []string) error {
+				if len(f) == 0 {
+					return fmt.Errorf("vtk: empty label line")
+				}
+				var l int
+				if _, err := fmt.Sscanf(f[0], "%d", &l); err != nil {
+					return err
+				}
+				m.Labels = append(m.Labels, l)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(m.Verts) == 0 || len(m.Cells) == 0 {
+		return nil, fmt.Errorf("vtk: no tetrahedral mesh found")
+	}
+	return m, nil
+}
+
+// clampCap bounds slice preallocation against hostile headers; the
+// slices still grow as real data arrives.
+func clampCap(n int) int {
+	const max = 1 << 20
+	if n < 0 {
+		return 0
+	}
+	if n > max {
+		return max
+	}
+	return n
+}
+
+// ReadVTKFile reads a mesh from a named file.
+func ReadVTKFile(path string) (*RawMesh, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadVTK(f)
+}

@@ -1,0 +1,125 @@
+package meshio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/img"
+	"repro/internal/smooth"
+)
+
+func rawTetra() *RawMesh {
+	return &RawMesh{
+		Verts: []geom.Vec3{
+			{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0}, {X: 0, Y: 0, Z: 1},
+		},
+		Cells:  [][4]int32{{0, 1, 2, 3}},
+		Labels: []int{5},
+	}
+}
+
+func TestRawRoundtrip(t *testing.T) {
+	m := rawTetra()
+	var buf bytes.Buffer
+	if err := WriteVTKRaw(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVTK(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Verts) != 4 || len(got.Cells) != 1 {
+		t.Fatalf("got %d verts %d cells", len(got.Verts), len(got.Cells))
+	}
+	if got.Cells[0] != m.Cells[0] {
+		t.Fatalf("cells %v", got.Cells)
+	}
+	if got.Verts[3] != m.Verts[3] {
+		t.Fatalf("verts %v", got.Verts)
+	}
+	if len(got.Labels) != 1 || got.Labels[0] != 5 {
+		t.Fatalf("labels %v", got.Labels)
+	}
+}
+
+func TestRawNoLabels(t *testing.T) {
+	m := rawTetra()
+	m.Labels = nil
+	var buf bytes.Buffer
+	if err := WriteVTKRaw(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVTK(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Labels) != 0 {
+		t.Fatal("phantom labels appeared")
+	}
+}
+
+func TestReadVTKRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"no mesh":    "# vtk DataFile Version 3.0\nASCII\n",
+		"bad index":  "POINTS 1 double\n0 0 0\nCELLS 1 5\n4 0 0 0 9\nCELL_TYPES 1\n10\n",
+		"non-tetra":  "POINTS 3 double\n0 0 0\n1 0 0\n0 1 0\nCELLS 1 4\n3 0 1 2\nCELL_TYPES 1\n5\n",
+		"short cell": "POINTS 4 double\n0 0 0\n1 0 0\n0 1 0\n0 0 1\nCELLS 2 10\n4 0 1 2 3\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadVTK(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestVTKRoundtripOfRealMesh(t *testing.T) {
+	im := img.SpherePhantom(24)
+	res, err := core.Run(core.Config{Image: im, Workers: 1, LivelockTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, res.Mesh, res.Final, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVTK(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != res.Elements() {
+		t.Fatalf("cells %d, want %d", len(got.Cells), res.Elements())
+	}
+	if len(got.Labels) != res.Elements() {
+		t.Fatalf("labels %d", len(got.Labels))
+	}
+}
+
+func TestSmoothedMeshExport(t *testing.T) {
+	im := img.SpherePhantom(24)
+	res, err := core.Run(core.Config{Image: im, Workers: 1, LivelockTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := smooth.Extract(res.Mesh, res.Final, im)
+	s.Taubin(3, 0.5, -0.53)
+	raw := &RawMesh{Verts: s.Verts, Cells: s.Cells}
+	for _, l := range s.Labels {
+		raw.Labels = append(raw.Labels, int(l))
+	}
+	path := t.TempDir() + "/smoothed.vtk"
+	if err := WriteVTKRawFile(path, raw); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadVTKFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(s.Cells) {
+		t.Fatal("smoothed mesh round-trip lost cells")
+	}
+}

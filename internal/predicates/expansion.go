@@ -1,0 +1,208 @@
+package predicates
+
+import "math"
+
+// Floating-point expansion arithmetic (Shewchuk, "Adaptive Precision
+// Floating-Point Arithmetic and Fast Robust Geometric Predicates",
+// 1997). An expansion is a sum of non-overlapping float64 components
+// ordered by increasing magnitude; arithmetic on expansions is exact.
+// The exact predicate fallbacks are built on these instead of
+// math/big rationals: they allocate almost nothing and are an order of
+// magnitude faster, which matters because voxel-aligned inputs hit
+// truly degenerate (zero-determinant) configurations routinely.
+
+// twoSum returns (hi, lo) with hi+lo == a+b exactly.
+func twoSum(a, b float64) (hi, lo float64) {
+	s := a + b
+	bv := s - a
+	av := s - bv
+	br := b - bv
+	ar := a - av
+	return s, ar + br
+}
+
+// fastTwoSum requires |a| >= |b| and returns (hi, lo) with
+// hi+lo == a+b exactly.
+func fastTwoSum(a, b float64) (hi, lo float64) {
+	s := a + b
+	return s, b - (s - a)
+}
+
+// twoDiff returns (hi, lo) with hi+lo == a-b exactly.
+func twoDiff(a, b float64) (hi, lo float64) {
+	s := a - b
+	bv := a - s
+	av := s + bv
+	br := bv - b
+	ar := a - av
+	return s, ar + br
+}
+
+// twoProduct returns (hi, lo) with hi+lo == a*b exactly, using FMA.
+func twoProduct(a, b float64) (hi, lo float64) {
+	p := a * b
+	return p, math.FMA(a, b, -p)
+}
+
+// expSum adds expansions e and f into a fresh zero-eliminated
+// expansion (fast_expansion_sum_zeroelim).
+func expSum(e, f []float64) []float64 {
+	elen, flen := len(e), len(f)
+	if elen == 0 {
+		return f
+	}
+	if flen == 0 {
+		return e
+	}
+	h := make([]float64, 0, elen+flen)
+
+	eidx, fidx := 0, 0
+	enow, fnow := e[0], f[0]
+	var q float64
+	if (fnow > enow) == (fnow > -enow) {
+		q = enow
+		eidx++
+	} else {
+		q = fnow
+		fidx++
+	}
+	var hh float64
+	if eidx < elen && fidx < flen {
+		enow, fnow = e[eidx], f[fidx]
+		if (fnow > enow) == (fnow > -enow) {
+			q, hh = fastTwoSum(enow, q)
+			eidx++
+		} else {
+			q, hh = fastTwoSum(fnow, q)
+			fidx++
+		}
+		if hh != 0 {
+			h = append(h, hh)
+		}
+		for eidx < elen && fidx < flen {
+			enow, fnow = e[eidx], f[fidx]
+			if (fnow > enow) == (fnow > -enow) {
+				q, hh = twoSum(q, enow)
+				eidx++
+			} else {
+				q, hh = twoSum(q, fnow)
+				fidx++
+			}
+			if hh != 0 {
+				h = append(h, hh)
+			}
+		}
+	}
+	for eidx < elen {
+		q, hh = twoSum(q, e[eidx])
+		eidx++
+		if hh != 0 {
+			h = append(h, hh)
+		}
+	}
+	for fidx < flen {
+		q, hh = twoSum(q, f[fidx])
+		fidx++
+		if hh != 0 {
+			h = append(h, hh)
+		}
+	}
+	if q != 0 {
+		h = append(h, q)
+	}
+	return h
+}
+
+// expScale multiplies expansion e by scalar b into a fresh
+// zero-eliminated expansion (scale_expansion_zeroelim).
+func expScale(e []float64, b float64) []float64 {
+	if len(e) == 0 || b == 0 {
+		return nil
+	}
+	h := make([]float64, 0, 2*len(e))
+	q, hh := twoProduct(e[0], b)
+	if hh != 0 {
+		h = append(h, hh)
+	}
+	for i := 1; i < len(e); i++ {
+		p1, p0 := twoProduct(e[i], b)
+		var sum float64
+		sum, hh = twoSum(q, p0)
+		if hh != 0 {
+			h = append(h, hh)
+		}
+		q, hh = fastTwoSum(p1, sum)
+		if hh != 0 {
+			h = append(h, hh)
+		}
+	}
+	if q != 0 {
+		h = append(h, q)
+	}
+	return h
+}
+
+// expMul multiplies two expansions exactly.
+func expMul(e, f []float64) []float64 {
+	if len(e) == 0 || len(f) == 0 {
+		return nil
+	}
+	// Distribute over the shorter operand.
+	if len(e) < len(f) {
+		e, f = f, e
+	}
+	var acc []float64
+	for _, fi := range f {
+		acc = expSum(acc, expScale(e, fi))
+	}
+	return acc
+}
+
+// expNeg negates an expansion in place and returns it.
+func expNeg(e []float64) []float64 {
+	for i := range e {
+		e[i] = -e[i]
+	}
+	return e
+}
+
+// expSign returns the sign of the expansion's exact value.
+func expSign(e []float64) int {
+	if len(e) == 0 {
+		return 0
+	}
+	// Largest-magnitude component is last and determines the sign.
+	switch {
+	case e[len(e)-1] > 0:
+		return 1
+	case e[len(e)-1] < 0:
+		return -1
+	}
+	return 0
+}
+
+// expDiff2 returns the 2-component expansion of a-b.
+func expDiff2(a, b float64) []float64 {
+	hi, lo := twoDiff(a, b)
+	if lo == 0 {
+		if hi == 0 {
+			return nil
+		}
+		return []float64{hi}
+	}
+	return []float64{lo, hi}
+}
+
+// det3Exp computes the exact 3x3 determinant
+//
+//	| a1 a2 a3 |
+//	| b1 b2 b3 |
+//	| c1 c2 c3 |
+//
+// over expansion entries.
+func det3Exp(a1, a2, a3, b1, b2, b3, c1, c2, c3 []float64) []float64 {
+	t := expMul(a1, expSum(expMul(b2, c3), expNeg(expMul(b3, c2))))
+	u := expMul(a2, expSum(expMul(b1, c3), expNeg(expMul(b3, c1))))
+	v := expMul(a3, expSum(expMul(b1, c2), expNeg(expMul(b2, c1))))
+	return expSum(expSum(t, expNeg(u)), v)
+}

@@ -1,0 +1,363 @@
+// Package predicates implements robust geometric orientation and
+// in-sphere predicates for 3D Delaunay triangulation.
+//
+// Each predicate is evaluated first in fast floating-point arithmetic
+// with a Shewchuk-style static error filter; when the filter cannot
+// certify the sign, the computation is repeated exactly with
+// arbitrary-precision rationals (math/big.Rat), for which conversion
+// from float64 is exact. The result is therefore always the exact sign
+// of the underlying determinant, as required for the Bowyer-Watson
+// kernel to stay consistent ("exact predicates", paper Section 7).
+package predicates
+
+import (
+	"math"
+	"math/big"
+	"sync/atomic"
+
+	"repro/internal/geom"
+)
+
+// epsilon is the float64 machine epsilon 2^-53 used by the error
+// filters below (Shewchuk, "Adaptive Precision Floating-Point
+// Arithmetic and Fast Robust Geometric Predicates").
+const epsilon = 1.0 / (1 << 53)
+
+var (
+	o3dErrBound = (7.0 + 56.0*epsilon) * epsilon
+	ispErrBound = (16.0 + 224.0*epsilon) * epsilon
+)
+
+// Orient3D returns +1 if point d lies below the plane through (a,b,c)
+// (i.e. the tetrahedron a,b,c,d is positively oriented), -1 if above,
+// and 0 if the four points are exactly coplanar.
+//
+// "Below" follows the right-hand rule: positive when (b-a)x(c-a) . (d-a) > 0.
+func Orient3D(a, b, c, d geom.Vec3) int {
+	adx, ady, adz := a.X-d.X, a.Y-d.Y, a.Z-d.Z
+	bdx, bdy, bdz := b.X-d.X, b.Y-d.Y, b.Z-d.Z
+	cdx, cdy, cdz := c.X-d.X, c.Y-d.Y, c.Z-d.Z
+
+	bdxcdy := bdx * cdy
+	cdxbdy := cdx * bdy
+	cdxady := cdx * ady
+	adxcdy := adx * cdy
+	adxbdy := adx * bdy
+	bdxady := bdx * ady
+
+	det := adz*(bdxcdy-cdxbdy) + bdz*(cdxady-adxcdy) + cdz*(adxbdy-bdxady)
+
+	permanent := (math.Abs(bdxcdy)+math.Abs(cdxbdy))*math.Abs(adz) +
+		(math.Abs(cdxady)+math.Abs(adxcdy))*math.Abs(bdz) +
+		(math.Abs(adxbdy)+math.Abs(bdxady))*math.Abs(cdz)
+	errBound := o3dErrBound * permanent
+	if det > errBound {
+		return -1
+	}
+	if -det > errBound {
+		return 1
+	}
+	ExactCalls.Orient.Add(1)
+	return orient3DExact(a, b, c, d)
+}
+
+// InSphere returns +1 if point e lies strictly inside the circumsphere
+// of the positively oriented tetrahedron (a,b,c,d), -1 if strictly
+// outside, and 0 if exactly on the sphere.
+//
+// The caller must pass a positively oriented tetrahedron
+// (Orient3D(a,b,c,d) > 0); otherwise the sign is flipped.
+func InSphere(a, b, c, d, e geom.Vec3) int {
+	aex, aey, aez := a.X-e.X, a.Y-e.Y, a.Z-e.Z
+	bex, bey, bez := b.X-e.X, b.Y-e.Y, b.Z-e.Z
+	cex, cey, cez := c.X-e.X, c.Y-e.Y, c.Z-e.Z
+	dex, dey, dez := d.X-e.X, d.Y-e.Y, d.Z-e.Z
+
+	aexbey := aex * bey
+	bexaey := bex * aey
+	ab := aexbey - bexaey
+	bexcey := bex * cey
+	cexbey := cex * bey
+	bc := bexcey - cexbey
+	cexdey := cex * dey
+	dexcey := dex * cey
+	cd := cexdey - dexcey
+	dexaey := dex * aey
+	aexdey := aex * dey
+	da := dexaey - aexdey
+
+	aexcey := aex * cey
+	cexaey := cex * aey
+	ac := aexcey - cexaey
+	bexdey := bex * dey
+	dexbey := dex * bey
+	bd := bexdey - dexbey
+
+	abc := aez*bc - bez*ac + cez*ab
+	bcd := bez*cd - cez*bd + dez*bc
+	cda := cez*da + dez*ac + aez*cd
+	dab := dez*ab + aez*bd + bez*da
+
+	alift := aex*aex + aey*aey + aez*aez
+	blift := bex*bex + bey*bey + bez*bez
+	clift := cex*cex + cey*cey + cez*cez
+	dlift := dex*dex + dey*dey + dez*dez
+
+	det := (dlift*abc - clift*dab) + (blift*cda - alift*bcd)
+
+	aezplus := math.Abs(aez)
+	bezplus := math.Abs(bez)
+	cezplus := math.Abs(cez)
+	dezplus := math.Abs(dez)
+	aexbeyplus := math.Abs(aexbey)
+	bexaeyplus := math.Abs(bexaey)
+	bexceyplus := math.Abs(bexcey)
+	cexbeyplus := math.Abs(cexbey)
+	cexdeyplus := math.Abs(cexdey)
+	dexceyplus := math.Abs(dexcey)
+	dexaeyplus := math.Abs(dexaey)
+	aexdeyplus := math.Abs(aexdey)
+	aexceyplus := math.Abs(aexcey)
+	cexaeyplus := math.Abs(cexaey)
+	bexdeyplus := math.Abs(bexdey)
+	dexbeyplus := math.Abs(dexbey)
+	permanent := ((cexdeyplus+dexceyplus)*bezplus+
+		(dexbeyplus+bexdeyplus)*cezplus+
+		(bexceyplus+cexbeyplus)*dezplus)*alift +
+		((dexaeyplus+aexdeyplus)*cezplus+
+			(aexceyplus+cexaeyplus)*dezplus+
+			(cexdeyplus+dexceyplus)*aezplus)*blift +
+		((aexbeyplus+bexaeyplus)*dezplus+
+			(bexdeyplus+dexbeyplus)*aezplus+
+			(dexaeyplus+aexdeyplus)*bezplus)*clift +
+		((bexceyplus+cexbeyplus)*aezplus+
+			(cexaeyplus+aexceyplus)*bezplus+
+			(aexbeyplus+bexaeyplus)*cezplus)*dlift
+
+	errBound := ispErrBound * permanent
+	if det > errBound {
+		return -1
+	}
+	if -det > errBound {
+		return 1
+	}
+	ExactCalls.InSphere.Add(1)
+	return inSphereExact(a, b, c, d, e)
+}
+
+// InSphereSoS is InSphere with a symbolic perturbation that removes
+// degeneracies: cospherical configurations are resolved as if every
+// point's lifted coordinate were lowered by an infinitesimal weight
+// growing with the point's lexicographic (x, y, z) rank. The result is
+// never 0 for five pairwise-distinct points, and is globally
+// consistent — all callers see the same "perturbed Delaunay"
+// triangulation, which is what makes the vertex-removal
+// re-triangulation match the shared mesh exactly (paper Section 4.2).
+//
+// Derivation: with rows (a, b, c, d, e) in the 5x5 in-sphere matrix
+// and the lift column perturbed by -eps_i, the perturbed determinant's
+// sign is decided by the cofactor of the highest-ranked point, which
+// is an Orient3D of the other four points (in their original order,
+// with alternating sign). For a positively oriented (a, b, c, d) the
+// final fallback, the query point's own cofactor, is
+// -Orient3D(a,b,c,d) != 0, so the scan always terminates.
+func InSphereSoS(a, b, c, d, e geom.Vec3) int {
+	if s := InSphere(a, b, c, d, e); s != 0 {
+		return s
+	}
+	pts := [5]geom.Vec3{a, b, c, d, e}
+	// Cofactor of each row i (sign of d E / d eps_i).
+	cof := [5]func() int{
+		func() int { return -Orient3D(b, c, d, e) },
+		func() int { return Orient3D(a, c, d, e) },
+		func() int { return -Orient3D(a, b, d, e) },
+		func() int { return Orient3D(a, b, c, e) },
+		func() int { return -Orient3D(a, b, c, d) },
+	}
+	// Indices sorted by lexicographic rank, descending: the
+	// largest-ranked point carries the dominant perturbation.
+	order := [5]int{0, 1, 2, 3, 4}
+	for i := 1; i < 5; i++ {
+		for j := i; j > 0 && lexLess(pts[order[j-1]], pts[order[j]]); j-- {
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+	for _, i := range order {
+		if s := cof[i](); s != 0 {
+			return s
+		}
+	}
+	return 0 // unreachable for five distinct points with oriented (a,b,c,d)
+}
+
+func lexLess(p, q geom.Vec3) bool {
+	if p.X != q.X {
+		return p.X < q.X
+	}
+	if p.Y != q.Y {
+		return p.Y < q.Y
+	}
+	return p.Z < q.Z
+}
+
+// ratVec converts a point to exact rational coordinates.
+type ratVec struct {
+	x, y, z *big.Rat
+}
+
+func toRat(v geom.Vec3) ratVec {
+	return ratVec{
+		new(big.Rat).SetFloat64(v.X),
+		new(big.Rat).SetFloat64(v.Y),
+		new(big.Rat).SetFloat64(v.Z),
+	}
+}
+
+// det3 computes the exact 3x3 determinant
+// | a1 a2 a3 |
+// | b1 b2 b3 |
+// | c1 c2 c3 |
+func det3(a1, a2, a3, b1, b2, b3, c1, c2, c3 *big.Rat) *big.Rat {
+	t := new(big.Rat)
+	u := new(big.Rat)
+	res := new(big.Rat)
+
+	// a1*(b2*c3 - b3*c2)
+	t.Mul(b2, c3)
+	u.Mul(b3, c2)
+	t.Sub(t, u)
+	res.Mul(a1, t)
+
+	// - a2*(b1*c3 - b3*c1)
+	t.Mul(b1, c3)
+	u.Mul(b3, c1)
+	t.Sub(t, u)
+	t.Mul(a2, t)
+	res.Sub(res, t)
+
+	// + a3*(b1*c2 - b2*c1)
+	t.Mul(b1, c2)
+	u.Mul(b2, c1)
+	t.Sub(t, u)
+	t.Mul(a3, t)
+	res.Add(res, t)
+
+	return res
+}
+
+// orient3DExact evaluates the orientation determinant exactly with
+// expansion arithmetic.
+func orient3DExact(a, b, c, d geom.Vec3) int {
+	det := det3Exp(
+		expDiff2(a.X, d.X), expDiff2(a.Y, d.Y), expDiff2(a.Z, d.Z),
+		expDiff2(b.X, d.X), expDiff2(b.Y, d.Y), expDiff2(b.Z, d.Z),
+		expDiff2(c.X, d.X), expDiff2(c.Y, d.Y), expDiff2(c.Z, d.Z),
+	)
+	return -expSign(det)
+}
+
+// orient3DRat is the arbitrary-precision rational implementation, kept
+// as the test oracle for the expansion code.
+func orient3DRat(a, b, c, d geom.Vec3) int {
+	ra, rb, rc, rd := toRat(a), toRat(b), toRat(c), toRat(d)
+	sub := func(p, q *big.Rat) *big.Rat { return new(big.Rat).Sub(p, q) }
+	det := det3(
+		sub(ra.x, rd.x), sub(ra.y, rd.y), sub(ra.z, rd.z),
+		sub(rb.x, rd.x), sub(rb.y, rd.y), sub(rb.z, rd.z),
+		sub(rc.x, rd.x), sub(rc.y, rd.y), sub(rc.z, rd.z),
+	)
+	return -det.Sign()
+}
+
+// inSphereExact evaluates the in-sphere determinant exactly with
+// expansion arithmetic, expanding the 4x4 difference matrix along the
+// lifted column.
+func inSphereExact(a, b, c, d, e geom.Vec3) int {
+	pts := [4]geom.Vec3{a, b, c, d}
+	var rows [4][4][]float64
+	for i, p := range pts {
+		dx := expDiff2(p.X, e.X)
+		dy := expDiff2(p.Y, e.Y)
+		dz := expDiff2(p.Z, e.Z)
+		lift := expSum(expSum(expMul(dx, dx), expMul(dy, dy)), expMul(dz, dz))
+		rows[i] = [4][]float64{dx, dy, dz, lift}
+	}
+	var det []float64
+	for i := 0; i < 4; i++ {
+		var m [3][3][]float64
+		k := 0
+		for j := 0; j < 4; j++ {
+			if j == i {
+				continue
+			}
+			m[k] = [3][]float64{rows[j][0], rows[j][1], rows[j][2]}
+			k++
+		}
+		minor := det3Exp(
+			m[0][0], m[0][1], m[0][2],
+			m[1][0], m[1][1], m[1][2],
+			m[2][0], m[2][1], m[2][2],
+		)
+		term := expMul(rows[i][3], minor)
+		if (i+3)%2 == 1 {
+			term = expNeg(term)
+		}
+		det = expSum(det, term)
+	}
+	return -expSign(det)
+}
+
+// inSphereRat is the arbitrary-precision rational implementation, kept
+// as the test oracle for the expansion code.
+func inSphereRat(a, b, c, d, e geom.Vec3) int {
+	pts := [4]ratVec{toRat(a), toRat(b), toRat(c), toRat(d)}
+	re := toRat(e)
+
+	// Rows: (px-ex, py-ey, pz-ez, |p-e|^2) for p in {a,b,c,d}.
+	var rows [4][4]*big.Rat
+	for i, p := range pts {
+		dx := new(big.Rat).Sub(p.x, re.x)
+		dy := new(big.Rat).Sub(p.y, re.y)
+		dz := new(big.Rat).Sub(p.z, re.z)
+		l := new(big.Rat)
+		t := new(big.Rat)
+		l.Mul(dx, dx)
+		t.Mul(dy, dy)
+		l.Add(l, t)
+		t.Mul(dz, dz)
+		l.Add(l, t)
+		rows[i] = [4]*big.Rat{dx, dy, dz, l}
+	}
+
+	// 4x4 determinant by cofactor expansion along the last column.
+	det := new(big.Rat)
+	for i := 0; i < 4; i++ {
+		var m [3][3]*big.Rat
+		k := 0
+		for j := 0; j < 4; j++ {
+			if j == i {
+				continue
+			}
+			m[k] = [3]*big.Rat{rows[j][0], rows[j][1], rows[j][2]}
+			k++
+		}
+		minor := det3(
+			m[0][0], m[0][1], m[0][2],
+			m[1][0], m[1][1], m[1][2],
+			m[2][0], m[2][1], m[2][2],
+		)
+		term := new(big.Rat).Mul(rows[i][3], minor)
+		// Sign pattern for expansion along column 3: (-1)^(i+3).
+		if (i+3)%2 == 1 {
+			det.Sub(det, term)
+		} else {
+			det.Add(det, term)
+		}
+	}
+	return -det.Sign()
+}
+
+// ExactCalls counts escalations to exact arithmetic (diagnostics).
+var ExactCalls struct {
+	Orient, InSphere atomic.Int64
+}

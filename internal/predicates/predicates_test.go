@@ -1,0 +1,273 @@
+package predicates
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestOrient3DBasic(t *testing.T) {
+	a := v3(0, 0, 0)
+	b := v3(1, 0, 0)
+	c := v3(0, 1, 0)
+	if got := Orient3D(a, b, c, v3(0, 0, 1)); got != 1 {
+		t.Errorf("above: got %d, want 1", got)
+	}
+	if got := Orient3D(a, b, c, v3(0, 0, -1)); got != -1 {
+		t.Errorf("below: got %d, want -1", got)
+	}
+	if got := Orient3D(a, b, c, v3(0.3, 0.3, 0)); got != 0 {
+		t.Errorf("coplanar: got %d, want 0", got)
+	}
+}
+
+func TestOrient3DSwapAntisymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		a := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		b := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		c := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		d := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		if Orient3D(a, b, c, d) != -Orient3D(b, a, c, d) {
+			t.Fatalf("swap antisymmetry violated at %v %v %v %v", a, b, c, d)
+		}
+	}
+}
+
+func TestOrient3DExactMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 300; i++ {
+		a := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		b := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		c := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		d := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		if got, want := orient3DExact(a, b, c, d), Orient3D(a, b, c, d); got != want {
+			t.Fatalf("exact %d != filtered %d", got, want)
+		}
+	}
+}
+
+func TestOrient3DNearDegenerate(t *testing.T) {
+	// d is displaced off the plane by one ulp-scale amount; the filter
+	// must escalate to exact arithmetic and still report the true sign.
+	a := v3(0, 0, 0)
+	b := v3(1, 0, 0)
+	c := v3(0, 1, 0)
+	eps := 1e-300
+	if got := Orient3D(a, b, c, v3(0.5, 0.25, eps)); got != 1 {
+		t.Errorf("tiny positive offset: got %d, want 1", got)
+	}
+	if got := Orient3D(a, b, c, v3(0.5, 0.25, -eps)); got != -1 {
+		t.Errorf("tiny negative offset: got %d, want -1", got)
+	}
+}
+
+func TestInSphereBasic(t *testing.T) {
+	// Unit tetra with positive orientation.
+	a := v3(0, 0, 0)
+	b := v3(1, 0, 0)
+	c := v3(0, 1, 0)
+	d := v3(0, 0, 1)
+	if Orient3D(a, b, c, d) != 1 {
+		t.Fatal("test tetra not positively oriented")
+	}
+	center := v3(0.25, 0.25, 0.25)
+	if got := InSphere(a, b, c, d, center); got != 1 {
+		t.Errorf("interior point: got %d, want 1", got)
+	}
+	if got := InSphere(a, b, c, d, v3(10, 10, 10)); got != -1 {
+		t.Errorf("far point: got %d, want -1", got)
+	}
+	// A vertex lies exactly on the sphere.
+	if got := InSphere(a, b, c, d, a); got != 0 {
+		t.Errorf("vertex on sphere: got %d, want 0", got)
+	}
+}
+
+func TestInSphereCosphericalExactZero(t *testing.T) {
+	// (0,0,0),(1,0,0),(0,1,0),(0,0,1) have circumsphere centered at
+	// (.5,.5,.5); (1,1,0) lies on it: 0.25+0.25+0.25 = r2 = 0.75.
+	a := v3(0, 0, 0)
+	b := v3(1, 0, 0)
+	c := v3(0, 1, 0)
+	d := v3(0, 0, 1)
+	e := v3(1, 1, 0)
+	if got := InSphere(a, b, c, d, e); got != 0 {
+		t.Errorf("cospherical: got %d, want 0", got)
+	}
+}
+
+func TestInSphereMatchesCircumsphere(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 300; i++ {
+		a := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		b := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		c := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		d := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		if Orient3D(a, b, c, d) < 0 {
+			c, d = d, c
+		}
+		if Orient3D(a, b, c, d) == 0 {
+			continue
+		}
+		center, r2, ok := geom.Circumsphere(a, b, c, d)
+		if !ok {
+			continue
+		}
+		e := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		d2 := center.Dist2(e)
+		// Only check when the float circumsphere computation is
+		// decisively inside/outside.
+		margin := 1e-9 * (1 + r2)
+		var want int
+		switch {
+		case d2 < r2-margin:
+			want = 1
+		case d2 > r2+margin:
+			want = -1
+		default:
+			continue
+		}
+		if got := InSphere(a, b, c, d, e); got != want {
+			t.Fatalf("InSphere=%d want %d (d2=%v r2=%v)", got, want, d2, r2)
+		}
+	}
+}
+
+func TestInSphereExactMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 200; i++ {
+		a := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		b := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		c := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		d := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		e := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		if got, want := inSphereExact(a, b, c, d, e), InSphere(a, b, c, d, e); got != want {
+			t.Fatalf("exact %d != filtered %d", got, want)
+		}
+	}
+}
+
+func TestInSphereOrientationFlip(t *testing.T) {
+	// Flipping the orientation of the tetra flips the in-sphere sign.
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		a := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		b := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		c := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		d := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		e := v3(rng.Float64(), rng.Float64(), rng.Float64())
+		if InSphere(a, b, c, d, e) != -InSphere(b, a, c, d, e) {
+			t.Fatal("orientation flip did not negate InSphere")
+		}
+	}
+}
+
+func BenchmarkOrient3D(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Vec3, 64)
+	for i := range pts {
+		pts[i] = v3(rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % 60
+		Orient3D(pts[k], pts[k+1], pts[k+2], pts[k+3])
+	}
+}
+
+func BenchmarkInSphere(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	pts := make([]geom.Vec3, 64)
+	for i := range pts {
+		pts[i] = v3(rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % 59
+		InSphere(pts[k], pts[k+1], pts[k+2], pts[k+3], pts[k+4])
+	}
+}
+
+// v3 builds a point; keeps composite literals keyed per go vet.
+func v3(x, y, z float64) geom.Vec3 { return geom.Vec3{X: x, Y: y, Z: z} }
+
+// TestExpansionMatchesRat cross-validates the expansion-based exact
+// predicates against the arbitrary-precision rational oracles, on both
+// random and exactly-degenerate (voxel-aligned) configurations.
+func TestExpansionMatchesRat(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	randPt := func() geom.Vec3 {
+		if rng.Intn(2) == 0 {
+			// Lattice points: exact degeneracies abound.
+			return v3(float64(rng.Intn(8)), float64(rng.Intn(8)), float64(rng.Intn(8)))
+		}
+		return v3(rng.Float64()*8, rng.Float64()*8, rng.Float64()*8)
+	}
+	for i := 0; i < 3000; i++ {
+		a, b, c, d, e := randPt(), randPt(), randPt(), randPt(), randPt()
+		if got, want := orient3DExact(a, b, c, d), orient3DRat(a, b, c, d); got != want {
+			t.Fatalf("orient: expansion %d != rat %d for %v %v %v %v", got, want, a, b, c, d)
+		}
+		if got, want := inSphereExact(a, b, c, d, e), inSphereRat(a, b, c, d, e); got != want {
+			t.Fatalf("insphere: expansion %d != rat %d for %v %v %v %v %v", got, want, a, b, c, d, e)
+		}
+	}
+}
+
+func TestExpansionPrimitives(t *testing.T) {
+	// twoSum/twoDiff/twoProduct exactness on hard cases.
+	cases := [][2]float64{
+		{1e16, 1}, {1, 1e-16}, {3.14159, 2.71828}, {1e300, 1e-300},
+	}
+	for _, c := range cases {
+		if hi, lo := twoSum(c[0], c[1]); hi+lo != c[0]+c[1] {
+			t.Errorf("twoSum broken for %v", c)
+		}
+		hi, lo := twoProduct(c[0], c[1])
+		if hi != c[0]*c[1] {
+			t.Errorf("twoProduct hi wrong for %v", c)
+		}
+		_ = lo
+	}
+	// Expansion sum identity: value preserved through splits.
+	e := expDiff2(1e16, 1)
+	f := expDiff2(1, 1e-16)
+	s := expSum(e, f)
+	var total float64
+	for _, x := range s {
+		total += x
+	}
+	if total != (1e16-1)+(1-1e-16) {
+		t.Errorf("expSum total %v", total)
+	}
+	if expSign(nil) != 0 || expSign([]float64{-2}) != -1 || expSign([]float64{3}) != 1 {
+		t.Error("expSign wrong")
+	}
+}
+
+func BenchmarkInSphereExactExpansion(b *testing.B) {
+	// Exactly cospherical: forces the exact path every time.
+	a := v3(0, 0, 0)
+	c := v3(1, 0, 0)
+	d := v3(0, 1, 0)
+	e := v3(0, 0, 1)
+	q := v3(1, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inSphereExact(a, c, d, e, q)
+	}
+}
+
+func BenchmarkInSphereExactRat(b *testing.B) {
+	a := v3(0, 0, 0)
+	c := v3(1, 0, 0)
+	d := v3(0, 1, 0)
+	e := v3(0, 0, 1)
+	q := v3(1, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inSphereRat(a, c, d, e, q)
+	}
+}

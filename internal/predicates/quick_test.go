@@ -1,0 +1,198 @@
+package predicates
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// exactValue sums an expansion with big.Float at high precision.
+func exactValue(e []float64) *big.Float {
+	sum := new(big.Float).SetPrec(400)
+	for _, x := range e {
+		sum.Add(sum, new(big.Float).SetPrec(400).SetFloat64(x))
+	}
+	return sum
+}
+
+func finite(xs ...float64) bool {
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e18 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQuickTwoSumExact(t *testing.T) {
+	f := func(a, b float64) bool {
+		if !finite(a, b) {
+			return true
+		}
+		hi, lo := twoSum(a, b)
+		// hi must be the rounded sum and hi+lo the exact sum.
+		want := new(big.Float).SetPrec(200).SetFloat64(a)
+		want.Add(want, new(big.Float).SetPrec(200).SetFloat64(b))
+		got := new(big.Float).SetPrec(200).SetFloat64(hi)
+		got.Add(got, new(big.Float).SetPrec(200).SetFloat64(lo))
+		return want.Cmp(got) == 0
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTwoProductExact(t *testing.T) {
+	f := func(a, b float64) bool {
+		if !finite(a, b) || math.Abs(a) > 1e150 || math.Abs(b) > 1e150 ||
+			(a != 0 && math.Abs(a) < 1e-150) || (b != 0 && math.Abs(b) < 1e-150) {
+			return true // avoid overflow/denormal edge cases of the FMA trick
+		}
+		hi, lo := twoProduct(a, b)
+		want := new(big.Float).SetPrec(200).SetFloat64(a)
+		want.Mul(want, new(big.Float).SetPrec(200).SetFloat64(b))
+		got := new(big.Float).SetPrec(200).SetFloat64(hi)
+		got.Add(got, new(big.Float).SetPrec(200).SetFloat64(lo))
+		return want.Cmp(got) == 0
+	}
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(37))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExpSumExact(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		if !finite(a, b, c, d) {
+			return true
+		}
+		e := expDiff2(a, b)
+		g := expDiff2(c, d)
+		s := expSum(e, g)
+		want := exactValue(e)
+		want.Add(want, exactValue(g))
+		return want.Cmp(exactValue(s)) == 0
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExpMulExact(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		for _, x := range []float64{a, b, c, d} {
+			if !finite(x) || math.Abs(x) > 1e100 {
+				return true
+			}
+		}
+		e := expDiff2(a, b)
+		g := expDiff2(c, d)
+		p := expMul(e, g)
+		want := exactValue(e)
+		want.Mul(want, exactValue(g))
+		return want.Cmp(exactValue(p)) == 0
+	}
+	cfg := &quick.Config{MaxCount: 1000, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickOrientConsistency(t *testing.T) {
+	// Orientation flips under swaps and is invariant under even
+	// permutations, on lattice points where exact zeros are common.
+	rng := rand.New(rand.NewSource(47))
+	pt := func() geom.Vec3 {
+		return v3(float64(rng.Intn(6)), float64(rng.Intn(6)), float64(rng.Intn(6)))
+	}
+	for i := 0; i < 2000; i++ {
+		a, b, c, d := pt(), pt(), pt(), pt()
+		o := Orient3D(a, b, c, d)
+		if Orient3D(b, a, c, d) != -o {
+			t.Fatalf("swap(a,b) did not negate at %v %v %v %v", a, b, c, d)
+		}
+		if Orient3D(b, c, a, d) != o {
+			t.Fatalf("3-cycle changed sign at %v %v %v %v", a, b, c, d)
+		}
+	}
+}
+
+func TestQuickSoSNeverZero(t *testing.T) {
+	// For five pairwise-distinct points with a non-degenerate base
+	// tetra, InSphereSoS must never return 0 — the whole point of the
+	// perturbation.
+	rng := rand.New(rand.NewSource(53))
+	pt := func() geom.Vec3 {
+		return v3(float64(rng.Intn(4)), float64(rng.Intn(4)), float64(rng.Intn(4)))
+	}
+	checked := 0
+	for i := 0; i < 20000 && checked < 2000; i++ {
+		a, b, c, d, e := pt(), pt(), pt(), pt(), pt()
+		// Require distinctness and a positively oriented tetra.
+		pts := []geom.Vec3{a, b, c, d, e}
+		distinct := true
+		for x := 0; x < 5; x++ {
+			for y := x + 1; y < 5; y++ {
+				if pts[x] == pts[y] {
+					distinct = false
+				}
+			}
+		}
+		if !distinct || Orient3D(a, b, c, d) <= 0 {
+			continue
+		}
+		checked++
+		if InSphereSoS(a, b, c, d, e) == 0 {
+			t.Fatalf("SoS returned 0 for %v %v %v %v %v", a, b, c, d, e)
+		}
+	}
+	if checked < 500 {
+		t.Fatalf("only %d configurations checked", checked)
+	}
+}
+
+func TestQuickSoSConsistentAcrossCells(t *testing.T) {
+	// The same (facet, apexes) configuration seen from the two cells
+	// sharing the facet must agree: if e is "inside" the sphere of
+	// (a,b,c,d) then d is "inside" the sphere of the mirrored cell
+	// (a,c,b,e) — the flip condition of Delaunay edge-flipping, which
+	// SoS must keep antisymmetric even for cospherical points.
+	rng := rand.New(rand.NewSource(59))
+	pt := func() geom.Vec3 {
+		return v3(float64(rng.Intn(4)), float64(rng.Intn(4)), float64(rng.Intn(4)))
+	}
+	checked := 0
+	for i := 0; i < 20000 && checked < 1000; i++ {
+		a, b, c, d, e := pt(), pt(), pt(), pt(), pt()
+		if Orient3D(a, b, c, d) <= 0 || Orient3D(a, c, b, e) <= 0 {
+			continue
+		}
+		pts := []geom.Vec3{a, b, c, d, e}
+		distinct := true
+		for x := 0; x < 5; x++ {
+			for y := x + 1; y < 5; y++ {
+				if pts[x] == pts[y] {
+					distinct = false
+				}
+			}
+		}
+		if !distinct {
+			continue
+		}
+		checked++
+		s1 := InSphereSoS(a, b, c, d, e)
+		s2 := InSphereSoS(a, c, b, e, d)
+		if s1 != s2 {
+			t.Fatalf("facet view mismatch: %d vs %d at %v %v %v %v %v", s1, s2, a, b, c, d, e)
+		}
+	}
+	if checked < 200 {
+		t.Fatalf("only %d configurations checked", checked)
+	}
+}

@@ -1,0 +1,164 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/arena"
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/img"
+)
+
+// Histogram accumulates a bounded scalar distribution (dihedral
+// angles, radius-edge ratios, edge lengths) for mesh-quality reports.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []int
+
+	Count     int
+	Min, Max  float64
+	sum       float64
+	underflow int
+	overflow  int
+}
+
+// NewHistogram covers [lo, hi) with n bins.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("quality: invalid histogram range")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]int, n),
+		Min: math.Inf(1), Max: math.Inf(-1)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	h.Count++
+	h.sum += x
+	if x < h.Min {
+		h.Min = x
+	}
+	if x > h.Max {
+		h.Max = x
+	}
+	switch {
+	case x < h.Lo:
+		h.underflow++
+	case x >= h.Hi:
+		h.overflow++
+	default:
+		i := int(float64(len(h.Bins)) * (x - h.Lo) / (h.Hi - h.Lo))
+		h.Bins[i]++
+	}
+}
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.Count)
+}
+
+// Fraction returns the share of samples in [a, b), counted by bins
+// (approximate at bin resolution).
+func (h *Histogram) Fraction(a, b float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	n := 0
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	for i, c := range h.Bins {
+		lo := h.Lo + float64(i)*w
+		if lo >= a && lo+w <= b {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.Count)
+}
+
+// String renders a compact ASCII bar chart.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := 1
+	for _, c := range h.Bins {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	for i, c := range h.Bins {
+		bar := strings.Repeat("#", 50*c/maxC)
+		fmt.Fprintf(&b, "%8.2f–%-8.2f %7d %s\n", h.Lo+float64(i)*w, h.Lo+float64(i+1)*w, c, bar)
+	}
+	fmt.Fprintf(&b, "n=%d min=%.3f mean=%.3f max=%.3f (under=%d over=%d)\n",
+		h.Count, h.Min, h.Mean(), h.Max, h.underflow, h.overflow)
+	return b.String()
+}
+
+// DihedralHistogram bins all dihedral angles (degrees) of the final
+// cells.
+func DihedralHistogram(m *delaunay.Mesh, final []arena.Handle, bins int) *Histogram {
+	h := NewHistogram(0, 180, bins)
+	for _, ch := range final {
+		c := m.Cells.At(ch)
+		for _, a := range geom.DihedralAngles(m.Pos(c.V[0]), m.Pos(c.V[1]), m.Pos(c.V[2]), m.Pos(c.V[3])) {
+			h.Add(a)
+		}
+	}
+	return h
+}
+
+// RadiusEdgeHistogram bins the radius-edge ratios of the final cells.
+func RadiusEdgeHistogram(m *delaunay.Mesh, final []arena.Handle, bins int) *Histogram {
+	h := NewHistogram(0, 3, bins)
+	for _, ch := range final {
+		c := m.Cells.At(ch)
+		h.Add(geom.RadiusEdgeRatio(m.Pos(c.V[0]), m.Pos(c.V[1]), m.Pos(c.V[2]), m.Pos(c.V[3])))
+	}
+	return h
+}
+
+// EdgeLengthHistogram bins the edge lengths of the final cells (each
+// edge counted once per incident cell).
+func EdgeLengthHistogram(m *delaunay.Mesh, final []arena.Handle, hi float64, bins int) *Histogram {
+	h := NewHistogram(0, hi, bins)
+	pairs := [6][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	for _, ch := range final {
+		c := m.Cells.At(ch)
+		for _, pr := range pairs {
+			h.Add(m.Pos(c.V[pr[0]]).Dist(m.Pos(c.V[pr[1]])))
+		}
+	}
+	return h
+}
+
+// Volume sums the (positive) volumes of the final cells.
+func Volume(m *delaunay.Mesh, final []arena.Handle) float64 {
+	var v float64
+	for _, ch := range final {
+		c := m.Cells.At(ch)
+		v += geom.TetraVolume(m.Pos(c.V[0]), m.Pos(c.V[1]), m.Pos(c.V[2]), m.Pos(c.V[3]))
+	}
+	return v
+}
+
+// EvaluatePerTissue computes Stats separately for each tissue label
+// (boundary counts refer to each tissue's own interface set).
+func EvaluatePerTissue(m *delaunay.Mesh, final []arena.Handle, im *img.Image) map[img.Label]Stats {
+	byLabel := map[img.Label][]arena.Handle{}
+	for _, h := range final {
+		l := im.LabelAt(m.Cells.At(h).CC)
+		byLabel[l] = append(byLabel[l], h)
+	}
+	out := make(map[img.Label]Stats, len(byLabel))
+	for l, cells := range byLabel {
+		out[l] = Evaluate(m, cells, im)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package quality
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/img"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for _, x := range []float64{0.5, 1.5, 1.6, 9.9, -1, 10, 15, math.NaN()} {
+		h.Add(x)
+	}
+	if h.Count != 7 { // NaN dropped
+		t.Errorf("Count = %d", h.Count)
+	}
+	if h.Bins[0] != 1 || h.Bins[1] != 2 || h.Bins[9] != 1 {
+		t.Errorf("bins = %v", h.Bins)
+	}
+	if h.underflow != 1 || h.overflow != 2 {
+		t.Errorf("under=%d over=%d", h.underflow, h.overflow)
+	}
+	if h.Min != -1 || h.Max != 15 {
+		t.Errorf("min=%v max=%v", h.Min, h.Max)
+	}
+	if s := h.String(); !strings.Contains(s, "n=7") {
+		t.Error("String missing count")
+	}
+}
+
+func TestHistogramFraction(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if f := h.Fraction(0, 5); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("Fraction(0,5) = %v", f)
+	}
+	if f := h.Fraction(0, 10); f != 1 {
+		t.Errorf("Fraction(0,10) = %v", f)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on bad range")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestMeshHistograms(t *testing.T) {
+	im := img.SpherePhantom(32)
+	res, err := core.Run(core.Config{Image: im, Workers: 2, LivelockTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dh := DihedralHistogram(res.Mesh, res.Final, 18)
+	if dh.Count != 6*res.Elements() {
+		t.Errorf("dihedral samples = %d, want %d", dh.Count, 6*res.Elements())
+	}
+	if dh.Min <= 0 || dh.Max >= 180 {
+		t.Errorf("dihedral range (%v, %v)", dh.Min, dh.Max)
+	}
+
+	rh := RadiusEdgeHistogram(res.Mesh, res.Final, 30)
+	if rh.Count != res.Elements() {
+		t.Errorf("ratio samples = %d", rh.Count)
+	}
+	if rh.Max > 2.5 {
+		t.Errorf("ratio max = %v", rh.Max)
+	}
+	// Essentially all ratios within the provable bound.
+	if f := rh.Fraction(0, 2.05); f < 0.99 {
+		t.Errorf("only %.2f of ratios within bound", f)
+	}
+
+	eh := EdgeLengthHistogram(res.Mesh, res.Final, 40, 20)
+	if eh.Count != 6*res.Elements() {
+		t.Errorf("edge samples = %d", eh.Count)
+	}
+	if eh.Min <= 0 {
+		t.Errorf("min edge %v", eh.Min)
+	}
+}
+
+func TestVolumeAndPerTissue(t *testing.T) {
+	im := img.AbdominalPhantom(36, 36, 24)
+	res, err := core.Run(core.Config{Image: im, Workers: 2, LivelockTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := Volume(res.Mesh, res.Final)
+	if total <= 0 {
+		t.Fatal("non-positive volume")
+	}
+	per := EvaluatePerTissue(res.Mesh, res.Final, im)
+	if len(per) < 3 {
+		t.Fatalf("only %d tissues in per-tissue stats", len(per))
+	}
+	sum := 0
+	for l, s := range per {
+		if s.NumTets == 0 {
+			t.Errorf("tissue %d empty", l)
+		}
+		if s.MaxRadiusEdge > 2.5 {
+			t.Errorf("tissue %d ratio %v", l, s.MaxRadiusEdge)
+		}
+		sum += s.NumTets
+	}
+	if sum != res.Elements() {
+		t.Errorf("per-tissue cells %d != total %d", sum, res.Elements())
+	}
+}

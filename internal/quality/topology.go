@@ -1,0 +1,144 @@
+package quality
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Topology summarizes the combinatorial topology of a boundary
+// triangulation: the direct, checkable consequence of Theorem 1's
+// "topologically correct representation of ∂O". For each connected
+// closed surface component, the Euler characteristic χ = V - E + F
+// identifies the genus (χ = 2 - 2g): a sphere-like tissue boundary has
+// χ = 2, a torus χ = 0.
+type Topology struct {
+	Vertices   int
+	Edges      int
+	Faces      int
+	Euler      int // V - E + F over the whole complex
+	Components int
+
+	// ComponentEuler lists χ per connected component.
+	ComponentEuler []int
+
+	// Closed reports whether every edge is shared by exactly two
+	// triangles (a watertight surface). Non-manifold edges (more than
+	// two incident triangles) appear at multi-tissue junction curves
+	// and are counted separately.
+	Closed           bool
+	BorderEdges      int // edges with one incident triangle
+	NonManifoldEdges int // edges with more than two incident triangles
+}
+
+// SurfaceTopology computes the topology of a triangle soup,
+// identifying vertices by exact position.
+func SurfaceTopology(tris []Triangle) Topology {
+	type vkey geom.Vec3
+	vid := make(map[vkey]int)
+	id := func(p geom.Vec3) int {
+		if i, ok := vid[vkey(p)]; ok {
+			return i
+		}
+		i := len(vid)
+		vid[vkey(p)] = i
+		return i
+	}
+
+	type ekey [2]int
+	edgeCount := make(map[ekey]int)
+	edge := func(a, b int) ekey {
+		if a > b {
+			a, b = b, a
+		}
+		return ekey{a, b}
+	}
+
+	// Union-find over vertices for connected components.
+	parent := make([]int, 0, 3*len(tris))
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	for _, t := range tris {
+		a, b, c := id(t.A), id(t.B), id(t.C)
+		for len(parent) < len(vid) {
+			parent = append(parent, len(parent))
+		}
+		edgeCount[edge(a, b)]++
+		edgeCount[edge(b, c)]++
+		edgeCount[edge(c, a)]++
+		union(a, b)
+		union(b, c)
+	}
+
+	topo := Topology{
+		Vertices: len(vid),
+		Edges:    len(edgeCount),
+		Faces:    len(tris),
+		Closed:   true,
+	}
+	topo.Euler = topo.Vertices - topo.Edges + topo.Faces
+	for _, n := range edgeCount {
+		switch {
+		case n == 1:
+			topo.BorderEdges++
+			topo.Closed = false
+		case n > 2:
+			topo.NonManifoldEdges++
+			topo.Closed = false
+		}
+	}
+
+	// Per-component Euler characteristics.
+	compIdx := make(map[int]int)
+	var vPer, ePer, fPer []int
+	compOf := func(v int) int {
+		r := find(v)
+		if i, ok := compIdx[r]; ok {
+			return i
+		}
+		i := len(compIdx)
+		compIdx[r] = i
+		vPer = append(vPer, 0)
+		ePer = append(ePer, 0)
+		fPer = append(fPer, 0)
+		return i
+	}
+	for v := range parent {
+		vPer[compOf(v)]++
+	}
+	for e := range edgeCount {
+		ePer[compOf(e[0])]++
+	}
+	for _, t := range tris {
+		fPer[compOf(vid[vkey(t.A)])]++
+	}
+	topo.Components = len(compIdx)
+	for i := range vPer {
+		topo.ComponentEuler = append(topo.ComponentEuler, vPer[i]-ePer[i]+fPer[i])
+	}
+	return topo
+}
+
+// String renders the topology summary.
+func (t Topology) String() string {
+	state := "closed"
+	if !t.Closed {
+		state = fmt.Sprintf("open (%d border, %d non-manifold edges)",
+			t.BorderEdges, t.NonManifoldEdges)
+	}
+	return fmt.Sprintf("V=%d E=%d F=%d χ=%d, %d component(s) %v, %s",
+		t.Vertices, t.Edges, t.Faces, t.Euler, t.Components, t.ComponentEuler, state)
+}

@@ -1,0 +1,149 @@
+// Package pi2m is the public API of this repository: a parallel
+// Image-to-Mesh conversion library reproducing Foteinos &
+// Chrisochoides, "High Quality Real-Time Image-to-Mesh Conversion for
+// Finite Element Simulations" (SC 2012).
+//
+// The minimal flow:
+//
+//	image, _ := pi2m.ReadNRRDFile("segmentation.nrrd") // or a phantom
+//	result, err := pi2m.Run(pi2m.Config{Image: image})
+//	pi2m.WriteVTKFile("mesh.vtk", result.Mesh, result.Final, image)
+//
+// The names here alias the implementation packages under internal/,
+// which carry the full documentation: internal/core (the refiner),
+// internal/img (images), internal/quality (metrics), internal/meshio
+// (export), internal/sizing (size functions), internal/smooth
+// (boundary smoothing), internal/fem (a P1 Poisson solver to consume
+// the meshes).
+package pi2m
+
+import (
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/delaunay"
+	"repro/internal/geom"
+	"repro/internal/img"
+	"repro/internal/meshio"
+	"repro/internal/quality"
+	"repro/internal/sizing"
+	"repro/internal/smooth"
+)
+
+// Core types.
+type (
+	// Config parameterizes a run; see internal/core.Config.
+	Config = core.Config
+	// Result is a finished run; Result.Final lists the output cells.
+	Result = core.Result
+	// RunStats carries operation and overhead counters.
+	RunStats = core.RunStats
+	// SizeFunc is the R5 size function type.
+	SizeFunc = core.SizeFunc
+	// EnergyModel and EnergyReport expose the Section 8 energy model.
+	EnergyModel = core.EnergyModel
+	// EnergyReport is the outcome of applying an EnergyModel.
+	EnergyReport = core.EnergyReport
+
+	// Image is a segmented multi-label voxel image.
+	Image = img.Image
+	// Label identifies a tissue (0 = background).
+	Label = img.Label
+
+	// Vec3 is a point in R^3.
+	Vec3 = geom.Vec3
+
+	// Mesh is the shared Delaunay triangulation a Result references.
+	Mesh = delaunay.Mesh
+	// CellHandle addresses one tetrahedron of a Mesh.
+	CellHandle = arena.Handle
+
+	// QualityStats summarizes element quality (Table 6 columns).
+	QualityStats = quality.Stats
+	// Triangle is a boundary triangle.
+	Triangle = quality.Triangle
+	// SurfaceTopologyInfo reports Euler characteristics and
+	// watertightness of a boundary triangulation.
+	SurfaceTopologyInfo = quality.Topology
+
+	// SmoothMesh is the mutable extracted mesh used by smoothing and
+	// the FEM solver.
+	SmoothMesh = smooth.Mesh
+	// RawMesh is the indexed interchange mesh for I/O and FEM.
+	RawMesh = meshio.RawMesh
+)
+
+// Run executes the PI2M pipeline (parallel EDT + parallel Delaunay
+// refinement) on cfg.
+func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// DefaultEnergyModel returns the per-core power model used by
+// Result.Energy.
+func DefaultEnergyModel() EnergyModel { return core.DefaultEnergyModel() }
+
+// Phantoms: synthetic stand-ins for segmented atlases (paper Table 3).
+var (
+	SpherePhantom    = img.SpherePhantom
+	TorusPhantom     = img.TorusPhantom
+	AbdominalPhantom = img.AbdominalPhantom
+	KneePhantom      = img.KneePhantom
+	HeadNeckPhantom  = img.HeadNeckPhantom
+	VesselPhantom    = img.VesselPhantom
+)
+
+// NewImage creates an empty segmented image.
+func NewImage(nx, ny, nz int, spacing Vec3) *Image { return img.New(nx, ny, nz, spacing) }
+
+// ReadNRRDFile loads a uint8 label image in NRRD format.
+func ReadNRRDFile(path string) (*Image, error) { return img.ReadNRRDFile(path) }
+
+// WriteNRRDFile saves a label image in NRRD format.
+func WriteNRRDFile(path string, im *Image) error { return img.WriteNRRDFile(path, im) }
+
+// Image processing helpers (Image methods, re-documented here for
+// discoverability): (*Image).RemoveIslands cleans segmentation
+// artifacts — the isolated voxel clusters the paper blames for its
+// fidelity numbers — and (*Image).Downsample halves resolution with
+// majority-vote labels for previews.
+
+// Evaluate computes element quality statistics over a final mesh.
+func Evaluate(m *Mesh, final []CellHandle, im *Image) QualityStats {
+	return quality.Evaluate(m, final, im)
+}
+
+// BoundaryTriangles extracts the boundary/interface triangulation.
+func BoundaryTriangles(m *Mesh, final []CellHandle, im *Image) []Triangle {
+	return quality.BoundaryTriangles(m, final, im)
+}
+
+// SurfaceTopology verifies the combinatorial topology of a boundary
+// triangulation (Theorem 1's guarantee, checkable).
+func SurfaceTopology(tris []Triangle) SurfaceTopologyInfo {
+	return quality.SurfaceTopology(tris)
+}
+
+// WriteVTKFile exports a final mesh as a legacy VTK unstructured grid
+// with tissue labels.
+func WriteVTKFile(path string, m *Mesh, final []CellHandle, im *Image) error {
+	return meshio.WriteVTKFile(path, m, final, im)
+}
+
+// WriteOFFFile exports boundary triangles as an OFF surface.
+func WriteOFFFile(path string, tris []Triangle) error {
+	return meshio.WriteOFFFile(path, tris)
+}
+
+// Extract copies a final mesh into a standalone mutable mesh for
+// smoothing or FE assembly.
+func Extract(m *Mesh, final []CellHandle, im *Image) *SmoothMesh {
+	return smooth.Extract(m, final, im)
+}
+
+// Size-function constructors (rule R5); see internal/sizing.
+var (
+	UniformSize     = sizing.Uniform
+	BallSize        = sizing.Ball
+	PerLabelSize    = sizing.PerLabel
+	NearSurfaceSize = sizing.NearSurface
+	GradedSize      = sizing.Graded
+	MinSize         = sizing.Min
+)
