@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/edt"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/img"
 	"repro/internal/meshio"
@@ -63,8 +65,30 @@ func main() {
 		verbose  = flag.Bool("v", false, "print refinement progress")
 		clean    = flag.Int("clean", 0, "remove segmentation islands smaller than this many voxels")
 		down     = flag.Int("downsample", 0, "halve the image resolution this many times before meshing")
+		timeout  = flag.Duration("timeout", 0, "cancel the run after this long, keeping the partial mesh (0 = none)")
+		fseed    = flag.Int64("fault-seed", 0, "enable the deterministic fault-injection harness with this seed (0 = off)")
+		frate    = flag.Float64("fault-rate", 0.01, "per-check fire probability for injected faults (with -fault-seed)")
 	)
 	flag.Parse()
+
+	if *fseed != 0 {
+		faultinject.Enable(faultinject.New(faultinject.Config{
+			Seed: *fseed,
+			Rates: map[faultinject.Point]float64{
+				faultinject.LockDeny:    *frate,
+				faultinject.WorkerPanic: *frate / 10,
+				faultinject.DropSteal:   *frate,
+				faultinject.CommitDelay: *frate / 10,
+			},
+			// Keep the virtual-box bootstrap deterministic-clean; the
+			// storm targets refinement.
+			After: map[faultinject.Point]int64{
+				faultinject.LockDeny:    500,
+				faultinject.WorkerPanic: 20,
+			},
+		}))
+		fmt.Printf("fault injection: seed %d, rate %g\n", *fseed, *frate)
+	}
 
 	var im *img.Image
 	var err error
@@ -92,6 +116,11 @@ func main() {
 		Balancer:          *balancer,
 		LivelockTimeout:   2 * time.Minute,
 	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Context = ctx
+	}
 	if *size > 0 {
 		s := *size
 		cfg.SizeFunc = func(geom.Vec3) float64 { return s }
@@ -107,8 +136,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if res.Livelocked {
-		log.Fatal("run aborted: livelock detected (try -cm local)")
+	for _, tr := range res.Transitions {
+		fmt.Printf("degradation: [%8.2fs] %s: %s\n", tr.Wall.Seconds(), tr.Event, tr.Detail)
+	}
+	switch res.Status {
+	case core.StatusAborted:
+		// A partial mesh is still written below; make the cause loud.
+		log.Printf("run aborted: %v — the outputs below are PARTIAL", res.Err())
+		if res.Livelocked {
+			log.Printf("hint: the degradation ladder was exhausted; try -cm local or fewer workers")
+		}
+	case core.StatusDegraded:
+		st := res.Stats
+		log.Printf("run degraded: %d recovered panics, %d dropped items, %d callback panics",
+			st.RecoveredPanics, st.DroppedItems, st.CallbackPanics)
+	}
+	if res.Elements() == 0 {
+		log.Fatal("no elements were produced; nothing to report or write")
 	}
 
 	name := *phantom

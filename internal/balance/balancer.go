@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // TransferStats classifies work transfers by the topological distance
@@ -123,6 +125,9 @@ func (b *RWS) AwaitWork(tid int) bool {
 
 // ClaimBeggar implements Balancer.
 func (b *RWS) ClaimBeggar(donor int) (int, bool) {
+	if faultinject.Fire(faultinject.DropSteal) {
+		return 0, false // injected lost steal: donor keeps the work
+	}
 	b.mu.Lock()
 	if len(b.queue) == 0 {
 		b.mu.Unlock()
@@ -202,6 +207,9 @@ func (b *HWS) AwaitWork(tid int) bool {
 
 // ClaimBeggar implements Balancer.
 func (b *HWS) ClaimBeggar(donor int) (int, bool) {
+	if faultinject.Fire(faultinject.DropSteal) {
+		return 0, false // injected lost steal: donor keeps the work
+	}
 	s := b.topo.Socket(donor)
 	bl := b.topo.Blade(donor)
 	b.mu.Lock()

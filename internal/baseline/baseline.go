@@ -90,7 +90,10 @@ func SeqMesh(im *img.Image, opt Options) (*Result, error) {
 	tr := edt.Compute(im, 1)
 
 	lo, hi := im.Bounds()
-	m := delaunay.NewMesh(lo, hi)
+	m, err := delaunay.NewMesh(lo, hi)
+	if err != nil {
+		return nil, err
+	}
 	w := m.NewWorker(0)
 	isoGrid := spatial.NewGrid(lo, hi, opt.Delta)
 	meshStart := time.Now()
@@ -256,7 +259,10 @@ func PLCMesh(im *img.Image, tris []quality.Triangle, opt Options) (*Result, erro
 	start := time.Now()
 
 	lo, hi := im.Bounds()
-	m := delaunay.NewMesh(lo, hi)
+	m, err := delaunay.NewMesh(lo, hi)
+	if err != nil {
+		return nil, err
+	}
 	w := m.NewWorker(0)
 
 	// Insert the PLC vertices (deduplicated by exact position).

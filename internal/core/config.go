@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -103,10 +104,45 @@ type Config struct {
 
 	// Progress, when non-nil, is called from a sampler goroutine every
 	// ProgressSample (default 250ms) with a running snapshot — for
-	// long-running CLI feedback. It must be fast and thread-safe.
+	// long-running CLI feedback. It must be fast and thread-safe. A
+	// panic in the callback is recovered (the run degrades, further
+	// progress reports are dropped) rather than crashing the process.
 	Progress       func(Progress)
 	ProgressSample time.Duration
+
+	// Context, when non-nil, cooperatively cancels the refinement: once
+	// it is done (deadline or cancel), the workers stop at the next
+	// operation boundary and Run returns a partial Result with
+	// StatusAborted, the final-mesh cells extracted so far, and the
+	// cancellation reason. The mesh remains structurally valid — every
+	// committed operation is atomic under the locking protocol.
+	Context context.Context
+
+	// PanicBudget is the number of panics a single worker thread may
+	// recover from (releasing its vertex locks and re-queuing the
+	// in-flight element) before the run is aborted with a structured
+	// reason. Zero selects 3; negative disables the budget (unlimited
+	// recoveries).
+	PanicBudget int
+
+	// RetryBudget bounds how many times a poor element whose operation
+	// panicked is re-queued before being dropped. Zero selects 2.
+	RetryBudget int
+
+	// OnTransition, when non-nil, is called (panic-guarded) each time
+	// the failure-handling machinery records a Transition: a
+	// contention-manager hot-swap, the switch to sequential drain, a
+	// cancellation, or an abort. It must be thread-safe.
+	OnTransition func(Transition)
+
+	// userSizeFunc keeps the caller's unwrapped SizeFunc so the panic
+	// guard wraps exactly the user code, not the default.
+	userSizeFunc SizeFunc
 }
+
+// noSizeBound is the R5 bound meaning "no constraint"; also the value
+// a panicking user SizeFunc degrades to.
+var noSizeBound = math.Inf(1)
 
 // Progress is a point-in-time snapshot of a running refinement.
 type Progress struct {
@@ -135,9 +171,17 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.MinFacetAngle == 0 {
 		cfg.MinFacetAngle = 30
 	}
+	cfg.userSizeFunc = cfg.SizeFunc
 	if cfg.SizeFunc == nil {
-		inf := math.Inf(1)
-		cfg.SizeFunc = func(geom.Vec3) float64 { return inf }
+		cfg.SizeFunc = func(geom.Vec3) float64 { return noSizeBound }
+	}
+	if cfg.PanicBudget == 0 {
+		cfg.PanicBudget = 3
+	} else if cfg.PanicBudget < 0 {
+		cfg.PanicBudget = math.MaxInt
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 2
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)

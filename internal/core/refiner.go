@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,20 +27,45 @@ type Refiner struct {
 	isoGrid *spatial.Grid // isosurface samples (Kind Iso/Surface), spacing δ
 	ccGrid  *spatial.Grid // inserted circumcenters, for R6
 
-	cmgr  cm.Manager
+	// cmSlot holds the active contention manager; the livelock
+	// watchdog may hot-swap it mid-run (see escalate), so every access
+	// goes through cm(). cmBaseNs accumulates the per-thread contention
+	// time of retired managers.
+	cmSlot   atomic.Pointer[cmEntry]
+	cmBaseNs []atomic.Int64
+
 	bal   balance.Balancer
 	coord *cm.Coordinator
 
 	threads []*thread
 
-	done        atomic.Bool
-	aborted     atomic.Bool // livelock watchdog fired
+	done       atomic.Bool
+	failed     atomic.Bool // run aborted: the Result is partial
+	livelocked atomic.Bool // the stall watchdog exhausted the ladder
+	seqDrain   atomic.Bool // degradation: all work drains through thread 0
+
 	ops         atomic.Int64
 	insideCount atomic.Int64 // live final-mesh cells (for MaxElements)
+
+	recoveredPanics atomic.Int64
+	droppedItems    atomic.Int64
+	callbackPanics  atomic.Int64
+
+	// trMu guards the transition log and the abort reason.
+	trMu        sync.Mutex
+	transitions []Transition
+	reason      string
 
 	startWall time.Time
 	timeline  []TimelinePoint
 	tlMu      sync.Mutex
+}
+
+// cmEntry pairs a contention manager with its selector name, so the
+// escalation ladder knows what is currently installed.
+type cmEntry struct {
+	name string
+	m    cm.Manager
 }
 
 // thread is the per-worker refinement state.
@@ -51,8 +77,9 @@ type thread struct {
 	removals []arena.Handle // pending R6 victim vertices
 
 	inbox struct {
-		mu    sync.Mutex
-		items []pelItem
+		mu       sync.Mutex
+		items    []pelItem
+		removals []arena.Handle // forwarded R6 work (sequential drain)
 	}
 
 	inside []arena.Handle // cells created with circumcenter inside O
@@ -64,6 +91,16 @@ type thread struct {
 	// element is counted, so increment/decrement pair up exactly once.
 	poorCount atomic.Int64
 
+	// panics counts operations this thread recovered from a panic; the
+	// run aborts once it exceeds Config.PanicBudget.
+	panics int
+
+	// cur describes the operation in flight, so the panic handler can
+	// re-queue it. curKind is curNone outside an operation.
+	cur     pelItem
+	curVert arena.Handle
+	curKind uint8
+
 	// Overheads (paper Section 5.5). Contention time lives in the CM,
 	// idle time in the balancer; rollbackNs is the partially-completed
 	// work thrown away by rollbacks.
@@ -73,14 +110,28 @@ type thread struct {
 	scratch   []pelItem
 }
 
+const (
+	curNone uint8 = iota
+	curInsertion
+	curRemoval
+)
+
 // pelItem is a poor element, optionally with a classification already
 // computed (act.rule != RuleNone): a conflicted operation re-queues
 // its element with the action cached so the retry skips
-// re-classification.
+// re-classification. retries counts panic-recovery re-queues of this
+// item, bounded by Config.RetryBudget.
 type pelItem struct {
-	cell arena.Handle
-	act  action
+	cell    arena.Handle
+	act     action
+	retries int
 }
+
+// cm returns the active contention manager.
+func (r *Refiner) cm() cm.Manager { return r.cmSlot.Load().m }
+
+// cmName returns the active contention manager's selector name.
+func (r *Refiner) cmName() string { return r.cmSlot.Load().name }
 
 // Run performs the complete PI2M pipeline on cfg: parallel EDT, then
 // parallel Delaunay refinement to the quality/fidelity criteria, then
@@ -91,6 +142,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	r := &Refiner{cfg: cfg, im: cfg.Image}
+	r.guardCallbacks()
 
 	res := &Result{Config: cfg}
 	wallStart := time.Now()
@@ -102,12 +154,16 @@ func Run(cfg Config) (*Result, error) {
 
 	// The virtual box is the image's world bounding box.
 	lo, hi := r.im.Bounds()
-	r.mesh = delaunay.NewMesh(lo, hi)
+	r.mesh, err = delaunay.NewMesh(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("core: bootstrap triangulation: %w", err)
+	}
 	r.isoGrid = spatial.NewGrid(lo, hi, cfg.Delta)
 	r.ccGrid = spatial.NewGrid(lo, hi, 2*cfg.Delta)
 
 	r.coord = cm.NewCoordinator(cfg.Workers)
-	r.cmgr = cfg.newCM(r.coord)
+	r.cmSlot.Store(&cmEntry{name: cfg.ContentionManager, m: cfg.newCM(r.coord)})
+	r.cmBaseNs = make([]atomic.Int64, cfg.Workers)
 	r.bal = cfg.newBalancer()
 
 	r.threads = make([]*thread, cfg.Workers)
@@ -139,7 +195,6 @@ func Run(cfg Config) (*Result, error) {
 
 	res.RefineTime = time.Since(r.startWall)
 	res.TotalTime = time.Since(wallStart)
-	res.Livelocked = r.aborted.Load()
 	r.collect(res)
 	return res, nil
 }
@@ -161,12 +216,13 @@ func (r *Refiner) noteCreated(t *thread, h arena.Handle, c *delaunay.Cell) {
 // flushScratch moves newly found poor elements to the thread's own PEL
 // or donates them to a beggar. Per Section 4.4, a thread may only give
 // work away while its own counter of valid poor elements is at least
-// the threshold.
+// the threshold. In sequential-drain mode donation is disabled: work
+// must flow toward thread 0, never away from it.
 func (r *Refiner) flushScratch(t *thread) {
 	if len(t.scratch) == 0 {
 		return
 	}
-	if t.poorCount.Load() >= int64(r.cfg.DonateThreshold) {
+	if !r.seqDrain.Load() && t.poorCount.Load() >= int64(r.cfg.DonateThreshold) {
 		if beggar, ok := r.bal.ClaimBeggar(t.id); ok {
 			bt := r.threads[beggar]
 			for _, item := range t.scratch {
@@ -210,56 +266,153 @@ func (t *thread) drainInbox() {
 		t.pel = append(t.pel, t.inbox.items...)
 		t.inbox.items = t.inbox.items[:0]
 	}
+	if len(t.inbox.removals) > 0 {
+		t.removals = append(t.removals, t.inbox.removals...)
+		t.inbox.removals = t.inbox.removals[:0]
+	}
 	t.inbox.mu.Unlock()
 }
 
 // workerLoop is Algorithm 1: pop a poor element, apply the rule's
 // operation speculatively, handle rollbacks through the contention
 // manager, update PELs, and balance load until global termination.
+// Each iteration runs panic-isolated (see iterate): a panic in the
+// kernel, the rules, or injected by the fault harness is recovered,
+// counted, and the in-flight element re-queued, instead of killing the
+// process.
 func (r *Refiner) workerLoop(t *thread) {
 	for !r.done.Load() {
-		t.drainInbox()
-
-		// Pending R6 removals first: they unblock termination near the
-		// isosurface.
-		if len(t.removals) > 0 {
-			vh := t.removals[len(t.removals)-1]
-			t.removals = t.removals[:len(t.removals)-1]
-			r.doRemoval(t, vh)
-			continue
+		if !r.iterate(t) {
+			return
 		}
-
-		if len(t.pel) == 0 {
-			if !r.idle(t) {
-				return
-			}
-			continue
-		}
-
-		item := t.pel[len(t.pel)-1]
-		t.pel = t.pel[:len(t.pel)-1]
-		r.countOut(item.cell)
-		c := r.mesh.Cells.At(item.cell)
-		if c.Dead() {
-			continue // invalidated while queued (Section 4.3)
-		}
-		act := item.act
-		// Fresh items carry no classification (the creating thread only
-		// ran the cheap poorness test); conflicted retries carry theirs,
-		// revalidated against the sparsity gates that newer samples may
-		// have closed.
-		fresh := act.rule == RuleNone
-		stale := (act.rule == R1 && r.isoGrid.AnyWithin(act.point, r.cfg.Delta)) ||
-			(act.rule == R3 && r.isoGrid.AnyWithin(act.point, r.cfg.Delta/4))
-		if fresh || stale {
-			var ok bool
-			act, ok = r.classify(item.cell, c)
-			if !ok {
-				continue
-			}
-		}
-		r.doInsertion(t, item.cell, act)
 	}
+}
+
+// iterate executes one protected iteration. It returns false when the
+// worker must exit (termination, or this thread's panic budget is
+// exhausted).
+func (r *Refiner) iterate(t *thread) (cont bool) {
+	t.curKind = curNone
+	defer func() {
+		if p := recover(); p != nil {
+			cont = r.recoverWorker(t, p)
+		}
+	}()
+
+	t.drainInbox()
+
+	// Degradation mode: every thread but 0 forwards its work and then
+	// parks through the regular idle path.
+	if r.seqDrain.Load() && t.id != 0 {
+		r.handoff(t)
+	}
+
+	// Pending R6 removals first: they unblock termination near the
+	// isosurface.
+	if len(t.removals) > 0 {
+		vh := t.removals[len(t.removals)-1]
+		t.removals = t.removals[:len(t.removals)-1]
+		t.curVert, t.curKind = vh, curRemoval
+		r.doRemoval(t, vh)
+		return true
+	}
+
+	if len(t.pel) == 0 {
+		return r.idle(t)
+	}
+
+	item := t.pel[len(t.pel)-1]
+	t.pel = t.pel[:len(t.pel)-1]
+	r.countOut(item.cell)
+	c := r.mesh.Cells.At(item.cell)
+	if c.Dead() {
+		return true // invalidated while queued (Section 4.3)
+	}
+	t.cur, t.curKind = item, curInsertion
+	act := item.act
+	// Fresh items carry no classification (the creating thread only
+	// ran the cheap poorness test); conflicted retries carry theirs,
+	// revalidated against the sparsity gates that newer samples may
+	// have closed.
+	fresh := act.rule == RuleNone
+	stale := (act.rule == R1 && r.isoGrid.AnyWithin(act.point, r.cfg.Delta)) ||
+		(act.rule == R3 && r.isoGrid.AnyWithin(act.point, r.cfg.Delta/4))
+	if fresh || stale {
+		var ok bool
+		act, ok = r.classify(item.cell, c)
+		if !ok {
+			return true
+		}
+		t.cur.act = act
+	}
+	r.doInsertion(t, item.cell, act)
+	return true
+}
+
+// recoverWorker is the panic handler of one worker iteration: release
+// the locks the unwound operation still holds (in reverse), count the
+// fault, re-queue the in-flight element within its retry budget, and
+// keep the worker running until its panic budget is exhausted — then
+// escalate to a clean structured abort of the whole run.
+func (r *Refiner) recoverWorker(t *thread, p any) (cont bool) {
+	t.w.RecoverFromPanic()
+	r.recoveredPanics.Add(1)
+	t.panics++
+
+	// Poor elements discovered by the unwound operation stay with this
+	// thread (donation could deadlock against a half-recovered state).
+	for _, item := range t.scratch {
+		r.countIn(t, item.cell)
+	}
+	t.pel = append(t.pel, t.scratch...)
+	t.scratch = t.scratch[:0]
+
+	switch t.curKind {
+	case curInsertion:
+		if t.cur.retries < r.cfg.RetryBudget {
+			t.cur.retries++
+			r.countIn(t, t.cur.cell)
+			t.pel = append(t.pel, t.cur)
+		} else {
+			r.droppedItems.Add(1)
+		}
+	case curRemoval:
+		// R6 is a termination aid, not a correctness requirement: a
+		// removal that panicked is dropped rather than retried.
+		r.droppedItems.Add(1)
+	}
+	t.curKind = curNone
+
+	if t.panics > r.cfg.PanicBudget {
+		reason := fmt.Sprintf("panic budget exhausted: thread %d recovered %d panics, last: %v",
+			t.id, t.panics, p)
+		r.recordTransition("abort", reason)
+		r.abortRun(reason)
+		return false
+	}
+	return true
+}
+
+// handoff forwards a non-zero thread's pending work to thread 0's
+// inbox (sequential-drain mode), transferring the poor-element counts
+// with it.
+func (r *Refiner) handoff(t *thread) {
+	if len(t.pel) == 0 && len(t.removals) == 0 {
+		return
+	}
+	t0 := r.threads[0]
+	for _, item := range t.pel {
+		if r.countOut(item.cell) {
+			r.countIn(t0, item.cell)
+		}
+	}
+	t0.inbox.mu.Lock()
+	t0.inbox.items = append(t0.inbox.items, t.pel...)
+	t0.inbox.removals = append(t0.inbox.removals, t.removals...)
+	t0.inbox.mu.Unlock()
+	t.pel = t.pel[:0]
+	t.removals = t.removals[:0]
+	r.bal.Wake(0)
 }
 
 // doInsertion executes one rule-driven point insertion.
@@ -271,7 +424,7 @@ func (r *Refiner) doInsertion(t *thread, ch arena.Handle, act action) {
 		t.ruleCount[act.rule]++
 		r.ops.Add(1)
 		r.postCommit(t, act, res)
-		r.cmgr.OnSuccess(t.id)
+		r.cm().OnSuccess(t.id)
 		r.flushScratch(t)
 	case delaunay.Conflict:
 		atomic.AddInt64(&t.rollbackNs, int64(time.Since(start)))
@@ -280,11 +433,11 @@ func (r *Refiner) doInsertion(t *thread, ch arena.Handle, act action) {
 		// element" (Section 4.2) — and the thread consults the
 		// contention manager (Section 4.5).
 		r.countIn(t, ch)
-		t.pel = append(t.pel, pelItem{cell: ch, act: act})
+		t.pel = append(t.pel, pelItem{cell: ch, act: act, retries: t.cur.retries})
 		if n := len(t.pel) - 1; n > 0 {
 			t.pel[0], t.pel[n] = t.pel[n], t.pel[0]
 		}
-		r.cmgr.OnRollback(t.id, t.w.ConflictTid)
+		r.cm().OnRollback(t.id, t.w.ConflictTid)
 	case delaunay.Stale:
 		// The cell died between pop and operation; its replacements
 		// were classified by whoever killed it.
@@ -308,12 +461,12 @@ func (r *Refiner) doRemoval(t *thread, vh arena.Handle) {
 		t.ruleCount[R6]++
 		r.ops.Add(1)
 		r.postCommit(t, action{rule: R6}, res)
-		r.cmgr.OnSuccess(t.id)
+		r.cm().OnSuccess(t.id)
 		r.flushScratch(t)
 	case delaunay.Conflict:
 		atomic.AddInt64(&t.rollbackNs, int64(time.Since(start)))
 		t.removals = append([]arena.Handle{vh}, t.removals...)
-		r.cmgr.OnRollback(t.id, t.w.ConflictTid)
+		r.cm().OnRollback(t.id, t.w.ConflictTid)
 	case delaunay.Stale, delaunay.Failed:
 		// Already removed, or a degenerate link: keep the vertex (the
 		// quality rules still hold; R6 is a termination aid).
@@ -387,7 +540,7 @@ func (r *Refiner) idle(t *thread) bool {
 			return true
 		}
 		// Last active thread.
-		if r.cmgr.WakeOne() {
+		if r.cm().WakeOne() {
 			runtime.Gosched()
 			t.drainInbox()
 			if len(t.pel) > 0 || len(t.removals) > 0 {
@@ -405,6 +558,15 @@ func (r *Refiner) idle(t *thread) bool {
 			runtime.Gosched()
 			continue
 		}
+		// A thread that deactivated in the coordinator but has not yet
+		// registered in the contention list (or parked on the begging
+		// list) is invisible to WakeOne — and may still hold a full PEL.
+		// Only threads actually parked on the begging list are known to
+		// be empty-handed, so termination requires all of them there.
+		if r.bal.Idle() != len(r.threads)-1 {
+			runtime.Gosched()
+			continue
+		}
 		// No work anywhere: terminate the run.
 		r.finish()
 		return false
@@ -416,7 +578,7 @@ func (r *Refiner) idle(t *thread) bool {
 func (r *Refiner) anyInboxPending() bool {
 	for _, t := range r.threads {
 		t.inbox.mu.Lock()
-		n := len(t.inbox.items)
+		n := len(t.inbox.items) + len(t.inbox.removals)
 		t.inbox.mu.Unlock()
 		if n > 0 {
 			return true
@@ -429,13 +591,117 @@ func (r *Refiner) anyInboxPending() bool {
 // thread.
 func (r *Refiner) finish() {
 	if r.done.CompareAndSwap(false, true) {
-		r.cmgr.Quiesce()
+		r.cm().Quiesce()
 		r.bal.Quiesce()
 	}
 }
 
-// startAux launches the livelock watchdog and the timeline sampler;
-// the returned function stops them.
+// abortRun terminates the run with a structured reason; the Result is
+// partial but consistent (every committed operation is atomic under
+// the locking protocol).
+func (r *Refiner) abortRun(reason string) {
+	r.trMu.Lock()
+	if r.reason == "" {
+		r.reason = reason
+	}
+	r.trMu.Unlock()
+	r.failed.Store(true)
+	r.finish()
+}
+
+// recordTransition appends an event to the run's transition log and
+// notifies the (panic-guarded) Config.OnTransition callback.
+func (r *Refiner) recordTransition(event, detail string) {
+	tr := Transition{Wall: time.Since(r.startWall), Event: event, Detail: detail}
+	r.trMu.Lock()
+	r.transitions = append(r.transitions, tr)
+	r.trMu.Unlock()
+	if cb := r.cfg.OnTransition; cb != nil {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					r.noteCallbackPanic("OnTransition", p)
+				}
+			}()
+			cb(tr)
+		}()
+	}
+}
+
+// noteCallbackPanic counts a recovered panic in user-supplied callback
+// code; the first one is recorded in the transition log so the run is
+// marked Degraded.
+func (r *Refiner) noteCallbackPanic(name string, p any) {
+	if r.callbackPanics.Add(1) == 1 {
+		tr := Transition{Wall: time.Since(r.startWall), Event: "callback-panic",
+			Detail: fmt.Sprintf("%s: %v", name, p)}
+		r.trMu.Lock()
+		r.transitions = append(r.transitions, tr)
+		r.trMu.Unlock()
+	}
+}
+
+// escalate is the graceful-degradation ladder, invoked by the stall
+// watchdog instead of the old immediate abort. Rung 1: hot-swap the
+// contention manager to Local-CM, which provably cannot livelock
+// (Section 5.4). Rung 2: drain all PELs through a single thread —
+// sequential refinement cannot roll back, so it cannot livelock
+// either. Rung 3: abort with a structured reason. It returns false
+// when the ladder is exhausted and the run was aborted.
+func (r *Refiner) escalate(stalledFor time.Duration) bool {
+	switch {
+	case r.cfg.Workers > 1 && r.cmName() != "local" && !r.seqDrain.Load():
+		from := r.cmName()
+		r.swapCM("local")
+		r.recordTransition("cm-swap",
+			fmt.Sprintf("stalled %v under %s: hot-swapped to Local-CM", stalledFor.Round(time.Millisecond), from))
+		return true
+	case r.cfg.Workers > 1 && !r.seqDrain.Load():
+		from := r.cmName() // engageSeqDrain swaps the CM; name the one that stalled
+		r.engageSeqDrain()
+		r.recordTransition("sequential-drain",
+			fmt.Sprintf("stalled %v under %s: draining all PELs through thread 0", stalledFor.Round(time.Millisecond), from))
+		return true
+	default:
+		reason := fmt.Sprintf("livelock: no committed operation for %v and the degradation ladder is exhausted", stalledFor.Round(time.Millisecond))
+		r.livelocked.Store(true)
+		r.recordTransition("abort", reason)
+		r.abortRun(reason)
+		return false
+	}
+}
+
+// swapCM installs the named contention manager and retires the current
+// one, releasing any threads blocked inside it.
+func (r *Refiner) swapCM(name string) {
+	cfg := r.cfg
+	cfg.ContentionManager = name
+	next := &cmEntry{name: name, m: cfg.newCM(r.coord)}
+	old := r.cmSlot.Swap(next)
+	// New rollbacks now consult the new manager; release everyone still
+	// blocked in the old one, then bank its contention time. (Threads
+	// released this instant may add a final slice to the old manager
+	// after the snapshot — a bounded undercount, noted in DESIGN.md.)
+	old.m.Quiesce()
+	for i := range r.cmBaseNs {
+		r.cmBaseNs[i].Add(old.m.ContentionNs(i))
+	}
+}
+
+// engageSeqDrain switches the run into sequential-drain mode: the
+// contention manager becomes a no-op (a single active thread cannot
+// conflict), and every parked thread is woken so it forwards its work
+// to thread 0 and re-parks.
+func (r *Refiner) engageSeqDrain() {
+	r.seqDrain.Store(true)
+	r.swapCM("aggressive")
+	for i := range r.threads {
+		r.bal.Wake(i)
+	}
+}
+
+// startAux launches the stall watchdog, the context watcher, and the
+// timeline/progress samplers; the returned function stops them.
 func (r *Refiner) startAux() func() {
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -459,12 +725,29 @@ func (r *Refiner) startAux() func() {
 						lastChange = time.Now()
 						continue
 					}
-					if time.Since(lastChange) >= r.cfg.LivelockTimeout {
-						r.aborted.Store(true)
-						r.finish()
-						return
+					if stalled := time.Since(lastChange); stalled >= r.cfg.LivelockTimeout {
+						if !r.escalate(stalled) {
+							return // ladder exhausted: run aborted
+						}
+						// Give the new rung a full window to make progress.
+						last = r.ops.Load()
+						lastChange = time.Now()
 					}
 				}
+			}
+		}()
+	}
+
+	if ctx := r.cfg.Context; ctx != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case <-stop:
+			case <-ctx.Done():
+				reason := fmt.Sprintf("canceled: %v", ctx.Err())
+				r.recordTransition("cancel", reason)
+				r.abortRun(reason)
 			}
 		}()
 	}
@@ -515,8 +798,10 @@ func (r *Refiner) startAux() func() {
 
 func (r *Refiner) sampleTimeline() {
 	var totalNs int64
+	mgr := r.cm()
 	for i, t := range r.threads {
-		totalNs += r.cmgr.ContentionNs(i) + r.bal.IdleNs(i) + atomic.LoadInt64(&t.rollbackNs)
+		totalNs += r.cmBaseNs[i].Load() + mgr.ContentionNs(i) +
+			r.bal.IdleNs(i) + atomic.LoadInt64(&t.rollbackNs)
 	}
 	pt := TimelinePoint{
 		Wall:       time.Since(r.startWall),
@@ -525,4 +810,47 @@ func (r *Refiner) sampleTimeline() {
 	r.tlMu.Lock()
 	r.timeline = append(r.timeline, pt)
 	r.tlMu.Unlock()
+}
+
+// guardCallbacks wraps the user-supplied callbacks so a panic in user
+// code is recovered and degrades the run instead of crashing a worker
+// or sampler goroutine.
+func (r *Refiner) guardCallbacks() {
+	if f := r.cfg.userSizeFunc; f != nil {
+		r.cfg.SizeFunc = func(p geom.Vec3) (out float64) {
+			defer func() {
+				if pv := recover(); pv != nil {
+					r.noteCallbackPanic("SizeFunc", pv)
+					out = noSizeBound
+				}
+			}()
+			return f(p)
+		}
+	}
+	if f := r.cfg.DeltaFunc; f != nil {
+		r.cfg.DeltaFunc = func(p geom.Vec3) (out float64) {
+			defer func() {
+				if pv := recover(); pv != nil {
+					r.noteCallbackPanic("DeltaFunc", pv)
+					out = r.cfg.Delta
+				}
+			}()
+			return f(p)
+		}
+	}
+	if f := r.cfg.Progress; f != nil {
+		var disabled atomic.Bool
+		r.cfg.Progress = func(p Progress) {
+			if disabled.Load() {
+				return
+			}
+			defer func() {
+				if pv := recover(); pv != nil {
+					r.noteCallbackPanic("Progress", pv)
+					disabled.Store(true)
+				}
+			}()
+			f(p)
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -53,11 +54,61 @@ type RunStats struct {
 	// counters at termination; the push/pop/invalidate protocol pairs
 	// every increment with exactly one decrement, so it must be zero.
 	DanglingPoorCount int64
+
+	// Failure-model counters (see DESIGN.md "Failure model").
+	RecoveredPanics int64 // worker panics recovered in place
+	DroppedItems    int64 // elements/removals dropped after exhausting RetryBudget
+	CallbackPanics  int64 // panics recovered inside user callbacks
 }
 
 // TotalOverheadNs is the sum of the three overhead components.
 func (s *RunStats) TotalOverheadNs() int64 {
 	return s.ContentionNs + s.LoadBalanceNs + s.RollbackNs
+}
+
+// Status classifies how a run ended.
+type Status int
+
+const (
+	// StatusCompleted: the run terminated normally with all criteria
+	// met and no failure handling engaged.
+	StatusCompleted Status = iota
+	// StatusDegraded: the run produced a complete, valid mesh, but the
+	// failure machinery engaged along the way (recovered panics, a
+	// contention-manager hot-swap, a sequential drain, or a callback
+	// panic). Transitions and the stats say what happened.
+	StatusDegraded
+	// StatusAborted: the run stopped early (cancellation, panic budget,
+	// or an exhausted degradation ladder). The Result is partial: the
+	// mesh is structurally valid but quality/fidelity criteria may be
+	// unmet; Reason carries the structured cause.
+	StatusAborted
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusCompleted:
+		return "completed"
+	case StatusDegraded:
+		return "degraded"
+	case StatusAborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("status(%d)", int(s))
+}
+
+// Transition is one recorded action of the failure-handling machinery:
+// a contention-manager hot-swap, the switch to sequential drain, a
+// cancellation, a callback panic, or an abort.
+type Transition struct {
+	// Wall is the refinement wall-clock time of the transition.
+	Wall time.Duration
+	// Event is the machine-readable kind: "cm-swap",
+	// "sequential-drain", "cancel", "callback-panic", "abort".
+	Event string
+	// Detail is the human-readable explanation.
+	Detail string
 }
 
 // Result is the outcome of a PI2M run.
@@ -74,12 +125,34 @@ type Result struct {
 	RefineTime time.Duration
 	TotalTime  time.Duration
 
-	// Livelocked reports that the watchdog aborted the run because no
-	// operation committed for Config.LivelockTimeout.
+	// Status classifies the outcome; Reason is the structured cause
+	// when the run aborted (empty otherwise).
+	Status Status
+	Reason string
+
+	// Transitions logs every failure-handling action in order.
+	Transitions []Transition
+
+	// Livelocked reports that the stall watchdog exhausted the whole
+	// degradation ladder (CM hot-swap, then sequential drain) without
+	// recovering progress and aborted the run. Kept for backward
+	// compatibility; new code should inspect Status/Transitions.
 	Livelocked bool
 
 	Stats    RunStats
 	Timeline []TimelinePoint
+}
+
+// Err returns a non-nil error when the run aborted, carrying the
+// structured reason; nil for completed and degraded runs.
+func (r *Result) Err() error {
+	if r.Status != StatusAborted {
+		return nil
+	}
+	if r.Reason != "" {
+		return fmt.Errorf("core: run aborted: %s", r.Reason)
+	}
+	return fmt.Errorf("core: run aborted")
 }
 
 // Elements returns the number of tetrahedra in the final mesh.
@@ -97,10 +170,25 @@ func (r *Result) ElementsPerSecond() float64 {
 func (r *Refiner) collect(res *Result) {
 	res.Mesh = r.mesh
 	res.Timeline = r.timeline
+	res.Livelocked = r.livelocked.Load()
+	res.Transitions = r.transitions
+	res.Reason = r.reason
+	switch {
+	case r.failed.Load():
+		res.Status = StatusAborted
+	case len(r.transitions) > 0 || r.recoveredPanics.Load() > 0 || r.callbackPanics.Load() > 0:
+		res.Status = StatusDegraded
+	default:
+		res.Status = StatusCompleted
+	}
 
 	s := &res.Stats
 	s.Threads = r.cfg.Workers
+	s.RecoveredPanics = r.recoveredPanics.Load()
+	s.DroppedItems = r.droppedItems.Load()
+	s.CallbackPanics = r.callbackPanics.Load()
 	s.PerThreadOverheadNs = make([]int64, r.cfg.Workers)
+	mgr := r.cm()
 	for i, t := range r.threads {
 		ws := t.w.Stats
 		s.Inserts += ws.Inserts
@@ -114,7 +202,7 @@ func (r *Refiner) collect(res *Result) {
 		for rule, n := range t.ruleCount {
 			s.RuleCounts[rule] += n
 		}
-		cn := r.cmgr.ContentionNs(i)
+		cn := r.cmBaseNs[i].Load() + mgr.ContentionNs(i)
 		ln := r.bal.IdleNs(i)
 		rn := atomic.LoadInt64(&t.rollbackNs)
 		s.ContentionNs += cn

@@ -10,7 +10,22 @@ import (
 
 func v3(x, y, z float64) geom.Vec3 { return geom.Vec3{X: x, Y: y, Z: z} }
 
-func unitBox() *Mesh { return NewMesh(v3(0, 0, 0), v3(1, 1, 1)) }
+func unitBox() *Mesh {
+	m, err := NewMesh(v3(0, 0, 0), v3(1, 1, 1))
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestNewMeshDegenerateBox(t *testing.T) {
+	if _, err := NewMesh(v3(0, 0, 0), v3(0, 1, 1)); err == nil {
+		t.Fatal("zero-extent box accepted")
+	}
+	if _, err := NewMesh(v3(1, 1, 1), v3(0, 0, 0)); err == nil {
+		t.Fatal("inverted box accepted")
+	}
+}
 
 func TestNewMeshInvariants(t *testing.T) {
 	m := unitBox()

@@ -2,6 +2,7 @@ package delaunay
 
 import (
 	"repro/internal/arena"
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/predicates"
 )
@@ -48,6 +49,14 @@ func (w *Worker) Insert(p geom.Vec3, kind VertKind, start arena.Handle) (*OpResu
 			return nil, Failed
 		}
 	}
+
+	// Fault-injection sites, both at the point of maximum leverage:
+	// every cavity lock is held but the mesh is still untouched, so a
+	// recovered panic here must release the locks to unwedge the run,
+	// and a delay here maximizes the contention window other workers
+	// see. Both compile to a nil-check when injection is disabled.
+	faultinject.Check(faultinject.WorkerPanic)
+	faultinject.Sleep(faultinject.CommitDelay)
 
 	w.commitInsert(p, kind)
 	return &w.result, OK

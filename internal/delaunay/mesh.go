@@ -23,6 +23,7 @@
 package delaunay
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 
@@ -186,26 +187,34 @@ type Mesh struct {
 // preserves that picture while keeping the cospherical corners
 // consistent with the perturbation scheme.) This bootstrap is the
 // algorithm's only sequential part.
-func NewMesh(lo, hi geom.Vec3) *Mesh {
+// A degenerate box (zero or inverted extent, or a corner insertion
+// failure) is reported as an error rather than panicking, so a hostile
+// or empty input image cannot crash the process.
+func NewMesh(lo, hi geom.Vec3) (*Mesh, error) {
 	m := &Mesh{
 		Verts: arena.New[Vertex](),
 		Cells: arena.New[Cell](),
 	}
-	m.bootstrap(lo, hi)
-	return m
+	if err := m.bootstrap(lo, hi); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // resetTo clears the mesh and rebuilds the initial triangulation. Only
 // valid for single-owner scratch meshes (vertex removal's local
 // triangulations).
-func (m *Mesh) resetTo(lo, hi geom.Vec3) {
+func (m *Mesh) resetTo(lo, hi geom.Vec3) error {
 	m.Verts.Reset()
 	m.Cells.Reset()
 	m.stamp.Store(0)
-	m.bootstrap(lo, hi)
+	return m.bootstrap(lo, hi)
 }
 
-func (m *Mesh) bootstrap(lo, hi geom.Vec3) {
+func (m *Mesh) bootstrap(lo, hi geom.Vec3) error {
+	if !(lo.X < hi.X && lo.Y < hi.Y && lo.Z < hi.Z) {
+		return fmt.Errorf("delaunay: degenerate virtual box [%v, %v]", lo, hi)
+	}
 	m.boxLo, m.boxHi = lo, hi
 	va := m.Verts.NewAllocator()
 	ca := m.Cells.NewAllocator()
@@ -268,11 +277,12 @@ func (m *Mesh) bootstrap(lo, hi geom.Vec3) {
 		}
 		res, st := w.Insert(p, KindBox, start)
 		if st != OK {
-			panic("delaunay: bootstrap corner insertion failed: " + st.String())
+			return fmt.Errorf("delaunay: bootstrap corner %d insertion failed: %s", b, st)
 		}
 		start = res.Created[0]
 	}
 	m.firstCell.Store(uint32(start))
+	return nil
 }
 
 // circum computes the cached circumsphere of a cell; degenerate cells

@@ -168,10 +168,16 @@ func (w *Worker) triangulateHole(
 	slo := lo.Sub(span.Scale(1.5))
 	shi := hi.Add(span.Scale(1.5))
 	if w.scratch == nil {
-		w.scratch = NewMesh(slo, shi)
+		sm, err := NewMesh(slo, shi)
+		if err != nil {
+			return nil, Failed
+		}
+		w.scratch = sm
 		w.scratchW = w.scratch.NewWorker(0)
 	} else {
-		w.scratch.resetTo(slo, shi)
+		if err := w.scratch.resetTo(slo, shi); err != nil {
+			return nil, Failed
+		}
 		w.scratchW.va.Reset()
 		w.scratchW.ca.Reset()
 	}

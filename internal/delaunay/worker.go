@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/arena"
+	"repro/internal/faultinject"
 )
 
 // Status is the outcome of a speculative operation.
@@ -137,6 +138,12 @@ func (w *Worker) ID() int { return int(w.tid) }
 // twice.
 func (w *Worker) tryLock(vh arena.Handle) bool {
 	v := w.m.Verts.At(vh)
+	if faultinject.Fire(faultinject.LockDeny) {
+		// Synthetic CAS denial: behave exactly like a lost race with an
+		// unknown owner so the rollback/contention-manager path runs.
+		w.ConflictTid = -1
+		return false
+	}
 	if v.lock.CompareAndSwap(0, w.tid+1) {
 		w.locked = append(w.locked, vh)
 		w.Stats.LocksAcquired++
@@ -191,4 +198,21 @@ func (w *Worker) reset() {
 func (w *Worker) rollback() {
 	w.unlockAll()
 	w.Stats.Rollbacks++
+}
+
+// RecoverFromPanic restores the worker to a usable state after a panic
+// unwound an in-flight operation: every held vertex lock is released in
+// reverse acquisition order (innermost first, mirroring the unwind) and
+// the scratch state is cleared. It returns the number of locks that
+// were released. The shared mesh is untouched by definition at every
+// panic-safe site (the commit phases perform no allocation and no call
+// that can panic), so dropping the locks re-exposes a consistent mesh.
+func (w *Worker) RecoverFromPanic() int {
+	n := len(w.locked)
+	for i := n - 1; i >= 0; i-- {
+		w.m.Verts.At(w.locked[i]).lock.Store(0)
+	}
+	w.locked = w.locked[:0]
+	w.reset()
+	return n
 }

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/geom"
 	"repro/internal/img"
 )
@@ -172,6 +173,9 @@ func parallelFor(n, workers int, fn func(int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			// Injected straggler: one slice of one pass stalls, proving
+			// the pass barrier tolerates wildly imbalanced slice times.
+			faultinject.Sleep(faultinject.SlowEDT)
 			for i := lo; i < hi; i++ {
 				fn(i)
 			}

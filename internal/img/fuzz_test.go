@@ -2,6 +2,7 @@ package img
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -20,6 +21,13 @@ func FuzzReadNRRD(f *testing.F) {
 	f.Add([]byte("NRRD0004\ntype: uint8\ndimension: 3\nsizes: -1 2 2\nencoding: raw\n\nxx"))
 	f.Add([]byte("NRRD0004\ntype: uint8\ndimension: 3\nsizes: 2 2 2\nspacings: nan 1 1\nencoding: raw\n\n12345678"))
 	f.Add([]byte("NRRD0004\ntype: uint8\ndimension: 3\nsizes: 2 2 2\nencoding: gzip\n\nnot-gzip"))
+	// Hostile-resource seeds: over-long header line, header flooding,
+	// overflow-prone sizes, and a header line with no terminator.
+	f.Add([]byte("NRRD0004\n# " + strings.Repeat("A", 1<<16) + "\ntype: uint8\n\n"))
+	f.Add([]byte("NRRD0004\n" + strings.Repeat("# x\n", 4096) + "type: uint8\n\n"))
+	f.Add([]byte("NRRD0004\ntype: uint8\ndimension: 3\nsizes: 2000000000 2000000000 2000000000\nencoding: raw\n\n"))
+	f.Add([]byte("NRRD0004\ntype: uint8\ndimension: 3\nsizes: 2 2 2"))
+	f.Add([]byte("NRRD0004\ntype: uint8\ndimension: 3\nsizes: 2 2 2\nspacings: 1 1 inf\nencoding: raw\n\n12345678"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		im, err := ReadNRRD(bytes.NewReader(data))

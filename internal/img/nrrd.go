@@ -49,10 +49,41 @@ func labelBytes(im *Image) []byte {
 	return out
 }
 
+// Hostile-input bounds for ReadNRRD: a single header line (NRRD
+// headers are short field lines) and the whole header (fields plus
+// comments) before the data separator.
+const (
+	maxHeaderLine  = 64 << 10
+	maxHeaderBytes = 1 << 20
+)
+
+// readHeaderLine reads one newline-terminated header line with both
+// caps enforced, so a malicious stream cannot make the parser buffer
+// unbounded input. budget is the remaining whole-header allowance.
+func readHeaderLine(br *bufio.Reader, budget *int) (string, error) {
+	var sb strings.Builder
+	for {
+		chunk, err := br.ReadSlice('\n')
+		*budget -= len(chunk)
+		if *budget < 0 {
+			return "", fmt.Errorf("nrrd: header exceeds %d bytes", maxHeaderBytes)
+		}
+		sb.Write(chunk)
+		if sb.Len() > maxHeaderLine {
+			return "", fmt.Errorf("nrrd: header line exceeds %d bytes", maxHeaderLine)
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return sb.String(), err
+	}
+}
+
 // ReadNRRD parses an attached-data uint8 label NRRD.
 func ReadNRRD(r io.Reader) (*Image, error) {
 	br := bufio.NewReader(r)
-	magic, err := br.ReadString('\n')
+	budget := maxHeaderBytes
+	magic, err := readHeaderLine(br, &budget)
 	if err != nil {
 		return nil, fmt.Errorf("nrrd: reading magic: %w", err)
 	}
@@ -68,7 +99,7 @@ func ReadNRRD(r io.Reader) (*Image, error) {
 		typ      = ""
 	)
 	for {
-		line, err := br.ReadString('\n')
+		line, err := readHeaderLine(br, &budget)
 		if err != nil {
 			return nil, fmt.Errorf("nrrd: header ended prematurely: %w", err)
 		}
@@ -147,6 +178,7 @@ func ReadNRRD(r io.Reader) (*Image, error) {
 	}
 
 	var data io.Reader = br
+	gzipped := false
 	switch encoding {
 	case "raw":
 	case "gzip", "gz":
@@ -155,7 +187,11 @@ func ReadNRRD(r io.Reader) (*Image, error) {
 			return nil, fmt.Errorf("nrrd: opening gzip data: %w", err)
 		}
 		defer gz.Close()
-		data = gz
+		// Decompression bomb bound: the decoded stream must be exactly
+		// the voxel array, so never inflate more than total+1 bytes (the
+		// extra byte detects an oversized payload).
+		data = io.LimitReader(gz, int64(total)+1)
+		gzipped = true
 	default:
 		return nil, fmt.Errorf("nrrd: unsupported encoding %q", encoding)
 	}
@@ -165,6 +201,12 @@ func ReadNRRD(r io.Reader) (*Image, error) {
 	buf := make([]byte, len(im.data))
 	if _, err := io.ReadFull(data, buf); err != nil {
 		return nil, fmt.Errorf("nrrd: reading %d voxels: %w", len(buf), err)
+	}
+	if gzipped {
+		var extra [1]byte
+		if n, _ := data.Read(extra[:]); n != 0 {
+			return nil, fmt.Errorf("nrrd: gzip data decodes to more than the declared %d voxels", total)
+		}
 	}
 	for i, b := range buf {
 		im.data[i] = Label(b)

@@ -127,3 +127,64 @@ func TestNRRDErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestNRRDHostileInputs covers the resource-exhaustion and corruption
+// defenses: unbounded header lines, oversized headers, truncated or
+// over-long gzip payloads, and absurd voxel counts must all fail with
+// an error instead of allocating, hanging, or panicking.
+func TestNRRDHostileInputs(t *testing.T) {
+	longLine := "NRRD0004\ntype: uint8\n# " + strings.Repeat("x", maxHeaderLine+1024) + "\n"
+	var bh strings.Builder
+	bh.WriteString("NRRD0004\n")
+	for bh.Len() <= maxHeaderBytes {
+		bh.WriteString("# padding comment line\n")
+	}
+	bigHeader := bh.String()
+	unterminated := "NRRD0004\ntype: uint8\ndimension: 3" // EOF before separator
+
+	// Gzip payload that decodes to more bytes than the header declares.
+	var overlong bytes.Buffer
+	gz := gzip.NewWriter(&overlong)
+	gz.Write(make([]byte, 8<<10))
+	gz.Close()
+	overGzip := "NRRD0004\ntype: uint8\ndimension: 3\nsizes: 2 2 2\nencoding: gzip\n\n" + overlong.String()
+
+	// Gzip stream cut mid-payload.
+	var full bytes.Buffer
+	gz = gzip.NewWriter(&full)
+	gz.Write(make([]byte, 64))
+	gz.Close()
+	truncGzip := "NRRD0004\ntype: uint8\ndimension: 3\nsizes: 4 4 4\nencoding: gzip\n\n" +
+		string(full.Bytes()[:full.Len()/2])
+
+	cases := map[string]string{
+		"oversized header line": longLine,
+		"oversized header":      bigHeader,
+		"unterminated header":   unterminated,
+		"huge voxel count":      "NRRD0004\ntype: uint8\ndimension: 3\nsizes: 100000 100000 100000\nencoding: raw\n\n",
+		"overflowing sizes":     "NRRD0004\ntype: uint8\ndimension: 3\nsizes: 2000000000 2000000000 2000000000\nencoding: raw\n\n",
+		"gzip decodes too much": overGzip,
+		"gzip truncated":        truncGzip,
+		"gzip garbage":          "NRRD0004\ntype: uint8\ndimension: 3\nsizes: 2 2 2\nencoding: gzip\n\nnot gzip at all",
+		"malformed field":       "NRRD0004\nno colon here\n\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadNRRD(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else {
+			t.Logf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestNRRDHeaderLineCapAllowsLegitimate checks the caps do not reject
+// ordinary long-ish but legal header content.
+func TestNRRDHeaderLineCapAllowsLegitimate(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("NRRD0004\n# " + strings.Repeat("y", 8<<10) + "\n")
+	buf.WriteString("type: uint8\ndimension: 3\nsizes: 2 2 2\nspacings: 1 1 1\nencoding: raw\n\n")
+	buf.Write(make([]byte, 8))
+	if _, err := ReadNRRD(&buf); err != nil {
+		t.Fatalf("legitimate 8KB comment rejected: %v", err)
+	}
+}

@@ -39,6 +39,11 @@ type (
 	RunStats = core.RunStats
 	// SizeFunc is the R5 size function type.
 	SizeFunc = core.SizeFunc
+	// Status classifies how a run ended (completed/degraded/aborted).
+	Status = core.Status
+	// Transition is one recorded failure-handling action; Result.
+	// Transitions logs them in order.
+	Transition = core.Transition
 	// EnergyModel and EnergyReport expose the Section 8 energy model.
 	EnergyModel = core.EnergyModel
 	// EnergyReport is the outcome of applying an EnergyModel.
@@ -70,6 +75,15 @@ type (
 	SmoothMesh = smooth.Mesh
 	// RawMesh is the indexed interchange mesh for I/O and FEM.
 	RawMesh = meshio.RawMesh
+)
+
+// Statuses of a Result (see internal/core): a degraded run still holds
+// a complete valid mesh; an aborted one is partial with Result.Err()
+// carrying the structured reason.
+const (
+	StatusCompleted = core.StatusCompleted
+	StatusDegraded  = core.StatusDegraded
+	StatusAborted   = core.StatusAborted
 )
 
 // Run executes the PI2M pipeline (parallel EDT + parallel Delaunay
