@@ -395,3 +395,59 @@ func BenchmarkAblation_Tuning(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSession_ColdVsWarm measures the session tentpole: the
+// per-run cost of a fresh session (allocate everything) against a
+// reused one (reset-and-reuse arenas, grids, EDT buffers and cached
+// transform). cmd/bench runs the same pair and emits BENCH_pr2.json.
+func BenchmarkSession_ColdVsWarm(b *testing.B) {
+	phantoms := []struct {
+		name string
+		im   *img.Image
+	}{
+		{"sphere", img.SpherePhantom(32)},
+		{"torus", img.TorusPhantom(32)},
+		{"abdominal", experiments.Abdominal(48)},
+	}
+	for _, ph := range phantoms {
+		ph := ph
+		b.Run(ph.name+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			var elements int64
+			for i := 0; i < b.N; i++ {
+				s, err := NewSession(WithThreads(2), WithLivelockTimeout(time.Minute))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run(nil, ph.im)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elements += int64(res.Elements())
+				s.Close()
+			}
+			b.ReportMetric(float64(elements)/b.Elapsed().Seconds(), "cells/s")
+		})
+		b.Run(ph.name+"/warm", func(b *testing.B) {
+			s, err := NewSession(WithThreads(2), WithLivelockTimeout(time.Minute))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if _, err := s.Run(nil, ph.im); err != nil {
+				b.Fatal(err) // prime the session outside the timer
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var elements int64
+			for i := 0; i < b.N; i++ {
+				res, err := s.Run(nil, ph.im)
+				if err != nil {
+					b.Fatal(err)
+				}
+				elements += int64(res.Elements())
+			}
+			b.ReportMetric(float64(elements)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}

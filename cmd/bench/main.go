@@ -1,0 +1,215 @@
+// Command bench runs the session cold-vs-warm benchmark pairs over
+// the standard phantoms and emits a machine-readable JSON report —
+// the artifact the CI benchmark smoke job uploads.
+//
+//	bench                      # full scales, writes BENCH_pr2.json
+//	bench -short -o out.json   # reduced scales for CI smoke runs
+//
+// For each phantom it measures a cold run (fresh Session per
+// iteration: every arena, grid and EDT buffer allocated from scratch)
+// and a warm run (one Session reused across iterations), and reports
+// ns/op, allocs/op, bytes/op, cells/sec, and the warm-vs-cold deltas.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	pi2m "repro"
+	"repro/internal/experiments"
+)
+
+// Case is one measured benchmark configuration.
+type Case struct {
+	Phantom     string  `json:"phantom"`
+	Mode        string  `json:"mode"` // "cold" or "warm"
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	Elements    int     `json:"elements"`
+}
+
+// Delta compares a phantom's warm run against its cold run; negative
+// percentages mean the warm path is cheaper.
+type Delta struct {
+	Phantom        string  `json:"phantom"`
+	NsDeltaPct     float64 `json:"ns_delta_pct"`
+	AllocsDeltaPct float64 `json:"allocs_delta_pct"`
+	BytesDeltaPct  float64 `json:"bytes_delta_pct"`
+}
+
+// Report is the BENCH_pr2.json schema.
+type Report struct {
+	Benchmark string    `json:"benchmark"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	CPUs      int       `json:"cpus"`
+	Workers   int       `json:"workers"`
+	Scale     int       `json:"scale"`
+	Timestamp time.Time `json:"timestamp"`
+	Cases     []Case    `json:"cases"`
+	Deltas    []Delta   `json:"deltas"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+
+	var (
+		out     = flag.String("o", "BENCH_pr2.json", "output JSON path (- for stdout)")
+		workers = flag.Int("workers", 2, "refinement threads per run")
+		scale   = flag.Int("scale", 32, "phantom edge length in voxels")
+		short   = flag.Bool("short", false, "reduced scales for CI smoke runs")
+	)
+	flag.Parse()
+
+	sc := *scale
+	if *short {
+		sc = 24
+	}
+	phantoms := []struct {
+		name string
+		im   *pi2m.Image
+	}{
+		{"sphere", pi2m.SpherePhantom(sc)},
+		{"torus", pi2m.TorusPhantom(sc)},
+		{"abdominal", experiments.Abdominal(sc + sc/2)},
+	}
+
+	rep := Report{
+		Benchmark: "session-cold-vs-warm",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Workers:   *workers,
+		Scale:     sc,
+		Timestamp: time.Now().UTC(),
+	}
+
+	for _, ph := range phantoms {
+		cold := measure(ph.name, "cold", func(b *testing.B) int {
+			elements := 0
+			for i := 0; i < b.N; i++ {
+				s, err := pi2m.NewSession(
+					pi2m.WithThreads(*workers),
+					pi2m.WithLivelockTimeout(time.Minute),
+				)
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := s.Run(context.Background(), ph.im)
+				if err != nil {
+					log.Fatal(err)
+				}
+				elements = res.Elements()
+				s.Close()
+			}
+			return elements
+		})
+		warm := measureWarm(ph.name, *workers, ph.im)
+		rep.Cases = append(rep.Cases, cold, warm)
+		rep.Deltas = append(rep.Deltas, Delta{
+			Phantom:        ph.name,
+			NsDeltaPct:     pctDelta(warm.NsPerOp, cold.NsPerOp),
+			AllocsDeltaPct: pctDelta(float64(warm.AllocsPerOp), float64(cold.AllocsPerOp)),
+			BytesDeltaPct:  pctDelta(float64(warm.BytesPerOp), float64(cold.BytesPerOp)),
+		})
+	}
+
+	for _, d := range rep.Deltas {
+		fmt.Printf("%-10s warm vs cold: time %+.1f%%, allocs %+.1f%%, bytes %+.1f%%\n",
+			d.Phantom, d.NsDeltaPct, d.AllocsDeltaPct, d.BytesDeltaPct)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// measure runs fn under testing.Benchmark (which auto-sizes b.N to
+// roughly one second of work) and folds the result into a Case. fn
+// returns the element count of its last run so cells/sec can be
+// derived from ns/op.
+func measure(phantom, mode string, fn func(b *testing.B) int) Case {
+	elements := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		elements = fn(b)
+	})
+	return newCase(phantom, mode, elements, r)
+}
+
+// measureWarm primes one session outside the timer and re-runs it
+// inside, so the measurement covers only the reset-and-reuse path.
+func measureWarm(phantom string, workers int, im *pi2m.Image) Case {
+	s, err := pi2m.NewSession(
+		pi2m.WithThreads(workers),
+		pi2m.WithLivelockTimeout(time.Minute),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(context.Background(), im); err != nil {
+		log.Fatal(err)
+	}
+	elements := 0
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := s.Run(context.Background(), im)
+			if err != nil {
+				log.Fatal(err)
+			}
+			elements = res.Elements()
+		}
+	})
+	return newCase(phantom, "warm", elements, r)
+}
+
+func newCase(phantom, mode string, elements int, r testing.BenchmarkResult) Case {
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	cellsPerSec := 0.0
+	if nsPerOp > 0 {
+		cellsPerSec = float64(elements) / (nsPerOp / 1e9)
+	}
+	return Case{
+		Phantom:     phantom,
+		Mode:        mode,
+		Iterations:  r.N,
+		NsPerOp:     nsPerOp,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		CellsPerSec: cellsPerSec,
+		Elements:    elements,
+	}
+}
+
+// pctDelta is the warm-relative-to-cold change in percent.
+func pctDelta(warm, cold float64) float64 {
+	if cold == 0 {
+		return 0
+	}
+	return 100 * (warm - cold) / cold
+}

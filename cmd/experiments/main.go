@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
@@ -57,7 +58,7 @@ func main() {
 	want := func(name string) bool { return *run == "all" || *run == name }
 	ran := false
 
-	writeCSV := func(name string, fn func(w *os.File) error) {
+	writeCSV := func(name string, fn func(w io.Writer) error) {
 		if *csvDir == "" {
 			return
 		}
@@ -82,7 +83,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.FormatTable1(rows))
-		writeCSV("table1.csv", func(w *os.File) error { return experiments.Table1CSV(w, rows) })
+		writeCSV("table1.csv", func(w io.Writer) error { return experiments.Table1CSV(w, rows) })
 	}
 	if want("fig5") {
 		ran = true
@@ -91,7 +92,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.FormatFig5(rows))
-		writeCSV("fig5.csv", func(w *os.File) error { return experiments.Fig5CSV(w, rows) })
+		writeCSV("fig5.csv", func(w io.Writer) error { return experiments.Fig5CSV(w, rows) })
 	}
 	if want("table4a") {
 		ran = true
@@ -100,7 +101,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.FormatTable4(rows, "abdominal phantom"))
-		writeCSV("table4a.csv", func(w *os.File) error { return experiments.Table4CSV(w, rows) })
+		writeCSV("table4a.csv", func(w io.Writer) error { return experiments.Table4CSV(w, rows) })
 	}
 	if want("table4b") {
 		ran = true
@@ -109,7 +110,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.FormatTable4(rows, "knee phantom"))
-		writeCSV("table4b.csv", func(w *os.File) error { return experiments.Table4CSV(w, rows) })
+		writeCSV("table4b.csv", func(w io.Writer) error { return experiments.Table4CSV(w, rows) })
 	}
 	if want("table5") {
 		ran = true
@@ -118,7 +119,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.FormatTable5(rows))
-		writeCSV("table5.csv", func(w *os.File) error { return experiments.Table5CSV(w, rows) })
+		writeCSV("table5.csv", func(w io.Writer) error { return experiments.Table5CSV(w, rows) })
 	}
 	if want("fig6") {
 		ran = true
@@ -133,7 +134,7 @@ func main() {
 			}
 		}
 		fmt.Print(experiments.FormatFig6Threads(pts, maxT))
-		writeCSV("fig6.csv", func(w *os.File) error { return experiments.Fig6CSV(w, pts) })
+		writeCSV("fig6.csv", func(w io.Writer) error { return experiments.Fig6CSV(w, pts) })
 	}
 	if want("table6") {
 		ran = true
@@ -142,7 +143,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Print(experiments.FormatTable6(rows))
-		writeCSV("table6.csv", func(w *os.File) error { return experiments.Table6CSV(w, rows) })
+		writeCSV("table6.csv", func(w io.Writer) error { return experiments.Table6CSV(w, rows) })
 	}
 	if !ran {
 		log.Printf("unknown experiment %q", *run)

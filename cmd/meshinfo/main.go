@@ -12,10 +12,11 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 	"sort"
 
+	pi2m "repro"
 	"repro/internal/geom"
-	"repro/internal/meshio"
 	"repro/internal/quality"
 )
 
@@ -28,7 +29,12 @@ func main() {
 		log.Fatal("usage: meshinfo [-hist] mesh.vtk")
 	}
 
-	m, err := meshio.ReadVTKFile(flag.Arg(0))
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := pi2m.ReadVTK(f)
+	f.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,13 +114,13 @@ func main() {
 		faceCount[norm(c[0], c[2], c[3])]++
 		faceCount[norm(c[1], c[2], c[3])]++
 	}
-	var tris []quality.Triangle
+	var tris []pi2m.Triangle
 	for k, n := range faceCount {
 		if n == 1 {
-			tris = append(tris, quality.Triangle{A: pos(k[0]), B: pos(k[1]), C: pos(k[2])})
+			tris = append(tris, pi2m.Triangle{A: pos(k[0]), B: pos(k[1]), C: pos(k[2])})
 		}
 	}
-	topo := quality.SurfaceTopology(tris)
+	topo := pi2m.SurfaceTopology(tris)
 	fmt.Printf("boundary: %s\n", topo)
 
 	if *hist {

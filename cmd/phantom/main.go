@@ -10,9 +10,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
-	"repro/internal/img"
+	pi2m "repro"
 )
 
 func main() {
@@ -27,20 +28,20 @@ func main() {
 	)
 	flag.Parse()
 
-	var im *img.Image
+	var im *pi2m.Image
 	switch *name {
 	case "sphere":
-		im = img.SpherePhantom(*scale)
+		im = pi2m.SpherePhantom(*scale)
 	case "torus":
-		im = img.TorusPhantom(*scale)
+		im = pi2m.TorusPhantom(*scale)
 	case "abdominal":
-		im = img.AbdominalPhantom(*scale, *scale, 2*(*scale)/3)
+		im = pi2m.AbdominalPhantom(*scale, *scale, 2*(*scale)/3)
 	case "knee":
-		im = img.KneePhantom(*scale, *scale, *scale)
+		im = pi2m.KneePhantom(*scale, *scale, *scale)
 	case "headneck":
-		im = img.HeadNeckPhantom(*scale, *scale, *scale)
+		im = pi2m.HeadNeckPhantom(*scale, *scale, *scale)
 	case "vessels":
-		im = img.VesselPhantom(*scale)
+		im = pi2m.VesselPhantom(*scale)
 	default:
 		log.Fatalf("unknown phantom %q", *name)
 	}
@@ -59,12 +60,19 @@ func main() {
 	fmt.Printf("foreground: %d voxels (%.1f%%), %d tissues\n",
 		total, 100*float64(total)/float64(im.NumVoxels()), len(labels))
 	for _, l := range labels {
-		fmt.Printf("  tissue %d: %d voxels\n", l, vols[img.Label(l)])
+		fmt.Printf("  tissue %d: %d voxels\n", l, vols[pi2m.Label(l)])
 	}
 	fmt.Printf("surface voxels: %d\n", len(im.SurfaceVoxels()))
 
 	if *out != "" {
-		if err := img.WriteNRRDFile(*out, im); err != nil {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pi2m.WriteNRRD(f, im); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)

@@ -13,35 +13,46 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
-	"repro/internal/core"
+	pi2m "repro"
 	"repro/internal/edt"
-	"repro/internal/faultinject"
-	"repro/internal/geom"
-	"repro/internal/img"
 	"repro/internal/meshio"
 	"repro/internal/quality"
 	"repro/internal/render"
-	"repro/internal/smooth"
 )
 
-func buildPhantom(name string, scale int) (*img.Image, error) {
+func buildPhantom(name string, scale int) (*pi2m.Image, error) {
 	switch name {
 	case "sphere":
-		return img.SpherePhantom(scale), nil
+		return pi2m.SpherePhantom(scale), nil
 	case "torus":
-		return img.TorusPhantom(scale), nil
+		return pi2m.TorusPhantom(scale), nil
 	case "abdominal":
-		return img.AbdominalPhantom(scale, scale, 2*scale/3), nil
+		return pi2m.AbdominalPhantom(scale, scale, 2*scale/3), nil
 	case "knee":
-		return img.KneePhantom(scale, scale, scale), nil
+		return pi2m.KneePhantom(scale, scale, scale), nil
 	case "headneck":
-		return img.HeadNeckPhantom(scale, scale, scale), nil
+		return pi2m.HeadNeckPhantom(scale, scale, scale), nil
 	case "vessels":
-		return img.VesselPhantom(scale), nil
+		return pi2m.VesselPhantom(scale), nil
 	}
 	return nil, fmt.Errorf("unknown phantom %q", name)
+}
+
+// writeTo opens path and streams through fn — every exporter below is
+// io.Writer-based, so files, pipes and buffers all work the same way.
+func writeTo(path string, fn func(w *os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func main() {
@@ -71,29 +82,10 @@ func main() {
 	)
 	flag.Parse()
 
-	if *fseed != 0 {
-		faultinject.Enable(faultinject.New(faultinject.Config{
-			Seed: *fseed,
-			Rates: map[faultinject.Point]float64{
-				faultinject.LockDeny:    *frate,
-				faultinject.WorkerPanic: *frate / 10,
-				faultinject.DropSteal:   *frate,
-				faultinject.CommitDelay: *frate / 10,
-			},
-			// Keep the virtual-box bootstrap deterministic-clean; the
-			// storm targets refinement.
-			After: map[faultinject.Point]int64{
-				faultinject.LockDeny:    500,
-				faultinject.WorkerPanic: 20,
-			},
-		}))
-		fmt.Printf("fault injection: seed %d, rate %g\n", *fseed, *frate)
-	}
-
-	var im *img.Image
+	var im *pi2m.Image
 	var err error
 	if *inFile != "" {
-		im, err = img.ReadNRRDFile(*inFile)
+		im, err = pi2m.ReadNRRDFile(*inFile)
 	} else {
 		im, err = buildPhantom(*phantom, *scale)
 	}
@@ -108,31 +100,41 @@ func main() {
 		im = im.Downsample()
 	}
 
-	cfg := core.Config{
-		Image:             im,
-		Workers:           *workers,
-		Delta:             *delta,
-		ContentionManager: *cmName,
-		Balancer:          *balancer,
-		LivelockTimeout:   2 * time.Minute,
+	opts := []pi2m.Option{
+		pi2m.WithThreads(*workers),
+		pi2m.WithDelta(*delta),
+		pi2m.WithContentionManager(*cmName),
+		pi2m.WithBalancer(*balancer),
+		pi2m.WithLivelockTimeout(2 * time.Minute),
 	}
-	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
-		defer cancel()
-		cfg.Context = ctx
+	if *fseed != 0 {
+		opts = append(opts, pi2m.WithFaultInjection(*fseed, *frate))
+		fmt.Printf("fault injection: seed %d, rate %g\n", *fseed, *frate)
 	}
 	if *size > 0 {
-		s := *size
-		cfg.SizeFunc = func(geom.Vec3) float64 { return s }
+		opts = append(opts, pi2m.WithSizeFunc(pi2m.SizeFunc(pi2m.UniformSize(*size))))
 	}
 	if *verbose {
-		cfg.Progress = func(p core.Progress) {
+		opts = append(opts, pi2m.WithProgress(func(p pi2m.Progress) {
 			fmt.Printf("  ... %8.2fs: %d operations, %d elements\n",
 				p.Wall.Seconds(), p.Operations, p.Elements)
-		}
+		}, 0))
 	}
 
-	res, err := core.Run(cfg)
+	session, err := pi2m.NewSession(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer session.Close()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := session.Run(ctx, im)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -140,13 +142,13 @@ func main() {
 		fmt.Printf("degradation: [%8.2fs] %s: %s\n", tr.Wall.Seconds(), tr.Event, tr.Detail)
 	}
 	switch res.Status {
-	case core.StatusAborted:
+	case pi2m.StatusAborted:
 		// A partial mesh is still written below; make the cause loud.
 		log.Printf("run aborted: %v — the outputs below are PARTIAL", res.Err())
 		if res.Livelocked {
 			log.Printf("hint: the degradation ladder was exhausted; try -cm local or fewer workers")
 		}
-	case core.StatusDegraded:
+	case pi2m.StatusDegraded:
 		st := res.Stats
 		log.Printf("run degraded: %d recovered panics, %d dropped items, %d callback panics",
 			st.RecoveredPanics, st.DroppedItems, st.CallbackPanics)
@@ -174,16 +176,16 @@ func main() {
 		st.RuleCounts[4], st.RuleCounts[5], st.RuleCounts[6])
 
 	if *workers != 1 {
-		e := res.Energy(core.DefaultEnergyModel())
+		e := res.Energy(pi2m.DefaultEnergyModel())
 		fmt.Printf("energy model: %.1f J busy-wait, %.1f J with DVFS idling (%.0f%% saved), %.0f elements/J\n",
 			e.BusyWaitJoules, e.DVFSJoules, 100*e.SavingsFraction, e.ElementsPerJouleDVFS)
 	}
 
-	q := quality.Evaluate(res.Mesh, res.Final, im)
+	q := res.Quality()
 	fmt.Printf("quality: max radius-edge %.3f, dihedral (%.1f°, %.1f°), min boundary angle %.1f°\n",
 		q.MaxRadiusEdge, q.MinDihedral, q.MaxDihedral, q.MinBoundaryPlanarAngle)
 
-	tris := quality.BoundaryTriangles(res.Mesh, res.Final, im)
+	tris := res.Boundary()
 	fmt.Printf("boundary: %d triangles\n", len(tris))
 	if *fidelity {
 		tr := edt.Compute(im, *workers)
@@ -193,30 +195,33 @@ func main() {
 
 	if *outVTK != "" {
 		if *smoothIt > 0 {
-			sm := smooth.Extract(res.Mesh, res.Final, im)
+			sm := pi2m.Extract(res.Mesh, res.Final, im)
 			st := sm.Taubin(*smoothIt, 0.5, -0.53)
 			fmt.Printf("smoothing: roughness -%.1f%%, volume drift %+.3f%%\n",
 				100*st.RoughnessDrop, 100*(st.VolumeAfter-st.VolumeBefore)/st.VolumeBefore)
-			raw := &meshio.RawMesh{Verts: sm.Verts, Cells: sm.Cells}
+			raw := &pi2m.RawMesh{Verts: sm.Verts, Cells: sm.Cells}
 			for _, l := range sm.Labels {
 				raw.Labels = append(raw.Labels, int(l))
 			}
-			if err := meshio.WriteVTKRawFile(*outVTK, raw); err != nil {
-				log.Fatal(err)
-			}
-		} else if err := meshio.WriteVTKFile(*outVTK, res.Mesh, res.Final, im); err != nil {
+			err = writeTo(*outVTK, func(w *os.File) error { return pi2m.WriteVTKRaw(w, raw) })
+		} else {
+			err = writeTo(*outVTK, func(w *os.File) error {
+				return pi2m.WriteVTK(w, res.Mesh, res.Final, im)
+			})
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *outVTK)
 	}
 	if *outOFF != "" {
-		if err := meshio.WriteOFFFile(*outOFF, tris); err != nil {
+		if err := writeTo(*outOFF, func(w *os.File) error { return pi2m.WriteOFF(w, tris) }); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *outOFF)
 	}
 	if *outPNG != "" {
-		ext := smooth.Extract(res.Mesh, res.Final, im)
+		ext := pi2m.Extract(res.Mesh, res.Final, im)
 		raw := &meshio.RawMesh{Verts: ext.Verts, Cells: ext.Cells}
 		for _, l := range ext.Labels {
 			raw.Labels = append(raw.Labels, int(l))

@@ -116,6 +116,9 @@ type Config struct {
 	// StatusAborted, the final-mesh cells extracted so far, and the
 	// cancellation reason. The mesh remains structurally valid — every
 	// committed operation is atomic under the locking protocol.
+	//
+	// Deprecated: pass the context to Session.Run instead. A context
+	// given to Session.Run takes precedence over this field.
 	Context context.Context
 
 	// PanicBudget is the number of panics a single worker thread may
@@ -151,22 +154,41 @@ type Progress struct {
 	Elements   int64 // current final-mesh cell count (approximate)
 }
 
+// validate checks every knob that does not depend on the input image,
+// so a Session can reject a bad template at construction time.
+func (cfg Config) validate() error {
+	if cfg.Delta < 0 {
+		return fmt.Errorf("core: negative Delta")
+	}
+	if cfg.MaxRadiusEdge != 0 && cfg.MaxRadiusEdge < 0.5 {
+		return fmt.Errorf("core: MaxRadiusEdge %g below the provable bound", cfg.MaxRadiusEdge)
+	}
+	switch cfg.ContentionManager {
+	case "", "aggressive", "random", "global", "local":
+	default:
+		return fmt.Errorf("core: unknown contention manager %q", cfg.ContentionManager)
+	}
+	switch cfg.Balancer {
+	case "", "rws", "hws":
+	default:
+		return fmt.Errorf("core: unknown balancer %q", cfg.Balancer)
+	}
+	return nil
+}
+
 // withDefaults validates cfg and fills in defaults.
 func (cfg Config) withDefaults() (Config, error) {
+	if err := cfg.validate(); err != nil {
+		return cfg, err
+	}
 	if cfg.Image == nil {
 		return cfg, fmt.Errorf("core: Config.Image is required")
-	}
-	if cfg.Delta < 0 {
-		return cfg, fmt.Errorf("core: negative Delta")
 	}
 	if cfg.Delta == 0 {
 		cfg.Delta = 2 * cfg.Image.MinSpacing()
 	}
 	if cfg.MaxRadiusEdge == 0 {
 		cfg.MaxRadiusEdge = 2
-	}
-	if cfg.MaxRadiusEdge < 0.5 {
-		return cfg, fmt.Errorf("core: MaxRadiusEdge %g below the provable bound", cfg.MaxRadiusEdge)
 	}
 	if cfg.MinFacetAngle == 0 {
 		cfg.MinFacetAngle = 30
@@ -198,19 +220,11 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.ProgressSample <= 0 {
 		cfg.ProgressSample = 250 * time.Millisecond
 	}
-	switch cfg.ContentionManager {
-	case "":
+	if cfg.ContentionManager == "" {
 		cfg.ContentionManager = "local"
-	case "aggressive", "random", "global", "local":
-	default:
-		return cfg, fmt.Errorf("core: unknown contention manager %q", cfg.ContentionManager)
 	}
-	switch cfg.Balancer {
-	case "":
+	if cfg.Balancer == "" {
 		cfg.Balancer = "hws"
-	case "rws", "hws":
-	default:
-		return cfg, fmt.Errorf("core: unknown balancer %q", cfg.Balancer)
 	}
 	return cfg, nil
 }

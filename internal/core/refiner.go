@@ -135,68 +135,16 @@ func (r *Refiner) cmName() string { return r.cmSlot.Load().name }
 
 // Run performs the complete PI2M pipeline on cfg: parallel EDT, then
 // parallel Delaunay refinement to the quality/fidelity criteria, then
-// final-mesh extraction.
+// final-mesh extraction. It is a one-shot Session: callers meshing
+// repeatedly should create a Session once and Run it per image, which
+// reuses the arena, grid and scratch allocations across runs.
 func Run(cfg Config) (*Result, error) {
-	cfg, err := cfg.withDefaults()
+	s, err := NewSession(cfg)
 	if err != nil {
 		return nil, err
 	}
-	r := &Refiner{cfg: cfg, im: cfg.Image}
-	r.guardCallbacks()
-
-	res := &Result{Config: cfg}
-	wallStart := time.Now()
-
-	// Pre-processing: the parallel Euclidean distance transform.
-	edtStart := time.Now()
-	r.edt = edt.Compute(r.im, cfg.EDTWorkers)
-	res.EDTTime = time.Since(edtStart)
-
-	// The virtual box is the image's world bounding box.
-	lo, hi := r.im.Bounds()
-	r.mesh, err = delaunay.NewMesh(lo, hi)
-	if err != nil {
-		return nil, fmt.Errorf("core: bootstrap triangulation: %w", err)
-	}
-	r.isoGrid = spatial.NewGrid(lo, hi, cfg.Delta)
-	r.ccGrid = spatial.NewGrid(lo, hi, 2*cfg.Delta)
-
-	r.coord = cm.NewCoordinator(cfg.Workers)
-	r.cmSlot.Store(&cmEntry{name: cfg.ContentionManager, m: cfg.newCM(r.coord)})
-	r.cmBaseNs = make([]atomic.Int64, cfg.Workers)
-	r.bal = cfg.newBalancer()
-
-	r.threads = make([]*thread, cfg.Workers)
-	for i := range r.threads {
-		r.threads[i] = &thread{id: i, w: r.mesh.NewWorker(i)}
-	}
-
-	// Seed thread 0 with the bootstrap cells (only the main thread has
-	// work initially, Section 4.4).
-	t0 := r.threads[0]
-	r.mesh.LiveCells(func(h arena.Handle, c *delaunay.Cell) {
-		r.noteCreated(t0, h, c)
-	})
-	r.flushScratch(t0)
-
-	r.startWall = time.Now()
-	stopAux := r.startAux()
-
-	var wg sync.WaitGroup
-	for _, t := range r.threads {
-		wg.Add(1)
-		go func(t *thread) {
-			defer wg.Done()
-			r.workerLoop(t)
-		}(t)
-	}
-	wg.Wait()
-	stopAux()
-
-	res.RefineTime = time.Since(r.startWall)
-	res.TotalTime = time.Since(wallStart)
-	r.collect(res)
-	return res, nil
+	defer s.Close()
+	return s.Run(cfg.Context, cfg.Image)
 }
 
 // noteCreated classifies a fresh (or bootstrap) cell: records it in

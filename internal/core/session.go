@@ -1,0 +1,269 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/arena"
+	"repro/internal/cm"
+	"repro/internal/delaunay"
+	"repro/internal/edt"
+	"repro/internal/img"
+	"repro/internal/spatial"
+)
+
+// Session is a reusable run engine: it owns the long-lived allocations
+// of the PI2M pipeline — the mesh's cell/vertex arenas, the spatial
+// hash grids, the EDT working buffers, and the per-thread refinement
+// state (PELs, inboxes, kernel workers) — so that consecutive Run
+// calls on same-shaped inputs reset-and-reuse instead of reallocating.
+//
+// A Session is safe for use from multiple goroutines, but runs are
+// serialized: Run holds the session lock for its whole duration. The
+// Result of a Run (its Mesh and Final handles) remains valid only
+// until the next Run on the same session, which recycles the arenas
+// underneath it; extract what you need (quality stats, I/O) before
+// re-running, or use separate sessions.
+//
+// Reuse does not change output: a warm Run produces exactly the mesh a
+// cold Run would for the same configuration and image (bit-identical
+// with Workers=1; statistically identical under speculative
+// parallelism, exactly as two cold runs are).
+type Session struct {
+	mu     sync.Mutex
+	tmpl   Config
+	closed bool
+
+	mesh    *delaunay.Mesh
+	threads []*thread
+
+	isoGrid *spatial.Grid
+	ccGrid  *spatial.Grid
+
+	// EDT working buffers plus a cache of the last transform, keyed by
+	// image pointer identity: re-running on the same *img.Image skips
+	// the transform entirely.
+	edtComp    edt.Computer
+	edtIm      *img.Image
+	edtWorkers int
+	edtTr      *edt.Transform
+
+	stats SessionStats
+}
+
+// SessionStats counts a session's reuse behavior.
+type SessionStats struct {
+	// Runs is the number of completed Run calls.
+	Runs int
+	// WarmRuns counts runs that reused the mesh arenas and per-thread
+	// state of a previous run (every run after the first, unless the
+	// worker count changed).
+	WarmRuns int
+	// WarmEDTHits counts runs that reused the cached distance
+	// transform outright (same image pointer, same EDT parallelism).
+	WarmEDTHits int
+}
+
+// NewSession validates the configuration knobs and returns an empty
+// session. cfg.Image and cfg.Context are ignored here — the image (and
+// a context) are per-Run arguments; all other fields act as the
+// template for every Run.
+func NewSession(cfg Config) (*Session, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Session{tmpl: cfg}, nil
+}
+
+// Stats returns a snapshot of the session's reuse counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Invalidate drops the cached distance transform. Call it after
+// mutating an image in place before re-running on it; runs on a
+// different *img.Image never see stale data (the cache is keyed by
+// pointer identity).
+func (s *Session) Invalidate() {
+	s.mu.Lock()
+	s.edtIm, s.edtTr = nil, nil
+	s.mu.Unlock()
+}
+
+// Close releases the session's pooled per-worker scratch back to the
+// package pools and marks the session unusable. The mesh of the last
+// Result is left intact — it remains valid after Close. Close is
+// idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, t := range s.threads {
+		t.w.Release()
+	}
+	s.threads = nil
+	s.isoGrid, s.ccGrid = nil, nil
+	s.edtIm, s.edtTr = nil, nil
+	s.edtComp = edt.Computer{}
+	return nil
+}
+
+// Run performs the complete PI2M pipeline — parallel EDT, parallel
+// Delaunay refinement, final-mesh extraction — on the given image,
+// reusing the session's retained allocations from previous runs where
+// the shapes allow. ctx, when non-nil, cooperatively cancels the
+// refinement exactly like the deprecated Config.Context.
+func (s *Session) Run(ctx context.Context, image *img.Image) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("core: Run on closed Session")
+	}
+	cfg := s.tmpl
+	cfg.Image = image
+	if ctx != nil {
+		cfg.Context = ctx
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return s.run(cfg)
+}
+
+// run executes one refinement with the session lock held and cfg fully
+// defaulted.
+func (s *Session) run(cfg Config) (*Result, error) {
+	r := &Refiner{cfg: cfg, im: cfg.Image}
+	r.guardCallbacks()
+
+	res := &Result{Config: cfg}
+	wallStart := time.Now()
+
+	// Pre-processing: the parallel Euclidean distance transform. The
+	// session reuses the Computer's buffers always, and the finished
+	// transform itself when the image and parallelism are unchanged.
+	edtStart := time.Now()
+	if s.edtTr != nil && s.edtIm == cfg.Image && s.edtWorkers == cfg.EDTWorkers {
+		s.stats.WarmEDTHits++
+	} else {
+		s.edtTr = s.edtComp.Compute(cfg.Image, cfg.EDTWorkers)
+		s.edtIm, s.edtWorkers = cfg.Image, cfg.EDTWorkers
+	}
+	r.edt = s.edtTr
+	res.EDTTime = time.Since(edtStart)
+
+	// The virtual box is the image's world bounding box. A retained
+	// mesh resets in place, recycling its arena chunks.
+	lo, hi := r.im.Bounds()
+	warm := s.mesh != nil
+	if warm {
+		if err := s.mesh.Reset(lo, hi); err != nil {
+			return nil, fmt.Errorf("core: bootstrap triangulation: %w", err)
+		}
+	} else {
+		m, err := delaunay.NewMesh(lo, hi)
+		if err != nil {
+			return nil, fmt.Errorf("core: bootstrap triangulation: %w", err)
+		}
+		s.mesh = m
+	}
+	r.mesh = s.mesh
+	// Panics the fault harness injected into the (single-owner)
+	// bootstrap were recovered and retried in place; they still count
+	// toward the run's failure accounting.
+	r.recoveredPanics.Add(s.mesh.BootstrapPanicRecoveries())
+
+	if s.isoGrid != nil && s.isoGrid.Fits(lo, hi, cfg.Delta) {
+		s.isoGrid.Reset()
+	} else {
+		s.isoGrid = spatial.NewGrid(lo, hi, cfg.Delta)
+	}
+	if s.ccGrid != nil && s.ccGrid.Fits(lo, hi, 2*cfg.Delta) {
+		s.ccGrid.Reset()
+	} else {
+		s.ccGrid = spatial.NewGrid(lo, hi, 2*cfg.Delta)
+	}
+	r.isoGrid, r.ccGrid = s.isoGrid, s.ccGrid
+
+	// Coordination state is cheap and run-scoped: built fresh.
+	r.coord = cm.NewCoordinator(cfg.Workers)
+	r.cmSlot.Store(&cmEntry{name: cfg.ContentionManager, m: cfg.newCM(r.coord)})
+	r.cmBaseNs = make([]atomic.Int64, cfg.Workers)
+	r.bal = cfg.newBalancer()
+
+	// Per-thread state: retained threads reset (keeping PEL/inbox/
+	// inside capacity and the kernel workers' removal scratch meshes);
+	// a changed worker count rebuilds.
+	if warm && len(s.threads) == cfg.Workers {
+		for _, t := range s.threads {
+			t.resetForRun()
+		}
+		s.stats.WarmRuns++
+	} else {
+		for _, t := range s.threads {
+			t.w.Release()
+		}
+		s.threads = make([]*thread, cfg.Workers)
+		for i := range s.threads {
+			s.threads[i] = &thread{id: i, w: s.mesh.NewWorker(i)}
+		}
+	}
+	r.threads = s.threads
+
+	// Seed thread 0 with the bootstrap cells (only the main thread has
+	// work initially, Section 4.4).
+	t0 := r.threads[0]
+	r.mesh.LiveCells(func(h arena.Handle, c *delaunay.Cell) {
+		r.noteCreated(t0, h, c)
+	})
+	r.flushScratch(t0)
+
+	r.startWall = time.Now()
+	stopAux := r.startAux()
+
+	var wg sync.WaitGroup
+	for _, t := range r.threads {
+		wg.Add(1)
+		go func(t *thread) {
+			defer wg.Done()
+			r.workerLoop(t)
+		}(t)
+	}
+	wg.Wait()
+	stopAux()
+
+	res.RefineTime = time.Since(r.startWall)
+	res.TotalTime = time.Since(wallStart)
+	r.collect(res)
+	s.stats.Runs++
+	return res, nil
+}
+
+// resetForRun readies a retained thread for a fresh run: every slice
+// keeps its capacity, every counter restarts, and the kernel worker
+// re-attaches to the recycled arenas.
+func (t *thread) resetForRun() {
+	t.w.PrepareReuse()
+	t.pel = t.pel[:0]
+	t.removals = t.removals[:0]
+	t.inbox.items = t.inbox.items[:0]
+	t.inbox.removals = t.inbox.removals[:0]
+	t.inside = t.inside[:0]
+	t.poorCount.Store(0)
+	t.panics = 0
+	t.cur = pelItem{}
+	t.curVert = arena.Nil
+	t.curKind = curNone
+	t.rollbackNs = 0
+	t.ruleCount = [7]int64{}
+	t.scratch = t.scratch[:0]
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/arena"
 	"repro/internal/balance"
 	"repro/internal/delaunay"
+	"repro/internal/quality"
 )
 
 // TimelinePoint is one sample of the Figure 6 overhead curve: by wall
@@ -158,6 +159,27 @@ func (r *Result) Err() error {
 // Elements returns the number of tetrahedra in the final mesh.
 func (r *Result) Elements() int { return len(r.Final) }
 
+// Quality evaluates the paper's quality metrics (dihedral angles,
+// radius-edge ratios, boundary planar angles) over the final mesh —
+// quality.Evaluate with the run's own mesh, cell list and image.
+func (r *Result) Quality() quality.Stats {
+	return quality.Evaluate(r.Mesh, r.Final, r.Config.Image)
+}
+
+// Boundary extracts the final mesh's boundary triangles (material
+// interfaces included) — quality.BoundaryTriangles with the run's own
+// mesh, cell list and image.
+func (r *Result) Boundary() []quality.Triangle {
+	return quality.BoundaryTriangles(r.Mesh, r.Final, r.Config.Image)
+}
+
+// Topology computes the surface topology (Euler characteristic,
+// components, closedness) of the final mesh's boundary —
+// quality.SurfaceTopology over Boundary().
+func (r *Result) Topology() quality.Topology {
+	return quality.SurfaceTopology(r.Boundary())
+}
+
 // ElementsPerSecond is the generation rate the paper reports.
 func (r *Result) ElementsPerSecond() float64 {
 	if r.TotalTime <= 0 {
@@ -168,6 +190,12 @@ func (r *Result) ElementsPerSecond() float64 {
 
 // collect assembles the Result after the workers have quiesced.
 func (r *Refiner) collect(res *Result) {
+	// Panics recovered inside the removal scratch meshes' bootstraps
+	// count as recovered worker panics (they fired on a worker's
+	// operation path and were handled in place).
+	for _, t := range r.threads {
+		r.recoveredPanics.Add(t.w.ScratchPanicRecoveries())
+	}
 	res.Mesh = r.mesh
 	res.Timeline = r.timeline
 	res.Livelocked = r.livelocked.Load()

@@ -38,7 +38,7 @@ func (w *Worker) Insert(p geom.Vec3, kind VertKind, start arena.Handle) (*OpResu
 
 	// Validate the star shape: p must be strictly interior to every
 	// boundary face, otherwise connecting p would create a flat cell.
-	for _, bf := range w.boundary {
+	for _, bf := range w.sc.boundary {
 		c := w.m.Cells.At(bf.in)
 		a := w.m.Pos(c.V[ftab[bf.face][0]])
 		b := w.m.Pos(c.V[ftab[bf.face][1]])
@@ -138,7 +138,7 @@ func (w *Worker) conflict(c *Cell, p geom.Vec3) bool {
 		w.m.Pos(c.V[0]), w.m.Pos(c.V[1]), w.m.Pos(c.V[2]), w.m.Pos(c.V[3]), p) > 0
 }
 
-// Cavity BFS marks in w.visited.
+// Cavity BFS marks in w.sc.visited.
 const (
 	visitCavity  = 1
 	visitOutside = 2
@@ -146,8 +146,8 @@ const (
 
 // growCavity expands the conflict region of p starting from the cell
 // loc, locking every touched vertex before reading connectivity
-// through it (the speculative-execution protocol). On OK, w.cavity
-// lists the conflict cells and w.boundary their boundary faces; all
+// through it (the speculative-execution protocol). On OK, w.sc.cavity
+// lists the conflict cells and w.sc.boundary their boundary faces; all
 // their vertices (and the apexes of tested outside cells) are locked.
 func (w *Worker) growCavity(p geom.Vec3, loc arena.Handle) Status {
 	c0 := w.m.Cells.At(loc)
@@ -170,27 +170,27 @@ func (w *Worker) growCavity(p geom.Vec3, loc arena.Handle) Status {
 		// walk raced; re-checked here exactly.
 		return Failed
 	}
-	w.visited[loc] = visitCavity
-	w.cavity = append(w.cavity, loc)
+	w.sc.visited[loc] = visitCavity
+	w.sc.cavity = append(w.sc.cavity, loc)
 
-	// Depth-first expansion; w.cavity doubles as the worklist since
+	// Depth-first expansion; w.sc.cavity doubles as the worklist since
 	// appended cells are processed exactly once.
-	for i := 0; i < len(w.cavity); i++ {
-		ch := w.cavity[i]
+	for i := 0; i < len(w.sc.cavity); i++ {
+		ch := w.sc.cavity[i]
 		c := w.m.Cells.At(ch)
 		for f := 0; f < 4; f++ {
 			nb := c.Neighbor(f)
 			if nb == arena.Nil {
 				// Hull face: a legitimate cavity boundary (the new point
 				// connects to it and the new cell becomes a hull cell).
-				w.boundary = append(w.boundary, bFace{in: ch, face: f, out: arena.Nil})
+				w.sc.boundary = append(w.sc.boundary, bFace{in: ch, face: f, out: arena.Nil})
 				continue
 			}
-			switch w.visited[nb] {
+			switch w.sc.visited[nb] {
 			case visitCavity:
 				continue
 			case visitOutside:
-				w.boundary = append(w.boundary, bFace{in: ch, face: f, out: nb})
+				w.sc.boundary = append(w.sc.boundary, bFace{in: ch, face: f, out: nb})
 				continue
 			}
 			n := w.m.Cells.At(nb)
@@ -201,11 +201,11 @@ func (w *Worker) growCavity(p geom.Vec3, loc arena.Handle) Status {
 				return Stale
 			}
 			if w.conflict(n, p) {
-				w.visited[nb] = visitCavity
-				w.cavity = append(w.cavity, nb)
+				w.sc.visited[nb] = visitCavity
+				w.sc.cavity = append(w.sc.cavity, nb)
 			} else {
-				w.visited[nb] = visitOutside
-				w.boundary = append(w.boundary, bFace{in: ch, face: f, out: nb})
+				w.sc.visited[nb] = visitOutside
+				w.sc.boundary = append(w.sc.boundary, bFace{in: ch, face: f, out: nb})
 			}
 		}
 	}
@@ -244,9 +244,9 @@ func (w *Worker) commitInsert(p geom.Vec3, kind VertKind) {
 	// Phase 1: create and fully wire the new star among itself. The
 	// new cells stay unreachable from the live mesh until phase 2, so
 	// lock-free walkers never observe half-wired connectivity.
-	edges := w.edges
+	edges := w.sc.edges
 	clear(edges)
-	for _, bf := range w.boundary {
+	for _, bf := range w.sc.boundary {
 		in := m.Cells.At(bf.in)
 		a := in.V[ftab[bf.face][0]]
 		b := in.V[ftab[bf.face][1]]
@@ -285,7 +285,7 @@ func (w *Worker) commitInsert(p geom.Vec3, kind VertKind) {
 
 	// Phase 2: publish, pointing the surviving outside cells at the
 	// new star.
-	for i, bf := range w.boundary {
+	for i, bf := range w.sc.boundary {
 		if bf.out == arena.Nil {
 			continue
 		}
@@ -304,14 +304,14 @@ func (w *Worker) commitInsert(p geom.Vec3, kind VertKind) {
 	}
 
 	// Retire the cavity.
-	for _, ch := range w.cavity {
+	for _, ch := range w.sc.cavity {
 		m.Cells.At(ch).flags.Or(cellDead)
 		w.result.Killed = append(w.result.Killed, ch)
 	}
 
 	m.firstCell.Store(uint32(w.result.Created[0]))
 	w.Stats.Inserts++
-	w.Stats.CavityCells += int64(len(w.cavity))
+	w.Stats.CavityCells += int64(len(w.sc.cavity))
 	w.unlockAll()
 }
 

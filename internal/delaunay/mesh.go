@@ -175,7 +175,17 @@ type Mesh struct {
 	// firstCell is a recently created (hence probably live) cell used
 	// as a default walk start; refreshed by every commit.
 	firstCell atomic.Uint32
+
+	// recoveredBoot counts panics recovered (and retried) inside this
+	// mesh's bootstrap — only the fault harness can inject one there.
+	// Mesh.Reset zeroes it; resetTo does not, so the removal scratch
+	// meshes accumulate across the many rebuilds of one run.
+	recoveredBoot atomic.Int64
 }
+
+// BootstrapPanicRecoveries reports panics recovered inside this mesh's
+// bootstrap since construction or the last Reset.
+func (m *Mesh) BootstrapPanicRecoveries() int64 { return m.recoveredBoot.Load() }
 
 // NewMesh builds the initial triangulation enclosing the virtual box
 // [lo, hi] (paper Fig. 1a). A super-tetrahedron comfortably containing
@@ -201,9 +211,19 @@ func NewMesh(lo, hi geom.Vec3) (*Mesh, error) {
 	return m, nil
 }
 
+// Reset clears the mesh and rebuilds the initial triangulation over a
+// (possibly different) virtual box, retaining the arena chunks of the
+// previous build so a warm rebuild performs almost no allocation. It
+// must not race with any concurrent worker; a run session calls it
+// between runs, when all workers are quiescent.
+func (m *Mesh) Reset(lo, hi geom.Vec3) error {
+	m.recoveredBoot.Store(0)
+	return m.resetTo(lo, hi)
+}
+
 // resetTo clears the mesh and rebuilds the initial triangulation. Only
-// valid for single-owner scratch meshes (vertex removal's local
-// triangulations).
+// valid when the caller owns the mesh exclusively (vertex removal's
+// local triangulations, the inter-run reset of a session).
 func (m *Mesh) resetTo(lo, hi geom.Vec3) error {
 	m.Verts.Reset()
 	m.Cells.Reset()
@@ -268,6 +288,7 @@ func (m *Mesh) bootstrap(lo, hi geom.Vec3) error {
 
 	// Insert the eight box corners through the kernel.
 	w := m.NewWorker(0)
+	defer w.Release()
 	start := ch
 	for b := 0; b < 8; b++ {
 		p := geom.Vec3{
@@ -275,7 +296,20 @@ func (m *Mesh) bootstrap(lo, hi geom.Vec3) error {
 			Y: pick(b&2 != 0, hi.Y, lo.Y),
 			Z: pick(b&4 != 0, hi.Z, lo.Z),
 		}
-		res, st := w.Insert(p, KindBox, start)
+		// Bootstrap runs single-owner, so a Conflict can only be a
+		// synthetic CAS denial from the fault harness, and a panic in
+		// Insert only an injected one (every pre-commit site leaves
+		// the mesh untouched). Retry a bounded number of times rather
+		// than failing construction: the warm rebuild of a session
+		// runs with any active injector's After budgets long spent.
+		var res *OpResult
+		var st Status
+		for attempt := 0; ; attempt++ {
+			res, st = bootstrapInsert(w, p, start)
+			if st != Conflict || attempt >= 16 {
+				break
+			}
+		}
 		if st != OK {
 			return fmt.Errorf("delaunay: bootstrap corner %d insertion failed: %s", b, st)
 		}
@@ -283,6 +317,20 @@ func (m *Mesh) bootstrap(lo, hi geom.Vec3) error {
 	}
 	m.firstCell.Store(uint32(start))
 	return nil
+}
+
+// bootstrapInsert performs one panic-guarded corner insertion: a panic
+// (only the fault harness can inject one here) releases the worker's
+// locks and reports Conflict so the caller's bounded retry loop runs.
+func bootstrapInsert(w *Worker, p geom.Vec3, start arena.Handle) (res *OpResult, st Status) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			w.RecoverFromPanic()
+			w.m.recoveredBoot.Add(1)
+			res, st = nil, Conflict
+		}
+	}()
+	return w.Insert(p, KindBox, start)
 }
 
 // circum computes the cached circumsphere of a cell; degenerate cells

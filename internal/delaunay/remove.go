@@ -15,6 +15,37 @@ type holeFace struct {
 	out  arena.Handle
 }
 
+// rewire defers one outside-cell neighbor update to the commit point
+// of a removal (the first mutation other workers can observe).
+type rewire struct {
+	out     arena.Handle
+	oldBall arena.Handle
+	cell    arena.Handle
+	face    int
+}
+
+// removeScratch lazily builds, then clears, the removal maps of the
+// worker's pooled scratch, returning the hole map ready for use. Most
+// workers never remove, so the maps are not part of the pool's New.
+func (w *Worker) removeScratch() map[[3]arena.Handle]holeFace {
+	sc := w.sc
+	if sc.hole == nil {
+		sc.hole = make(map[[3]arena.Handle]holeFace, 32)
+		sc.linkSet = make(map[arena.Handle]struct{}, 32)
+		sc.toGlobal = make(map[arena.Handle]arena.Handle, 32)
+		sc.localToNew = make(map[arena.Handle]arena.Handle, 32)
+	} else {
+		clear(sc.hole)
+		clear(sc.linkSet)
+		clear(sc.toGlobal)
+		clear(sc.localToNew)
+	}
+	sc.link = sc.link[:0]
+	sc.fill = sc.fill[:0]
+	sc.rewires = sc.rewires[:0]
+	return sc.hole
+}
+
 // Remove speculatively deletes vertex vh from the triangulation,
 // re-triangulating its ball so that the mesh remains Delaunay (paper
 // Section 4.2). The hole left by the vertex is filled with the
@@ -49,7 +80,7 @@ func (w *Worker) Remove(vh arena.Handle) (*OpResult, Status) {
 	// hold v's lock, so the hint is live and the BFS below sees a
 	// frozen star; we still must lock every ball vertex because the
 	// commit rewires cells incident to them.
-	ball := w.cavity[:0] // reuse the cavity scratch buffer
+	ball := w.sc.cavity[:0] // reuse the cavity scratch buffer
 	start := v.Incident()
 	if start == arena.Nil {
 		w.unlockAll()
@@ -60,9 +91,9 @@ func (w *Worker) Remove(vh arena.Handle) (*OpResult, Status) {
 		w.rollback()
 		return nil, Conflict
 	}
-	w.visited[start] = visitCavity
+	w.sc.visited[start] = visitCavity
 	ball = append(ball, start)
-	hole := make(map[[3]arena.Handle]holeFace)
+	hole := w.removeScratch()
 	for i := 0; i < len(ball); i++ {
 		ch := ball[i]
 		c := m.Cells.At(ch)
@@ -83,21 +114,21 @@ func (w *Worker) Remove(vh arena.Handle) (*OpResult, Status) {
 				w.Stats.FailedOps++
 				return nil, Failed
 			}
-			if w.visited[nb] != 0 {
+			if w.sc.visited[nb] != 0 {
 				continue
 			}
 			if !w.lockCell(m.Cells.At(nb)) {
 				w.rollback()
 				return nil, Conflict
 			}
-			w.visited[nb] = visitCavity
+			w.sc.visited[nb] = visitCavity
 			ball = append(ball, nb)
 		}
 	}
-	w.cavity = ball
+	w.sc.cavity = ball
 
 	// Link vertices, sorted by global insertion stamp.
-	linkSet := make(map[arena.Handle]struct{}, 3*len(ball))
+	linkSet := w.sc.linkSet
 	for _, ch := range ball {
 		c := m.Cells.At(ch)
 		for i := 0; i < 4; i++ {
@@ -106,10 +137,11 @@ func (w *Worker) Remove(vh arena.Handle) (*OpResult, Status) {
 			}
 		}
 	}
-	link := make([]arena.Handle, 0, len(linkSet))
+	link := w.sc.link[:0]
 	for h := range linkSet {
 		link = append(link, h)
 	}
+	w.sc.link = link
 	sort.Slice(link, func(i, j int) bool {
 		return m.Verts.At(link[i]).Stamp < m.Verts.At(link[j]).Stamp
 	})
@@ -184,7 +216,7 @@ func (w *Worker) triangulateHole(
 	sm, sw := w.scratch, w.scratchW
 
 	// Insert link vertices in stamp order, tracking local->global.
-	toGlobal := make(map[arena.Handle]arena.Handle, len(link)+8)
+	toGlobal := w.sc.toGlobal
 	hint := sm.FirstCell()
 	for _, gh := range link {
 		res, st := sw.Insert(m.Verts.At(gh).Pos, KindIso, hint)
@@ -208,7 +240,7 @@ func (w *Worker) triangulateHole(
 	}
 
 	// Every conflict cell must consist purely of link vertices.
-	for _, lch := range sw.cavity {
+	for _, lch := range sw.sc.cavity {
 		lc := sm.Cells.At(lch)
 		for i := 0; i < 4; i++ {
 			if _, ok := toGlobal[lc.V[i]]; !ok {
@@ -218,14 +250,14 @@ func (w *Worker) triangulateHole(
 	}
 	// The conflict region's boundary must match the hole boundary
 	// exactly: same number of faces, every face present.
-	if len(sw.boundary) != len(hole) {
+	if len(sw.sc.boundary) != len(hole) {
 		return nil, Failed
 	}
 
 	// Instantiate fill cells.
-	localToNew := make(map[arena.Handle]arena.Handle, len(sw.cavity))
-	fill := make([]arena.Handle, 0, len(sw.cavity))
-	for _, lch := range sw.cavity {
+	localToNew := w.sc.localToNew
+	fill := w.sc.fill[:0]
+	for _, lch := range sw.sc.cavity {
 		lc := sm.Cells.At(lch)
 		nh := w.ca.Alloc()
 		nc := m.Cells.At(nh)
@@ -239,14 +271,10 @@ func (w *Worker) triangulateHole(
 		fill = append(fill, nh)
 	}
 
+	w.sc.fill = fill
+
 	// Wire adjacency. Interior faces copy the local structure;
 	// boundary faces attach to the hole.
-	type rewire struct {
-		out     arena.Handle
-		oldBall arena.Handle
-		cell    arena.Handle
-		face    int
-	}
 	// discard abandons the (still unpublished) fill cells on a late
 	// failure so that post-hoc sweeps do not see them as live.
 	discard := func() {
@@ -254,8 +282,8 @@ func (w *Worker) triangulateHole(
 			m.Cells.At(h).flags.Or(cellDead)
 		}
 	}
-	var rewires []rewire
-	for _, lch := range sw.cavity {
+	rewires := w.sc.rewires[:0]
+	for _, lch := range sw.sc.cavity {
 		lc := sm.Cells.At(lch)
 		nh := localToNew[lch]
 		nc := m.Cells.At(nh)
@@ -280,6 +308,8 @@ func (w *Worker) triangulateHole(
 		discard()
 		return nil, Failed
 	}
+
+	w.sc.rewires = rewires
 
 	// Point the outside cells at the fill. This is the first mutation
 	// visible to other workers; all checks have passed.

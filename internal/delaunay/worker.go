@@ -2,6 +2,7 @@ package delaunay
 
 import (
 	"math/rand"
+	"sync"
 
 	"repro/internal/arena"
 	"repro/internal/faultinject"
@@ -77,13 +78,14 @@ type Worker struct {
 	// acquisition order.
 	locked []arena.Handle
 
-	// Scratch buffers reused across operations.
-	cavity   []arena.Handle
-	boundary []bFace
-	visited  map[arena.Handle]uint8
-	edges    map[[2]arena.Handle]edgeRef
-	result   OpResult
-	rng      *rand.Rand
+	// sc is the pooled per-operation scratch (cavity walk, boundary,
+	// removal maps), drawn from scratchPool so transient workers — the
+	// bootstrap of every mesh (re)build, one-shot query workers — reuse
+	// buffers that long-lived workers warmed up.
+	sc *opScratch
+
+	result OpResult
+	rng    *rand.Rand
 
 	// scratch is the reusable local mesh for vertex removal's hole
 	// re-triangulation (see Remove).
@@ -96,6 +98,34 @@ type Worker struct {
 
 	Stats Stats
 }
+
+// opScratch bundles every buffer an operation needs beyond the
+// worker's allocators: the Bowyer-Watson cavity walk state and the
+// vertex-removal bookkeeping. Instances cycle through scratchPool;
+// all fields are length-reset or cleared at the start of each use, so
+// stale contents are harmless.
+type opScratch struct {
+	cavity   []arena.Handle
+	boundary []bFace
+	visited  map[arena.Handle]uint8
+	edges    map[[2]arena.Handle]edgeRef
+
+	// Vertex-removal state (nil until the worker's first Remove).
+	hole       map[[3]arena.Handle]holeFace
+	linkSet    map[arena.Handle]struct{}
+	link       []arena.Handle
+	toGlobal   map[arena.Handle]arena.Handle
+	localToNew map[arena.Handle]arena.Handle
+	fill       []arena.Handle
+	rewires    []rewire
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &opScratch{
+		visited: make(map[arena.Handle]uint8, 64),
+		edges:   make(map[[2]arena.Handle]edgeRef, 64),
+	}
+}}
 
 // bFace is a cavity boundary face: face `face` of inside (cavity) cell
 // `in`, with the live outside cell `out` across it.
@@ -116,13 +146,67 @@ type edgeRef struct {
 // among concurrently operating workers and >= 0).
 func (m *Mesh) NewWorker(tid int) *Worker {
 	return &Worker{
-		m:       m,
-		tid:     int32(tid),
-		va:      m.Verts.NewAllocator(),
-		ca:      m.Cells.NewAllocator(),
-		visited: make(map[arena.Handle]uint8, 64),
-		edges:   make(map[[2]arena.Handle]edgeRef, 64),
-		rng:     rand.New(rand.NewSource(int64(tid)*7919 + 1)),
+		m:           m,
+		tid:         int32(tid),
+		va:          m.Verts.NewAllocator(),
+		ca:          m.Cells.NewAllocator(),
+		sc:          scratchPool.Get().(*opScratch),
+		rng:         walkRNG(tid),
+		ConflictTid: -1,
+	}
+}
+
+// walkRNG seeds the walk-randomization generator deterministically per
+// worker id, so a reused worker reproduces a fresh one's behavior.
+func walkRNG(tid int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(tid)*7919 + 1))
+}
+
+// PrepareReuse readies a retained worker for a fresh run on a mesh
+// that has been Reset: the allocators detach from the recycled arena
+// chunks, kernel counters restart, and the walk RNG is reseeded so a
+// warm run is indistinguishable from a cold one. The removal scratch
+// mesh is deliberately kept — it is the single largest per-worker
+// allocation and self-resets on each use.
+func (w *Worker) PrepareReuse() {
+	w.va.Reset()
+	w.ca.Reset()
+	w.Stats = Stats{}
+	w.rng = walkRNG(int(w.tid))
+	w.ConflictTid = -1
+	w.locked = w.locked[:0]
+	if w.sc == nil {
+		w.sc = scratchPool.Get().(*opScratch)
+	}
+	if w.scratch != nil {
+		w.scratch.recoveredBoot.Store(0)
+	}
+}
+
+// ScratchPanicRecoveries reports panics recovered inside the removal
+// scratch mesh's bootstrap, so a run can fold them into its failure
+// accounting.
+func (w *Worker) ScratchPanicRecoveries() int64 {
+	if w.scratch == nil {
+		return 0
+	}
+	return w.scratch.BootstrapPanicRecoveries()
+}
+
+// Release returns the worker's pooled scratch (and its removal scratch
+// worker's, recursively) to the package pool. The worker must not be
+// used afterwards. Optional — a dropped worker is simply collected —
+// but short-lived workers that Release let the bootstrap of the next
+// mesh reset reuse their buffers.
+func (w *Worker) Release() {
+	if w.sc != nil {
+		scratchPool.Put(w.sc)
+		w.sc = nil
+	}
+	if w.scratchW != nil {
+		w.scratchW.Release()
+		w.scratchW = nil
+		w.scratch = nil
 	}
 }
 
@@ -185,9 +269,10 @@ func (w *Worker) unlockAll() {
 
 // reset prepares the worker's scratch state for a new operation.
 func (w *Worker) reset() {
-	w.cavity = w.cavity[:0]
-	w.boundary = w.boundary[:0]
-	clear(w.visited)
+	sc := w.sc
+	sc.cavity = sc.cavity[:0]
+	sc.boundary = sc.boundary[:0]
+	clear(sc.visited)
 	w.result.Created = w.result.Created[:0]
 	w.result.Killed = w.result.Killed[:0]
 	w.result.NewVert = arena.Nil

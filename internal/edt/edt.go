@@ -36,6 +36,35 @@ type Transform struct {
 // Compute builds the feature transform of im's surface voxels using
 // the given number of parallel workers (0 means GOMAXPROCS).
 func Compute(im *img.Image, workers int) *Transform {
+	return new(Computer).Compute(im, workers)
+}
+
+// Computer owns the large working buffers of the transform so that
+// repeated Computes on same-sized images reuse them instead of
+// reallocating (the warm path of a run session). The zero value is
+// ready to use.
+//
+// Each call to Compute recycles the buffers backing the Transform the
+// previous call on the same Computer returned, invalidating it; the
+// caller owns that lifecycle (a Session only ever keeps the latest).
+type Computer struct {
+	d2   []float64
+	feat []int32
+	dist []float32
+}
+
+// grow returns s resliced to length n, reallocating only when the
+// capacity is insufficient.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Compute builds the feature transform of im's surface voxels, reusing
+// c's buffers (0 workers means GOMAXPROCS).
+func (c *Computer) Compute(im *img.Image, workers int) *Transform {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -43,8 +72,9 @@ func Compute(im *img.Image, workers int) *Transform {
 	n := nx * ny * nz
 
 	// d2 holds running squared distance; feat the current best feature.
-	d2 := make([]float64, n)
-	feat := make([]int32, n)
+	c.d2 = grow(c.d2, n)
+	c.feat = grow(c.feat, n)
+	d2, feat := c.d2, c.feat
 	for i := range d2 {
 		d2[i] = math.Inf(1)
 		feat[i] = -1
@@ -56,23 +86,24 @@ func Compute(im *img.Image, workers int) *Transform {
 
 	// Pass 1: along X (stride 1), rows indexed by (j,k).
 	sx, sy, sz := im.Spacing.X, im.Spacing.Y, im.Spacing.Z
-	parallelFor(ny*nz, workers, func(row int) {
+	parallelFor(ny*nz, workers, func(row int, sc *lineScratch) {
 		base := row * nx
-		envelopeScan(nx, sx, base, 1, d2, feat)
+		envelopeScan(nx, sx, base, 1, d2, feat, sc)
 	})
 	// Pass 2: along Y (stride nx), rows indexed by (i,k).
-	parallelFor(nx*nz, workers, func(row int) {
+	parallelFor(nx*nz, workers, func(row int, sc *lineScratch) {
 		i := row % nx
 		k := row / nx
 		base := k*nx*ny + i
-		envelopeScan(ny, sy, base, nx, d2, feat)
+		envelopeScan(ny, sy, base, nx, d2, feat, sc)
 	})
 	// Pass 3: along Z (stride nx*ny), rows indexed by (i,j).
-	parallelFor(nx*ny, workers, func(row int) {
-		envelopeScan(nz, sz, row, nx*ny, d2, feat)
+	parallelFor(nx*ny, workers, func(row int, sc *lineScratch) {
+		envelopeScan(nz, sz, row, nx*ny, d2, feat, sc)
 	})
 
-	dist := make([]float32, n)
+	c.dist = grow(c.dist, n)
+	dist := c.dist
 	for i := range dist {
 		if feat[i] >= 0 {
 			dist[i] = float32(math.Sqrt(d2[i]))
@@ -83,17 +114,38 @@ func Compute(im *img.Image, workers int) *Transform {
 	return &Transform{im: im, feature: feat, dist: dist}
 }
 
+// lineScratch carries the per-scanline envelope buffers. One instance
+// serves every row a goroutine processes (and is pooled across
+// passes and Computes), replacing the four allocations the scan used
+// to make per row.
+type lineScratch struct {
+	v   []int
+	z   []float64
+	f   []float64
+	src []int32
+}
+
+var linePool = sync.Pool{New: func() any { return new(lineScratch) }}
+
+func (sc *lineScratch) size(m int) {
+	sc.v = grow(sc.v, m)
+	sc.z = grow(sc.z, m+1)
+	sc.f = grow(sc.f, m)
+	sc.src = grow(sc.src, m)
+}
+
 // envelopeScan performs the exact 1D combination step along one scan
 // line: out(x) = min_q ( (x-q)^2*s^2 + in(q) ), tracking the feature
 // achieving the minimum. The line has length m, world step s, first
 // element at `base` and consecutive elements `stride` apart in d2/feat.
-func envelopeScan(m int, s float64, base, stride int, d2 []float64, feat []int32) {
+func envelopeScan(m int, s float64, base, stride int, d2 []float64, feat []int32, sc *lineScratch) {
 	// Lower envelope of parabolas (Felzenszwalb & Huttenlocher, exact
 	// for the Maurer separable recurrence).
-	v := make([]int, m)       // parabola sites
-	z := make([]float64, m+1) // envelope breakpoints
-	f := make([]float64, m)
-	src := make([]int32, m)
+	sc.size(m)
+	v := sc.v     // parabola sites
+	z := sc.z     // envelope breakpoints
+	f := sc.f
+	src := sc.src
 	for q := 0; q < m; q++ {
 		f[q] = d2[base+q*stride]
 		src[q] = feat[base+q*stride]
@@ -148,15 +200,19 @@ func envelopeScan(m int, s float64, base, stride int, d2 []float64, feat []int32
 	}
 }
 
-// parallelFor runs fn(i) for i in [0, n) over `workers` goroutines.
-func parallelFor(n, workers int, fn func(int)) {
+// parallelFor runs fn(i, scratch) for i in [0, n) over `workers`
+// goroutines; each goroutine draws one pooled scanline scratch for all
+// its rows.
+func parallelFor(n, workers int, fn func(int, *lineScratch)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		sc := linePool.Get().(*lineScratch)
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, sc)
 		}
+		linePool.Put(sc)
 		return
 	}
 	var wg sync.WaitGroup
@@ -176,9 +232,11 @@ func parallelFor(n, workers int, fn func(int)) {
 			// Injected straggler: one slice of one pass stalls, proving
 			// the pass barrier tolerates wildly imbalanced slice times.
 			faultinject.Sleep(faultinject.SlowEDT)
+			sc := linePool.Get().(*lineScratch)
 			for i := lo; i < hi; i++ {
-				fn(i)
+				fn(i, sc)
 			}
+			linePool.Put(sc)
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -1,6 +1,9 @@
 package predicates
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Floating-point expansion arithmetic (Shewchuk, "Adaptive Precision
 // Floating-Point Arithmetic and Fast Robust Geometric Predicates",
@@ -10,6 +13,39 @@ import "math"
 // math/big rationals: they allocate almost nothing and are an order of
 // magnitude faster, which matters because voxel-aligned inputs hit
 // truly degenerate (zero-determinant) configurations routinely.
+//
+// All intermediate expansions live in a pooled bump arena: each exact
+// predicate call draws one arena, resets it, and returns it, so the
+// steady state performs zero heap allocation. Voxel-aligned meshing
+// escalates to the exact path on a large fraction of predicate calls,
+// which made these transient slices the single largest allocation
+// source of a whole refinement run.
+
+// expArena is a bump allocator for expansion components. Slices handed
+// out remain valid when the backing array grows (the old array keeps
+// them alive); reset reclaims everything at once.
+type expArena struct {
+	buf []float64
+	off int
+}
+
+func (a *expArena) alloc(n int) []float64 {
+	if a.off+n > len(a.buf) {
+		newCap := 2 * (a.off + n)
+		if newCap < 1024 {
+			newCap = 1024
+		}
+		a.buf = make([]float64, newCap)
+		a.off = 0
+	}
+	s := a.buf[a.off : a.off : a.off+n]
+	a.off += n
+	return s
+}
+
+func (a *expArena) reset() { a.off = 0 }
+
+var expPool = sync.Pool{New: func() any { return new(expArena) }}
 
 // twoSum returns (hi, lo) with hi+lo == a+b exactly.
 func twoSum(a, b float64) (hi, lo float64) {
@@ -45,8 +81,8 @@ func twoProduct(a, b float64) (hi, lo float64) {
 }
 
 // expSum adds expansions e and f into a fresh zero-eliminated
-// expansion (fast_expansion_sum_zeroelim).
-func expSum(e, f []float64) []float64 {
+// expansion (fast_expansion_sum_zeroelim) drawn from the arena.
+func expSum(a *expArena, e, f []float64) []float64 {
 	elen, flen := len(e), len(f)
 	if elen == 0 {
 		return f
@@ -54,7 +90,7 @@ func expSum(e, f []float64) []float64 {
 	if flen == 0 {
 		return e
 	}
-	h := make([]float64, 0, elen+flen)
+	h := a.alloc(elen + flen)
 
 	eidx, fidx := 0, 0
 	enow, fnow := e[0], f[0]
@@ -114,12 +150,13 @@ func expSum(e, f []float64) []float64 {
 }
 
 // expScale multiplies expansion e by scalar b into a fresh
-// zero-eliminated expansion (scale_expansion_zeroelim).
-func expScale(e []float64, b float64) []float64 {
+// zero-eliminated expansion (scale_expansion_zeroelim) drawn from the
+// arena.
+func expScale(a *expArena, e []float64, b float64) []float64 {
 	if len(e) == 0 || b == 0 {
 		return nil
 	}
-	h := make([]float64, 0, 2*len(e))
+	h := a.alloc(2 * len(e))
 	q, hh := twoProduct(e[0], b)
 	if hh != 0 {
 		h = append(h, hh)
@@ -143,7 +180,7 @@ func expScale(e []float64, b float64) []float64 {
 }
 
 // expMul multiplies two expansions exactly.
-func expMul(e, f []float64) []float64 {
+func expMul(a *expArena, e, f []float64) []float64 {
 	if len(e) == 0 || len(f) == 0 {
 		return nil
 	}
@@ -153,7 +190,7 @@ func expMul(e, f []float64) []float64 {
 	}
 	var acc []float64
 	for _, fi := range f {
-		acc = expSum(acc, expScale(e, fi))
+		acc = expSum(a, acc, expScale(a, e, fi))
 	}
 	return acc
 }
@@ -182,15 +219,15 @@ func expSign(e []float64) int {
 }
 
 // expDiff2 returns the 2-component expansion of a-b.
-func expDiff2(a, b float64) []float64 {
+func expDiff2(ar *expArena, a, b float64) []float64 {
 	hi, lo := twoDiff(a, b)
 	if lo == 0 {
 		if hi == 0 {
 			return nil
 		}
-		return []float64{hi}
+		return append(ar.alloc(1), hi)
 	}
-	return []float64{lo, hi}
+	return append(ar.alloc(2), lo, hi)
 }
 
 // det3Exp computes the exact 3x3 determinant
@@ -200,9 +237,9 @@ func expDiff2(a, b float64) []float64 {
 //	| c1 c2 c3 |
 //
 // over expansion entries.
-func det3Exp(a1, a2, a3, b1, b2, b3, c1, c2, c3 []float64) []float64 {
-	t := expMul(a1, expSum(expMul(b2, c3), expNeg(expMul(b3, c2))))
-	u := expMul(a2, expSum(expMul(b1, c3), expNeg(expMul(b3, c1))))
-	v := expMul(a3, expSum(expMul(b1, c2), expNeg(expMul(b2, c1))))
-	return expSum(expSum(t, expNeg(u)), v)
+func det3Exp(a *expArena, a1, a2, a3, b1, b2, b3, c1, c2, c3 []float64) []float64 {
+	t := expMul(a, a1, expSum(a, expMul(a, b2, c3), expNeg(expMul(a, b3, c2))))
+	u := expMul(a, a2, expSum(a, expMul(a, b1, c3), expNeg(expMul(a, b3, c1))))
+	v := expMul(a, a3, expSum(a, expMul(a, b1, c2), expNeg(expMul(a, b2, c1))))
+	return expSum(a, expSum(a, t, expNeg(u)), v)
 }

@@ -246,14 +246,18 @@ func det3(a1, a2, a3, b1, b2, b3, c1, c2, c3 *big.Rat) *big.Rat {
 }
 
 // orient3DExact evaluates the orientation determinant exactly with
-// expansion arithmetic.
+// expansion arithmetic over a pooled arena.
 func orient3DExact(a, b, c, d geom.Vec3) int {
-	det := det3Exp(
-		expDiff2(a.X, d.X), expDiff2(a.Y, d.Y), expDiff2(a.Z, d.Z),
-		expDiff2(b.X, d.X), expDiff2(b.Y, d.Y), expDiff2(b.Z, d.Z),
-		expDiff2(c.X, d.X), expDiff2(c.Y, d.Y), expDiff2(c.Z, d.Z),
+	ar := expPool.Get().(*expArena)
+	ar.reset()
+	det := det3Exp(ar,
+		expDiff2(ar, a.X, d.X), expDiff2(ar, a.Y, d.Y), expDiff2(ar, a.Z, d.Z),
+		expDiff2(ar, b.X, d.X), expDiff2(ar, b.Y, d.Y), expDiff2(ar, b.Z, d.Z),
+		expDiff2(ar, c.X, d.X), expDiff2(ar, c.Y, d.Y), expDiff2(ar, c.Z, d.Z),
 	)
-	return -expSign(det)
+	s := -expSign(det)
+	expPool.Put(ar)
+	return s
 }
 
 // orient3DRat is the arbitrary-precision rational implementation, kept
@@ -270,16 +274,18 @@ func orient3DRat(a, b, c, d geom.Vec3) int {
 }
 
 // inSphereExact evaluates the in-sphere determinant exactly with
-// expansion arithmetic, expanding the 4x4 difference matrix along the
-// lifted column.
+// expansion arithmetic over a pooled arena, expanding the 4x4
+// difference matrix along the lifted column.
 func inSphereExact(a, b, c, d, e geom.Vec3) int {
+	ar := expPool.Get().(*expArena)
+	ar.reset()
 	pts := [4]geom.Vec3{a, b, c, d}
 	var rows [4][4][]float64
 	for i, p := range pts {
-		dx := expDiff2(p.X, e.X)
-		dy := expDiff2(p.Y, e.Y)
-		dz := expDiff2(p.Z, e.Z)
-		lift := expSum(expSum(expMul(dx, dx), expMul(dy, dy)), expMul(dz, dz))
+		dx := expDiff2(ar, p.X, e.X)
+		dy := expDiff2(ar, p.Y, e.Y)
+		dz := expDiff2(ar, p.Z, e.Z)
+		lift := expSum(ar, expSum(ar, expMul(ar, dx, dx), expMul(ar, dy, dy)), expMul(ar, dz, dz))
 		rows[i] = [4][]float64{dx, dy, dz, lift}
 	}
 	var det []float64
@@ -293,18 +299,20 @@ func inSphereExact(a, b, c, d, e geom.Vec3) int {
 			m[k] = [3][]float64{rows[j][0], rows[j][1], rows[j][2]}
 			k++
 		}
-		minor := det3Exp(
+		minor := det3Exp(ar,
 			m[0][0], m[0][1], m[0][2],
 			m[1][0], m[1][1], m[1][2],
 			m[2][0], m[2][1], m[2][2],
 		)
-		term := expMul(rows[i][3], minor)
+		term := expMul(ar, rows[i][3], minor)
 		if (i+3)%2 == 1 {
 			term = expNeg(term)
 		}
-		det = expSum(det, term)
+		det = expSum(ar, det, term)
 	}
-	return -expSign(det)
+	s := -expSign(det)
+	expPool.Put(ar)
+	return s
 }
 
 // inSphereRat is the arbitrary-precision rational implementation, kept

@@ -232,9 +232,9 @@ func TestExpansionPrimitives(t *testing.T) {
 		_ = lo
 	}
 	// Expansion sum identity: value preserved through splits.
-	e := expDiff2(1e16, 1)
-	f := expDiff2(1, 1e-16)
-	s := expSum(e, f)
+	e := expDiff2(new(expArena), 1e16, 1)
+	f := expDiff2(new(expArena), 1, 1e-16)
+	s := expSum(new(expArena), e, f)
 	var total float64
 	for _, x := range s {
 		total += x

@@ -71,9 +71,9 @@ func TestQuickExpSumExact(t *testing.T) {
 		if !finite(a, b, c, d) {
 			return true
 		}
-		e := expDiff2(a, b)
-		g := expDiff2(c, d)
-		s := expSum(e, g)
+		e := expDiff2(new(expArena), a, b)
+		g := expDiff2(new(expArena), c, d)
+		s := expSum(new(expArena), e, g)
 		want := exactValue(e)
 		want.Add(want, exactValue(g))
 		return want.Cmp(exactValue(s)) == 0
@@ -91,9 +91,9 @@ func TestQuickExpMulExact(t *testing.T) {
 				return true
 			}
 		}
-		e := expDiff2(a, b)
-		g := expDiff2(c, d)
-		p := expMul(e, g)
+		e := expDiff2(new(expArena), a, b)
+		g := expDiff2(new(expArena), c, d)
+		p := expMul(new(expArena), e, g)
 		want := exactValue(e)
 		want.Mul(want, exactValue(g))
 		return want.Cmp(exactValue(p)) == 0

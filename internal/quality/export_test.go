@@ -1,0 +1,12 @@
+package quality
+
+// Hooks for the external test package (the tests live outside the
+// package so they can exercise the core → quality integration without
+// an import cycle).
+
+var PointTriangleDist2ForTest = pointTriangleDist2
+
+// UnderOverForTest exposes the out-of-range counters.
+func (h *Histogram) UnderOverForTest() (under, over int) {
+	return h.underflow, h.overflow
+}

@@ -1,4 +1,4 @@
-package quality
+package quality_test
 
 import (
 	"math"
@@ -8,10 +8,11 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/img"
+	"repro/internal/quality"
 )
 
 func TestHistogramBasics(t *testing.T) {
-	h := NewHistogram(0, 10, 10)
+	h := quality.NewHistogram(0, 10, 10)
 	for _, x := range []float64{0.5, 1.5, 1.6, 9.9, -1, 10, 15, math.NaN()} {
 		h.Add(x)
 	}
@@ -21,8 +22,8 @@ func TestHistogramBasics(t *testing.T) {
 	if h.Bins[0] != 1 || h.Bins[1] != 2 || h.Bins[9] != 1 {
 		t.Errorf("bins = %v", h.Bins)
 	}
-	if h.underflow != 1 || h.overflow != 2 {
-		t.Errorf("under=%d over=%d", h.underflow, h.overflow)
+	if under, over := h.UnderOverForTest(); under != 1 || over != 2 {
+		t.Errorf("under=%d over=%d", under, over)
 	}
 	if h.Min != -1 || h.Max != 15 {
 		t.Errorf("min=%v max=%v", h.Min, h.Max)
@@ -33,7 +34,7 @@ func TestHistogramBasics(t *testing.T) {
 }
 
 func TestHistogramFraction(t *testing.T) {
-	h := NewHistogram(0, 10, 10)
+	h := quality.NewHistogram(0, 10, 10)
 	for i := 0; i < 10; i++ {
 		h.Add(float64(i) + 0.5)
 	}
@@ -51,7 +52,7 @@ func TestHistogramPanics(t *testing.T) {
 			t.Error("no panic on bad range")
 		}
 	}()
-	NewHistogram(5, 5, 10)
+	quality.NewHistogram(5, 5, 10)
 }
 
 func TestMeshHistograms(t *testing.T) {
@@ -61,7 +62,7 @@ func TestMeshHistograms(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	dh := DihedralHistogram(res.Mesh, res.Final, 18)
+	dh := quality.DihedralHistogram(res.Mesh, res.Final, 18)
 	if dh.Count != 6*res.Elements() {
 		t.Errorf("dihedral samples = %d, want %d", dh.Count, 6*res.Elements())
 	}
@@ -69,7 +70,7 @@ func TestMeshHistograms(t *testing.T) {
 		t.Errorf("dihedral range (%v, %v)", dh.Min, dh.Max)
 	}
 
-	rh := RadiusEdgeHistogram(res.Mesh, res.Final, 30)
+	rh := quality.RadiusEdgeHistogram(res.Mesh, res.Final, 30)
 	if rh.Count != res.Elements() {
 		t.Errorf("ratio samples = %d", rh.Count)
 	}
@@ -81,7 +82,7 @@ func TestMeshHistograms(t *testing.T) {
 		t.Errorf("only %.2f of ratios within bound", f)
 	}
 
-	eh := EdgeLengthHistogram(res.Mesh, res.Final, 40, 20)
+	eh := quality.EdgeLengthHistogram(res.Mesh, res.Final, 40, 20)
 	if eh.Count != 6*res.Elements() {
 		t.Errorf("edge samples = %d", eh.Count)
 	}
@@ -96,11 +97,11 @@ func TestVolumeAndPerTissue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	total := Volume(res.Mesh, res.Final)
+	total := quality.Volume(res.Mesh, res.Final)
 	if total <= 0 {
 		t.Fatal("non-positive volume")
 	}
-	per := EvaluatePerTissue(res.Mesh, res.Final, im)
+	per := quality.EvaluatePerTissue(res.Mesh, res.Final, im)
 	if len(per) < 3 {
 		t.Fatalf("only %d tissues in per-tissue stats", len(per))
 	}

@@ -1,4 +1,4 @@
-package quality
+package quality_test
 
 import (
 	"math"
@@ -10,6 +10,7 @@ import (
 	"repro/internal/edt"
 	"repro/internal/geom"
 	"repro/internal/img"
+	"repro/internal/quality"
 )
 
 func v3(x, y, z float64) geom.Vec3 { return geom.Vec3{X: x, Y: y, Z: z} }
@@ -30,7 +31,7 @@ func TestPointTriangleDist(t *testing.T) {
 		{v3(1, 1, 0), math.Sqrt2 / 2}, // beyond hypotenuse
 	}
 	for _, tc := range cases {
-		got := math.Sqrt(pointTriangleDist2(tc.p, a, b, c))
+		got := math.Sqrt(quality.PointTriangleDist2ForTest(tc.p, a, b, c))
 		if math.Abs(got-tc.want) > 1e-12 {
 			t.Errorf("dist(%v) = %v, want %v", tc.p, got, tc.want)
 		}
@@ -45,7 +46,7 @@ func TestPointTriangleDistProperty(t *testing.T) {
 		b := v3(rng.Float64(), rng.Float64(), rng.Float64())
 		c := v3(rng.Float64(), rng.Float64(), rng.Float64())
 		p := v3(rng.Float64()*2-0.5, rng.Float64()*2-0.5, rng.Float64()*2-0.5)
-		got := math.Sqrt(pointTriangleDist2(p, a, b, c))
+		got := math.Sqrt(quality.PointTriangleDist2ForTest(p, a, b, c))
 		// Dense barycentric sampling.
 		best := math.Inf(1)
 		for i := 0; i <= 40; i++ {
@@ -79,7 +80,7 @@ func meshSphere(t *testing.T, n int) (*core.Result, *img.Image) {
 
 func TestEvaluateSphere(t *testing.T) {
 	res, im := meshSphere(t, 32)
-	s := Evaluate(res.Mesh, res.Final, im)
+	s := quality.Evaluate(res.Mesh, res.Final, im)
 	if s.NumTets != res.Elements() {
 		t.Errorf("NumTets = %d, want %d", s.NumTets, res.Elements())
 	}
@@ -100,7 +101,7 @@ func TestEvaluateSphere(t *testing.T) {
 func TestBoundaryTrianglesNearSurface(t *testing.T) {
 	n := 32
 	res, im := meshSphere(t, n)
-	tris := BoundaryTriangles(res.Mesh, res.Final, im)
+	tris := quality.BoundaryTriangles(res.Mesh, res.Final, im)
 	c := v3(float64(n)/2, float64(n)/2, float64(n)/2)
 	r := 0.35 * float64(n)
 	for _, tri := range tris {
@@ -115,8 +116,8 @@ func TestBoundaryTrianglesNearSurface(t *testing.T) {
 func TestHausdorffSphere(t *testing.T) {
 	res, im := meshSphere(t, 32)
 	tr := edt.Compute(im, 2)
-	tris := BoundaryTriangles(res.Mesh, res.Final, im)
-	m2s, s2m := Hausdorff(tris, im, tr)
+	tris := quality.BoundaryTriangles(res.Mesh, res.Final, im)
+	m2s, s2m := quality.Hausdorff(tris, im, tr)
 	// Theorem 1 at voxel resolution: a few voxels at this δ (=2).
 	if m2s > 4 || s2m > 4 {
 		t.Errorf("Hausdorff (%v, %v) too large for a δ=2 sphere", m2s, s2m)
@@ -124,7 +125,7 @@ func TestHausdorffSphere(t *testing.T) {
 	if m2s <= 0 || s2m <= 0 {
 		t.Errorf("Hausdorff (%v, %v) suspiciously zero", m2s, s2m)
 	}
-	if sym := SymmetricHausdorff(tris, im, tr); sym != math.Max(m2s, s2m) {
+	if sym := quality.SymmetricHausdorff(tris, im, tr); sym != math.Max(m2s, s2m) {
 		t.Errorf("SymmetricHausdorff mismatch")
 	}
 }
@@ -132,7 +133,7 @@ func TestHausdorffSphere(t *testing.T) {
 func TestHausdorffEmptyTriangles(t *testing.T) {
 	im := img.SpherePhantom(16)
 	tr := edt.Compute(im, 1)
-	m2s, s2m := Hausdorff(nil, im, tr)
+	m2s, s2m := quality.Hausdorff(nil, im, tr)
 	if !math.IsInf(m2s, 1) || !math.IsInf(s2m, 1) {
 		t.Error("empty triangle set should give infinite distances")
 	}
@@ -144,8 +145,8 @@ func TestMultiTissueInterfacesAreBoundary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tris := BoundaryTriangles(res.Mesh, res.Final, im)
-	s := Evaluate(res.Mesh, res.Final, im)
+	tris := quality.BoundaryTriangles(res.Mesh, res.Final, im)
+	s := quality.Evaluate(res.Mesh, res.Final, im)
 	if len(tris) != s.NumBoundaryTriangles {
 		t.Fatalf("triangle counts disagree")
 	}

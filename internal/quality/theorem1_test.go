@@ -1,4 +1,4 @@
-package quality
+package quality_test
 
 import (
 	"testing"
@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/edt"
 	"repro/internal/img"
+	"repro/internal/quality"
 )
 
 // TestTheorem1Convergence checks the quantitative half of Theorem 1:
@@ -34,8 +35,8 @@ func TestTheorem1Convergence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tris := BoundaryTriangles(res.Mesh, res.Final, im)
-		h := SymmetricHausdorff(tris, im, tr)
+		tris := quality.BoundaryTriangles(res.Mesh, res.Final, im)
+		h := quality.SymmetricHausdorff(tris, im, tr)
 		hausdorff = append(hausdorff, h)
 		t.Logf("delta=%g: %d elements, Hausdorff %.3f", d, res.Elements(), h)
 	}

@@ -1,4 +1,4 @@
-package quality
+package quality_test
 
 import (
 	"testing"
@@ -7,22 +7,23 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/img"
+	"repro/internal/quality"
 )
 
 // tetraSurface builds the closed surface of a single tetrahedron.
-func tetraSurface() []Triangle {
+func tetraSurface() []quality.Triangle {
 	a := geom.Vec3{X: 0, Y: 0, Z: 0}
 	b := geom.Vec3{X: 1, Y: 0, Z: 0}
 	c := geom.Vec3{X: 0, Y: 1, Z: 0}
 	d := geom.Vec3{X: 0, Y: 0, Z: 1}
-	return []Triangle{
+	return []quality.Triangle{
 		{A: a, B: b, C: c}, {A: a, B: b, C: d},
 		{A: a, B: c, C: d}, {A: b, B: c, C: d},
 	}
 }
 
 func TestSurfaceTopologyTetrahedron(t *testing.T) {
-	topo := SurfaceTopology(tetraSurface())
+	topo := quality.SurfaceTopology(tetraSurface())
 	if topo.Vertices != 4 || topo.Edges != 6 || topo.Faces != 4 {
 		t.Fatalf("V,E,F = %d,%d,%d", topo.Vertices, topo.Edges, topo.Faces)
 	}
@@ -36,7 +37,7 @@ func TestSurfaceTopologyTetrahedron(t *testing.T) {
 
 func TestSurfaceTopologyOpen(t *testing.T) {
 	// Drop one face: 3 border edges, still one component.
-	topo := SurfaceTopology(tetraSurface()[:3])
+	topo := quality.SurfaceTopology(tetraSurface()[:3])
 	if topo.Closed {
 		t.Error("open surface reported closed")
 	}
@@ -50,9 +51,9 @@ func TestSurfaceTopologyTwoComponents(t *testing.T) {
 	// A second tetra far away.
 	for _, tr := range tetraSurface() {
 		off := geom.Vec3{X: 10, Y: 10, Z: 10}
-		tris = append(tris, Triangle{A: tr.A.Add(off), B: tr.B.Add(off), C: tr.C.Add(off)})
+		tris = append(tris, quality.Triangle{A: tr.A.Add(off), B: tr.B.Add(off), C: tr.C.Add(off)})
 	}
-	topo := SurfaceTopology(tris)
+	topo := quality.SurfaceTopology(tris)
 	if topo.Components != 2 {
 		t.Fatalf("Components = %d, want 2", topo.Components)
 	}
@@ -72,8 +73,8 @@ func TestMeshedSphereIsTopologicalSphere(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tris := BoundaryTriangles(res.Mesh, res.Final, im)
-	topo := SurfaceTopology(tris)
+	tris := quality.BoundaryTriangles(res.Mesh, res.Final, im)
+	topo := quality.SurfaceTopology(tris)
 	if !topo.Closed {
 		t.Fatalf("sphere boundary not closed: %v", topo)
 	}
@@ -93,8 +94,8 @@ func TestMeshedTorusIsTopologicalTorus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tris := BoundaryTriangles(res.Mesh, res.Final, im)
-	topo := SurfaceTopology(tris)
+	tris := quality.BoundaryTriangles(res.Mesh, res.Final, im)
+	topo := quality.SurfaceTopology(tris)
 	if !topo.Closed {
 		t.Fatalf("torus boundary not closed: %v", topo)
 	}
@@ -107,7 +108,7 @@ func TestMeshedTorusIsTopologicalTorus(t *testing.T) {
 }
 
 func TestTopologyString(t *testing.T) {
-	s := SurfaceTopology(tetraSurface()).String()
+	s := quality.SurfaceTopology(tetraSurface()).String()
 	if s == "" {
 		t.Fatal("empty string")
 	}

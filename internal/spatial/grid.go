@@ -132,6 +132,35 @@ func (g *Grid) ForEachWithin(p geom.Vec3, r float64, fn func(id uint32, q geom.V
 	})
 }
 
+// Fits reports whether this grid covers the box [lo, hi] at the given
+// cell size with exactly the geometry NewGrid would choose — i.e.
+// whether a Reset grid behaves identically to a freshly built one for
+// those parameters. Clamping means behavior depends only on the
+// origin, the cell size, and the bucket dimensions, which is what is
+// compared.
+func (g *Grid) Fits(lo, hi geom.Vec3, cellSize float64) bool {
+	if cellSize <= 0 || g.lo != lo || g.inv != 1/cellSize {
+		return false
+	}
+	span := hi.Sub(lo)
+	return g.nx == int(math.Ceil(span.X/cellSize))+1 &&
+		g.ny == int(math.Ceil(span.Y/cellSize))+1 &&
+		g.nz == int(math.Ceil(span.Z/cellSize))+1
+}
+
+// Reset empties every bucket while keeping the bucket array and the
+// per-bucket slice capacity, so a reused grid performs no steady-state
+// allocation. It must not race with concurrent Adds or queries.
+func (g *Grid) Reset() {
+	for i := range g.buckets {
+		b := &g.buckets[i]
+		b.mu.Lock()
+		b.ids = b.ids[:0]
+		b.pts = b.pts[:0]
+		b.mu.Unlock()
+	}
+}
+
 // Len returns the number of stored points (approximate under
 // concurrent Adds).
 func (g *Grid) Len() int {

@@ -6,8 +6,15 @@
 // The minimal flow:
 //
 //	image, _ := pi2m.ReadNRRDFile("segmentation.nrrd") // or a phantom
-//	result, err := pi2m.Run(pi2m.Config{Image: image})
+//	session, _ := pi2m.NewSession(pi2m.WithThreads(4))
+//	defer session.Close()
+//	result, err := session.Run(ctx, image)
 //	pi2m.WriteVTKFile("mesh.vtk", result.Mesh, result.Final, image)
+//
+// A Session retains the pipeline's expensive allocations, so calling
+// Run repeatedly (time series, parameter sweeps, interactive use)
+// reuses memory instead of reallocating — the warm path of the
+// paper's real-time story. One-shot callers can use pi2m.Run.
 //
 // The names here alias the implementation packages under internal/,
 // which carry the full documentation: internal/core (the refiner),
@@ -18,6 +25,8 @@
 package pi2m
 
 import (
+	"io"
+
 	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/delaunay"
@@ -87,7 +96,10 @@ const (
 )
 
 // Run executes the PI2M pipeline (parallel EDT + parallel Delaunay
-// refinement) on cfg.
+// refinement) on cfg — a one-shot convenience equivalent to creating
+// a Session from cfg, running it once, and closing it. Callers that
+// mesh more than one image (or the same image repeatedly) should hold
+// a Session instead to reuse its memory across runs.
 func Run(cfg Config) (*Result, error) { return core.Run(cfg) }
 
 // DefaultEnergyModel returns the per-core power model used by
@@ -106,6 +118,12 @@ var (
 
 // NewImage creates an empty segmented image.
 func NewImage(nx, ny, nz int, spacing Vec3) *Image { return img.New(nx, ny, nz, spacing) }
+
+// ReadNRRD loads a uint8 label image in NRRD format from r.
+func ReadNRRD(r io.Reader) (*Image, error) { return img.ReadNRRD(r) }
+
+// WriteNRRD saves a label image in NRRD format to w.
+func WriteNRRD(w io.Writer, im *Image) error { return img.WriteNRRD(w, im) }
 
 // ReadNRRDFile loads a uint8 label image in NRRD format.
 func ReadNRRDFile(path string) (*Image, error) { return img.ReadNRRDFile(path) }
@@ -135,16 +153,42 @@ func SurfaceTopology(tris []Triangle) SurfaceTopologyInfo {
 	return quality.SurfaceTopology(tris)
 }
 
+// WriteVTK exports a final mesh as a legacy VTK unstructured grid
+// with tissue labels to w.
+func WriteVTK(w io.Writer, m *Mesh, final []CellHandle, im *Image) error {
+	return meshio.WriteVTK(w, m, final, im)
+}
+
 // WriteVTKFile exports a final mesh as a legacy VTK unstructured grid
 // with tissue labels.
 func WriteVTKFile(path string, m *Mesh, final []CellHandle, im *Image) error {
 	return meshio.WriteVTKFile(path, m, final, im)
 }
 
+// WriteOFF exports boundary triangles as an OFF surface to w.
+func WriteOFF(w io.Writer, tris []Triangle) error {
+	return meshio.WriteOFF(w, tris)
+}
+
 // WriteOFFFile exports boundary triangles as an OFF surface.
 func WriteOFFFile(path string, tris []Triangle) error {
 	return meshio.WriteOFFFile(path, tris)
 }
+
+// ReadVTK parses a legacy-VTK tetrahedral mesh (as written by
+// WriteVTK/WriteVTKRaw) from r into an indexed RawMesh.
+func ReadVTK(r io.Reader) (*RawMesh, error) { return meshio.ReadVTK(r) }
+
+// ReadVTKFile parses a legacy-VTK tetrahedral mesh from a file.
+func ReadVTKFile(path string) (*RawMesh, error) { return meshio.ReadVTKFile(path) }
+
+// WriteVTKRaw exports an indexed RawMesh as a legacy VTK unstructured
+// grid to w.
+func WriteVTKRaw(w io.Writer, m *RawMesh) error { return meshio.WriteVTKRaw(w, m) }
+
+// WriteVTKRawFile exports an indexed RawMesh as a legacy VTK
+// unstructured grid file.
+func WriteVTKRawFile(path string, m *RawMesh) error { return meshio.WriteVTKRawFile(path, m) }
 
 // Extract copies a final mesh into a standalone mutable mesh for
 // smoothing or FE assembly.

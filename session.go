@@ -1,0 +1,244 @@
+package pi2m
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+// SessionStats counts a Session's reuse behavior (runs, warm runs,
+// cached-EDT hits); see internal/core.SessionStats.
+type SessionStats = core.SessionStats
+
+// Progress is a point-in-time snapshot of a running refinement,
+// delivered to the WithProgress callback.
+type Progress = core.Progress
+
+// Option configures a Session at construction time. Options compose
+// left to right; later options override earlier ones.
+type Option func(*sessionOptions)
+
+type sessionOptions struct {
+	cfg core.Config
+
+	// Facade-level fault-injection knobs (WithFaultInjection). The
+	// injector itself is process-global, so the Session enables it
+	// around each Run and restores the previous state afterwards.
+	faultOn   bool
+	faultSeed int64
+	faultRate float64
+}
+
+// WithConfig replaces the whole configuration template at once — the
+// escape hatch for knobs without a dedicated option (Topology,
+// SuccessLimit, TimelineSample, ...). Image and Context fields are
+// ignored: the image and a context are per-Run arguments. Options
+// after WithConfig still apply on top of it.
+func WithConfig(cfg Config) Option {
+	return func(o *sessionOptions) { o.cfg = cfg }
+}
+
+// WithThreads sets the number of refinement threads (default
+// GOMAXPROCS).
+func WithThreads(n int) Option {
+	return func(o *sessionOptions) { o.cfg.Workers = n }
+}
+
+// WithEDTWorkers sets the parallelism of the distance-transform
+// pre-processing (default: the refinement thread count).
+func WithEDTWorkers(n int) Option {
+	return func(o *sessionOptions) { o.cfg.EDTWorkers = n }
+}
+
+// WithDelta sets the δ sampling parameter in world units — the
+// fidelity knob of Theorem 1 and the dominant mesh-size control
+// (default: 2x the minimum voxel spacing).
+func WithDelta(d float64) Option {
+	return func(o *sessionOptions) { o.cfg.Delta = d }
+}
+
+// WithDeltaFunc varies δ over space; values are clamped to
+// [Delta/4, Delta].
+func WithDeltaFunc(f SizeFunc) Option {
+	return func(o *sessionOptions) { o.cfg.DeltaFunc = f }
+}
+
+// WithSizeFunc sets sf(.) of rule R5, the user size function bounding
+// circumradii (default: unconstrained).
+func WithSizeFunc(f SizeFunc) Option {
+	return func(o *sessionOptions) { o.cfg.SizeFunc = f }
+}
+
+// WithMaxElements stops refinement early once the final mesh reaches
+// n tetrahedra (0 = unlimited).
+func WithMaxElements(n int) Option {
+	return func(o *sessionOptions) { o.cfg.MaxElements = n }
+}
+
+// WithMaxRadiusEdge sets the radius-edge ratio bound of rule R4
+// (default 2, the paper's provable bound).
+func WithMaxRadiusEdge(r float64) Option {
+	return func(o *sessionOptions) { o.cfg.MaxRadiusEdge = r }
+}
+
+// WithMinFacetAngle sets the boundary planar angle bound of rule R3
+// in degrees (default 30).
+func WithMinFacetAngle(deg float64) Option {
+	return func(o *sessionOptions) { o.cfg.MinFacetAngle = deg }
+}
+
+// WithContentionManager selects the contention manager: "aggressive",
+// "random", "global" or "local" (default "local").
+func WithContentionManager(name string) Option {
+	return func(o *sessionOptions) { o.cfg.ContentionManager = name }
+}
+
+// WithBalancer selects the begging-list organization: "rws" or "hws"
+// (default "hws").
+func WithBalancer(name string) Option {
+	return func(o *sessionOptions) { o.cfg.Balancer = name }
+}
+
+// WithoutRemovals turns off rule R6 vertex removals (for ablation).
+func WithoutRemovals() Option {
+	return func(o *sessionOptions) { o.cfg.DisableRemovals = true }
+}
+
+// WithDonateThreshold sets the minimum number of valid poor elements
+// a thread must hold before it may give work away (default 5).
+func WithDonateThreshold(n int) Option {
+	return func(o *sessionOptions) { o.cfg.DonateThreshold = n }
+}
+
+// WithLivelockTimeout aborts a run when no operation commits for this
+// long (0 disables the watchdog).
+func WithLivelockTimeout(d time.Duration) Option {
+	return func(o *sessionOptions) { o.cfg.LivelockTimeout = d }
+}
+
+// WithPanicBudget sets how many panics a single worker thread may
+// recover from before the run aborts (0 selects 3; negative means
+// unlimited).
+func WithPanicBudget(n int) Option {
+	return func(o *sessionOptions) { o.cfg.PanicBudget = n }
+}
+
+// WithRetryBudget bounds how many times a poor element whose
+// operation panicked is re-queued before being dropped (0 selects 2).
+func WithRetryBudget(n int) Option {
+	return func(o *sessionOptions) { o.cfg.RetryBudget = n }
+}
+
+// WithProgress installs a running-snapshot callback, sampled every
+// `sample` (0 selects 250ms). The callback must be fast and
+// thread-safe; a panic inside it degrades the run instead of
+// crashing.
+func WithProgress(f func(Progress), sample time.Duration) Option {
+	return func(o *sessionOptions) {
+		o.cfg.Progress = f
+		o.cfg.ProgressSample = sample
+	}
+}
+
+// WithTransitionLog installs a callback invoked on every recorded
+// failure-handling Transition (contention-manager hot-swap,
+// sequential drain, cancellation, abort). It must be thread-safe.
+func WithTransitionLog(f func(Transition)) Option {
+	return func(o *sessionOptions) { o.cfg.OnTransition = f }
+}
+
+// WithFaultInjection arms the deterministic fault harness around every
+// Run of the session: lock denials and steal drops fire at `rate`,
+// worker panics and commit delays at rate/10, seeded by `seed`. The
+// bootstrap is kept clean (faults start only after the first few
+// hundred lock attempts) so the storm targets refinement, mirroring
+// the cmd/pi2m -fault-rate flag.
+//
+// The fault harness is process-global: while a Run of a session built
+// with this option is in flight, other concurrently running sessions
+// see the same faults. Intended for tests and resilience experiments,
+// not production meshing.
+func WithFaultInjection(seed int64, rate float64) Option {
+	return func(o *sessionOptions) {
+		o.faultOn = rate > 0
+		o.faultSeed = seed
+		o.faultRate = rate
+	}
+}
+
+// Session is a reusable run engine. It retains the expensive
+// allocations of the pipeline — mesh arenas, spatial grids, EDT
+// buffers, per-thread refinement state — so consecutive Run calls
+// reset-and-reuse instead of reallocating, and it caches the distance
+// transform of the last image (by pointer identity).
+//
+// Runs are serialized; a Result's Mesh and Final handles stay valid
+// only until the next Run on the same session. Reuse never changes
+// output: a warm Run produces exactly the mesh a cold Run would.
+type Session struct {
+	s *core.Session
+
+	faultOn   bool
+	faultSeed int64
+	faultRate float64
+}
+
+// NewSession validates the options and returns an empty session. The
+// input image (and a context) are arguments to Run, not options — one
+// session serves any sequence of images.
+func NewSession(opts ...Option) (*Session, error) {
+	var o sessionOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o.cfg.Image = nil
+	o.cfg.Context = nil
+	cs, err := core.NewSession(o.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		s:         cs,
+		faultOn:   o.faultOn,
+		faultSeed: o.faultSeed,
+		faultRate: o.faultRate,
+	}, nil
+}
+
+// Run performs the complete PI2M pipeline on image, reusing the
+// session's retained allocations from previous runs. ctx, when
+// non-nil, cooperatively cancels the refinement: the workers stop at
+// the next operation boundary and Run returns a partial Result with
+// StatusAborted.
+func (s *Session) Run(ctx context.Context, image *Image) (*Result, error) {
+	if s.faultOn {
+		restore := faultinject.Enable(faultinject.New(faultinject.Config{
+			Seed: s.faultSeed,
+			Rates: map[faultinject.Point]float64{
+				faultinject.LockDeny:    s.faultRate,
+				faultinject.WorkerPanic: s.faultRate / 10,
+				faultinject.DropSteal:   s.faultRate,
+				faultinject.CommitDelay: s.faultRate / 10,
+			},
+			After: map[faultinject.Point]int64{
+				faultinject.LockDeny:    500,
+				faultinject.WorkerPanic: 20,
+			},
+		}))
+		defer restore()
+	}
+	return s.s.Run(ctx, image)
+}
+
+// Close releases the session's pooled per-worker scratch and marks it
+// unusable; the mesh of the last Result stays valid. Idempotent.
+func (s *Session) Close() error { return s.s.Close() }
+
+// Invalidate drops the cached distance transform. Call it after
+// mutating an image in place before re-running on it.
+func (s *Session) Invalidate() { s.s.Invalidate() }
+
+// Stats returns a snapshot of the session's reuse counters.
+func (s *Session) Stats() SessionStats { return s.s.Stats() }

@@ -1,0 +1,129 @@
+package pi2m_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	pi2m "repro"
+)
+
+// TestSessionFacade exercises the functional-option surface: option
+// validation, warm reuse, the io-based NRRD roundtrip, and Close.
+func TestSessionFacade(t *testing.T) {
+	if _, err := pi2m.NewSession(pi2m.WithContentionManager("bogus")); err == nil {
+		t.Fatal("bad contention manager accepted")
+	}
+	if _, err := pi2m.NewSession(pi2m.WithDelta(-1)); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+
+	s, err := pi2m.NewSession(
+		pi2m.WithThreads(2),
+		pi2m.WithBalancer("hws"),
+		pi2m.WithContentionManager("local"),
+		pi2m.WithMaxRadiusEdge(2),
+		pi2m.WithMinFacetAngle(30),
+		pi2m.WithLivelockTimeout(time.Minute),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	image := pi2m.TorusPhantom(24)
+	res1, err := s.Run(context.Background(), image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Elements() == 0 {
+		t.Fatal("empty mesh")
+	}
+	if _, err := s.Run(context.Background(), image); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Runs != 2 || st.WarmRuns != 1 || st.WarmEDTHits != 1 {
+		t.Fatalf("reuse stats = %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), image); err == nil {
+		t.Fatal("Run after Close succeeded")
+	}
+
+	// io.Reader/io.Writer NRRD roundtrip through the facade.
+	var buf bytes.Buffer
+	if err := pi2m.WriteNRRD(&buf, image); err != nil {
+		t.Fatal(err)
+	}
+	back, err := pi2m.ReadNRRD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumVoxels() != image.NumVoxels() {
+		t.Fatal("NRRD roundtrip lost voxels")
+	}
+}
+
+// TestSessionFaultInjection arms the harness through the facade and
+// checks the run still yields a complete, closed mesh.
+func TestSessionFaultInjection(t *testing.T) {
+	s, err := pi2m.NewSession(
+		pi2m.WithThreads(2),
+		pi2m.WithFaultInjection(11, 0.02),
+		pi2m.WithPanicBudget(-1),
+		pi2m.WithLivelockTimeout(time.Minute),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := s.Run(context.Background(), pi2m.SpherePhantom(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status == pi2m.StatusAborted {
+		t.Fatalf("fault storm aborted: %s", res.Reason)
+	}
+	topo := res.Topology()
+	if !topo.Closed || topo.Euler != 2 {
+		t.Fatalf("sphere topology under faults: %+v", topo)
+	}
+}
+
+// TestSessionVTKRawRoundtrip drives the new io-based VTK read/write
+// pair through the facade.
+func TestSessionVTKRawRoundtrip(t *testing.T) {
+	res, err := pi2m.Run(pi2m.Config{
+		Image:           pi2m.SpherePhantom(16),
+		Workers:         1,
+		LivelockTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	image := res.Config.Image
+	var buf bytes.Buffer
+	if err := pi2m.WriteVTK(&buf, res.Mesh, res.Final, image); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := pi2m.ReadVTK(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw.Cells) != res.Elements() {
+		t.Fatalf("VTK roundtrip: %d cells in, %d out", res.Elements(), len(raw.Cells))
+	}
+	var buf2 bytes.Buffer
+	if err := pi2m.WriteVTKRaw(&buf2, raw); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := pi2m.ReadVTK(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw2.Cells) != len(raw.Cells) || len(raw2.Verts) != len(raw.Verts) {
+		t.Fatal("raw VTK roundtrip changed the mesh")
+	}
+}
