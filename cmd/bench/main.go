@@ -1,14 +1,19 @@
 // Command bench runs the session cold-vs-warm benchmark pairs over
-// the standard phantoms and emits a machine-readable JSON report —
-// the artifact the CI benchmark smoke job uploads.
+// the standard phantoms plus the pool-style repeated-run throughput
+// sweep, and emits a machine-readable JSON report — the artifact the
+// CI benchmark smoke job uploads.
 //
-//	bench                      # full scales, writes BENCH_pr2.json
+//	bench                      # full scales, writes BENCH_pr3.json
 //	bench -short -o out.json   # reduced scales for CI smoke runs
+//	bench -pool 1,2,4          # pool concurrency levels to sweep
 //
 // For each phantom it measures a cold run (fresh Session per
 // iteration: every arena, grid and EDT buffer allocated from scratch)
 // and a warm run (one Session reused across iterations), and reports
 // ns/op, allocs/op, bytes/op, cells/sec, and the warm-vs-cold deltas.
+// The pool sweep then hammers a pool of k warm sessions from k
+// clients and reports aggregate runs/sec and cells/sec per level —
+// the serving layer's capacity curve.
 package main
 
 import (
@@ -19,6 +24,10 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -47,18 +56,33 @@ type Delta struct {
 	BytesDeltaPct  float64 `json:"bytes_delta_pct"`
 }
 
-// Report is the BENCH_pr2.json schema.
+// PoolCase is one pool-throughput measurement: k clients hammering a
+// pool of k warm sessions with the same image for a fixed wall time.
+type PoolCase struct {
+	Phantom     string  `json:"phantom"`
+	Sessions    int     `json:"sessions"`
+	Clients     int     `json:"clients"`
+	Runs        int64   `json:"runs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	RunsPerSec  float64 `json:"runs_per_sec"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+	EDTHits     int64   `json:"edt_cache_hits"`
+	WarmRuns    int64   `json:"warm_runs"`
+}
+
+// Report is the BENCH_pr3.json schema.
 type Report struct {
-	Benchmark string    `json:"benchmark"`
-	GoVersion string    `json:"go_version"`
-	GOOS      string    `json:"goos"`
-	GOARCH    string    `json:"goarch"`
-	CPUs      int       `json:"cpus"`
-	Workers   int       `json:"workers"`
-	Scale     int       `json:"scale"`
-	Timestamp time.Time `json:"timestamp"`
-	Cases     []Case    `json:"cases"`
-	Deltas    []Delta   `json:"deltas"`
+	Benchmark string     `json:"benchmark"`
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	CPUs      int        `json:"cpus"`
+	Workers   int        `json:"workers"`
+	Scale     int        `json:"scale"`
+	Timestamp time.Time  `json:"timestamp"`
+	Cases     []Case     `json:"cases"`
+	Deltas    []Delta    `json:"deltas"`
+	PoolCases []PoolCase `json:"pool_cases"`
 }
 
 func main() {
@@ -66,16 +90,27 @@ func main() {
 	log.SetPrefix("bench: ")
 
 	var (
-		out     = flag.String("o", "BENCH_pr2.json", "output JSON path (- for stdout)")
-		workers = flag.Int("workers", 2, "refinement threads per run")
-		scale   = flag.Int("scale", 32, "phantom edge length in voxels")
-		short   = flag.Bool("short", false, "reduced scales for CI smoke runs")
+		out      = flag.String("o", "BENCH_pr3.json", "output JSON path (- for stdout)")
+		workers  = flag.Int("workers", 2, "refinement threads per run")
+		scale    = flag.Int("scale", 32, "phantom edge length in voxels")
+		short    = flag.Bool("short", false, "reduced scales for CI smoke runs")
+		pool     = flag.String("pool", "1,2,4", "pool concurrency levels to sweep (comma-separated, empty disables)")
+		poolTime = flag.Duration("pooltime", 2*time.Second, "wall time per pool level")
 	)
 	flag.Parse()
 
+	levels, err := parseLevels(*pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	sc := *scale
+	pt := *poolTime
 	if *short {
 		sc = 24
+		if pt > 500*time.Millisecond {
+			pt = 500 * time.Millisecond
+		}
 	}
 	phantoms := []struct {
 		name string
@@ -130,6 +165,15 @@ func main() {
 	for _, d := range rep.Deltas {
 		fmt.Printf("%-10s warm vs cold: time %+.1f%%, allocs %+.1f%%, bytes %+.1f%%\n",
 			d.Phantom, d.NsDeltaPct, d.AllocsDeltaPct, d.BytesDeltaPct)
+	}
+
+	// Pool-style repeated-run throughput: the serving layer's capacity
+	// curve over the first phantom.
+	for _, k := range levels {
+		pc := measurePool(phantoms[0].name, phantoms[0].im, k, *workers, pt)
+		rep.PoolCases = append(rep.PoolCases, pc)
+		fmt.Printf("%-10s pool k=%d: %.1f runs/sec, %.0f cells/sec (%d runs, %d EDT hits)\n",
+			pc.Phantom, k, pc.RunsPerSec, pc.CellsPerSec, pc.Runs, pc.EDTHits)
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -212,4 +256,94 @@ func pctDelta(warm, cold float64) float64 {
 		return 0
 	}
 	return 100 * (warm - cold) / cold
+}
+
+// parseLevels parses the -pool flag ("1,2,4") into concurrency levels.
+func parseLevels(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("bench: bad -pool level %q", f)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// measurePool warms a pool of k sessions on the image, then hammers
+// it from k clients for the given wall time, reporting aggregate
+// throughput — the repeated-run capacity of the serving layer at that
+// concurrency.
+func measurePool(phantom string, im *pi2m.Image, k, workers int, wall time.Duration) PoolCase {
+	pool, err := pi2m.NewPool(k,
+		pi2m.WithThreads(workers),
+		pi2m.WithLivelockTimeout(time.Minute),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+	key := phantom
+
+	// Warm every session: hold k leases at once so each session runs.
+	leases := make([]*pi2m.PoolLease, k)
+	for i := range leases {
+		l, err := pool.Checkout(context.Background(), key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := l.Run(context.Background(), im); err != nil {
+			log.Fatal(err)
+		}
+		leases[i] = l
+	}
+	for _, l := range leases {
+		l.Release()
+	}
+
+	var (
+		wg    sync.WaitGroup
+		runs  atomic.Int64
+		cells atomic.Int64
+	)
+	start := time.Now()
+	deadline := start.Add(wall)
+	for c := 0; c < k; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				l, err := pool.Checkout(context.Background(), key)
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := l.Run(context.Background(), im)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cells.Add(int64(res.Elements()))
+				l.Release()
+				runs.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	st := pool.Stats()
+	return PoolCase{
+		Phantom:     phantom,
+		Sessions:    k,
+		Clients:     k,
+		Runs:        runs.Load(),
+		WallSeconds: elapsed,
+		RunsPerSec:  float64(runs.Load()) / elapsed,
+		CellsPerSec: float64(cells.Load()) / elapsed,
+		EDTHits:     int64(st.Sessions.WarmEDTHits),
+		WarmRuns:    int64(st.Sessions.WarmRuns),
+	}
 }

@@ -1,0 +1,106 @@
+// Command pi2md is the PI2M meshing daemon: an HTTP server
+// multiplexing image-to-mesh requests over a bounded pool of warm
+// sessions, with admission control, Prometheus metrics and graceful
+// drain.
+//
+//	pi2md -addr :8080 -pool 4 -queue 32
+//
+//	curl -s --data-binary @brain.nrrd 'localhost:8080/v1/mesh?format=vtk' > brain.vtk
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/metrics
+//
+// On SIGINT/SIGTERM the daemon stops accepting, lets in-flight jobs
+// finish (bounded by -drain-timeout), and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("pi2md: ")
+
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		pool         = flag.Int("pool", 2, "warm sessions (run concurrency ceiling)")
+		queue        = flag.Int("queue", 16, "max jobs queued beyond the running ones")
+		workers      = flag.Int("workers", 0, "refinement threads per session (0 = GOMAXPROCS)")
+		delta        = flag.Float64("delta", 0, "δ sampling parameter in world units (0 = 2x min voxel spacing)")
+		maxBytes     = flag.Int64("max-bytes", 64<<20, "request body size cap")
+		timeout      = flag.Duration("timeout", 60*time.Second, "default per-job deadline (queue wait + run)")
+		idleEvict    = flag.Duration("idle-evict", 10*time.Minute, "evict sessions idle this long (0 disables)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		imageCache   = flag.Int("image-cache", 8, "parsed input images retained by content hash (<0 disables)")
+		livelock     = flag.Duration("livelock-timeout", 2*time.Minute, "per-run livelock watchdog (0 disables)")
+	)
+	flag.Parse()
+
+	srv, err := serve.NewServer(serve.Config{
+		PoolSize:        *pool,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *timeout,
+		MaxRequestBytes: *maxBytes,
+		ImageCacheSize:  *imageCache,
+		Session: core.Config{
+			Workers:         *workers,
+			Delta:           *delta,
+			LivelockTimeout: *livelock,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *idleEvict > 0 {
+		ticker := time.NewTicker(*idleEvict / 2)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				if n := srv.EvictIdle(*idleEvict); n > 0 {
+					log.Printf("evicted %d idle session(s)", n)
+				}
+			}
+		}()
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("draining (waiting up to %v for in-flight jobs)", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("drain cut short: %v", err)
+		}
+		hs.Shutdown(ctx)
+	}()
+
+	log.Printf("serving on %s (pool=%d queue=%d)", *addr, *pool, *queue)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+	log.Printf("bye")
+}

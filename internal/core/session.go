@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -21,18 +22,33 @@ import (
 // state (PELs, inboxes, kernel workers) — so that consecutive Run
 // calls on same-shaped inputs reset-and-reuse instead of reallocating.
 //
-// A Session is safe for use from multiple goroutines, but runs are
-// serialized: Run holds the session lock for its whole duration. The
-// Result of a Run (its Mesh and Final handles) remains valid only
-// until the next Run on the same session, which recycles the arenas
-// underneath it; extract what you need (quality stats, I/O) before
-// re-running, or use separate sessions.
+// A Session is safe for use from multiple goroutines, but it executes
+// one run at a time: a Run that finds another Run in flight fails
+// fast with ErrSessionBusy instead of queueing behind it. Callers
+// that want to multiplex concurrent work over warm sessions should
+// hold several sessions (see internal/serve.Pool, which relies on
+// exactly this busy-rejection contract). The Result of a Run (its
+// Mesh and Final handles) remains valid only until the next Run on
+// the same session, which recycles the arenas underneath it; extract
+// what you need (quality stats, I/O) before re-running, or use
+// separate sessions.
 //
 // Reuse does not change output: a warm Run produces exactly the mesh a
 // cold Run would for the same configuration and image (bit-identical
 // with Workers=1; statistically identical under speculative
 // parallelism, exactly as two cold runs are).
+// ErrSessionBusy is returned by Session.Run when another Run is
+// already in flight on the same session. The session is unharmed;
+// retry after the in-flight run returns, or use another session.
+var ErrSessionBusy = errors.New("core: session busy: concurrent Run on the same Session")
+
 type Session struct {
+	// running is the in-use flag: Run sets it with a CAS and clears it
+	// on return, so a concurrent Run fails fast with ErrSessionBusy
+	// instead of blocking on mu for the whole duration of the run.
+	running     atomic.Bool
+	busyRejects atomic.Int64
+
 	mu     sync.Mutex
 	tmpl   Config
 	closed bool
@@ -65,6 +81,9 @@ type SessionStats struct {
 	// WarmEDTHits counts runs that reused the cached distance
 	// transform outright (same image pointer, same EDT parallelism).
 	WarmEDTHits int
+	// BusyRejects counts Run calls rejected with ErrSessionBusy
+	// because another Run was in flight.
+	BusyRejects int64
 }
 
 // NewSession validates the configuration knobs and returns an empty
@@ -82,8 +101,16 @@ func NewSession(cfg Config) (*Session, error) {
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	st.BusyRejects = s.busyRejects.Load()
+	return st
 }
+
+// Busy reports whether a Run is currently in flight. It is a racy
+// snapshot — by the time the caller acts, the run may have finished —
+// but a false return after the caller has serialized checkouts (as
+// the serve pool does) is authoritative.
+func (s *Session) Busy() bool { return s.running.Load() }
 
 // Invalidate drops the cached distance transform. Call it after
 // mutating an image in place before re-running on it; runs on a
@@ -121,7 +148,27 @@ func (s *Session) Close() error {
 // reusing the session's retained allocations from previous runs where
 // the shapes allow. ctx, when non-nil, cooperatively cancels the
 // refinement exactly like the deprecated Config.Context.
+//
+// Run does not queue: if another Run is already in flight on this
+// session it returns ErrSessionBusy immediately.
 func (s *Session) Run(ctx context.Context, image *img.Image) (*Result, error) {
+	return s.RunTuned(ctx, image, nil)
+}
+
+// RunTuned is Run with per-run configuration overrides: tune, when
+// non-nil, receives a copy of the session template (image attached)
+// and may adjust per-run knobs — Delta, MaxElements, MaxRadiusEdge,
+// MinFacetAngle, SizeFunc — before validation. The template itself is
+// never modified, and the session's retained allocations adapt: a
+// grid that no longer fits the tuned Delta is rebuilt, everything
+// else reuses warm. This is the hook the serving layer's pool uses to
+// honor per-request quality knobs over shared sessions.
+func (s *Session) RunTuned(ctx context.Context, image *img.Image, tune func(*Config)) (*Result, error) {
+	if !s.running.CompareAndSwap(false, true) {
+		s.busyRejects.Add(1)
+		return nil, ErrSessionBusy
+	}
+	defer s.running.Store(false)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -131,6 +178,23 @@ func (s *Session) Run(ctx context.Context, image *img.Image) (*Result, error) {
 	cfg.Image = image
 	if ctx != nil {
 		cfg.Context = ctx
+	}
+	if tune != nil {
+		tune(&cfg)
+		// The per-run image and context always win over a tune that
+		// clobbers them.
+		cfg.Image = image
+		if ctx != nil {
+			cfg.Context = ctx
+		}
+		// Worker-count changes are a template-level decision: the
+		// per-thread state is sized by the template, so a tuned run
+		// keeps the session's parallelism.
+		cfg.Workers = s.tmpl.Workers
+		cfg.EDTWorkers = s.tmpl.EDTWorkers
+		if err := cfg.validate(); err != nil {
+			return nil, err
+		}
 	}
 	cfg, err := cfg.withDefaults()
 	if err != nil {

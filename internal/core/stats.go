@@ -180,6 +180,46 @@ func (r *Result) Topology() quality.Topology {
 	return quality.SurfaceTopology(r.Boundary())
 }
 
+// RunSummary is a compact, serialization-friendly digest of a Result
+// — what a serving layer logs, exposes over a stats endpoint, or
+// folds into metrics without holding the mesh alive.
+type RunSummary struct {
+	Status          string  `json:"status"`
+	Reason          string  `json:"reason,omitempty"`
+	Elements        int     `json:"elements"`
+	CellsPerSec     float64 `json:"cells_per_sec"`
+	EDTMillis       float64 `json:"edt_ms"`
+	RefineMillis    float64 `json:"refine_ms"`
+	TotalMillis     float64 `json:"total_ms"`
+	Threads         int     `json:"threads"`
+	Inserts         int64   `json:"inserts"`
+	Removals        int64   `json:"removals"`
+	Rollbacks       int64   `json:"rollbacks"`
+	RecoveredPanics int64   `json:"recovered_panics,omitempty"`
+	DroppedItems    int64   `json:"dropped_items,omitempty"`
+	Transitions     int     `json:"transitions,omitempty"`
+}
+
+// Summary digests the run into a RunSummary.
+func (r *Result) Summary() RunSummary {
+	return RunSummary{
+		Status:          r.Status.String(),
+		Reason:          r.Reason,
+		Elements:        r.Elements(),
+		CellsPerSec:     r.ElementsPerSecond(),
+		EDTMillis:       float64(r.EDTTime) / 1e6,
+		RefineMillis:    float64(r.RefineTime) / 1e6,
+		TotalMillis:     float64(r.TotalTime) / 1e6,
+		Threads:         r.Stats.Threads,
+		Inserts:         r.Stats.Inserts,
+		Removals:        r.Stats.Removals,
+		Rollbacks:       r.Stats.Rollbacks,
+		RecoveredPanics: r.Stats.RecoveredPanics,
+		DroppedItems:    r.Stats.DroppedItems,
+		Transitions:     len(r.Transitions),
+	}
+}
+
 // ElementsPerSecond is the generation rate the paper reports.
 func (r *Result) ElementsPerSecond() float64 {
 	if r.TotalTime <= 0 {

@@ -40,6 +40,12 @@ const (
 	DropSteal
 	// SlowEDT stalls one slice of the parallel distance transform.
 	SlowEDT
+	// QueueFull makes the serving layer's admission check report a
+	// full job queue, forcing a synthetic 429 rejection.
+	QueueFull
+	// SlowSession stalls a checked-out pool session just before its
+	// run, inflating queue wait for everyone behind it.
+	SlowSession
 
 	// NumPoints is the number of injection points.
 	NumPoints int = iota
@@ -58,6 +64,10 @@ func (p Point) String() string {
 		return "drop-steal"
 	case SlowEDT:
 		return "slow-edt"
+	case QueueFull:
+		return "queue-full"
+	case SlowSession:
+		return "slow-session"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }

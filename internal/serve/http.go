@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/meshio"
+	"repro/internal/quality"
+)
+
+// Handler returns the server's HTTP surface:
+//
+//	POST /v1/mesh    NRRD body (raw or gzip encoding) → VTK/OFF mesh
+//	GET  /healthz    liveness ("ok", 503 while draining)
+//	GET  /v1/stats   JSON serving statistics
+//	GET  /metrics    Prometheus text exposition
+//
+// /v1/mesh query parameters: format=vtk|off (default vtk),
+// delta=<world units>, max_elements=<n>, max_radius_edge=<r>,
+// min_facet_angle=<deg>, timeout=<duration, e.g. 30s>.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/mesh", s.handleMesh)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.countRequests(mux)
+}
+
+// countRequests wraps the mux to record every response's status code.
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(cw, r)
+		s.mRequests.With(strconv.Itoa(cw.code)).Inc()
+	})
+}
+
+type codeWriter struct {
+	http.ResponseWriter
+	code    int
+	written bool
+}
+
+func (w *codeWriter) WriteHeader(code int) {
+	if !w.written {
+		w.code = code
+		w.written = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *codeWriter) Write(b []byte) (int, error) {
+	w.written = true
+	return w.ResponseWriter.Write(b)
+}
+
+// httpError writes a plain-text error with the given status.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, format+"\n", args...)
+}
+
+// meshParams are the per-request knobs parsed from the query string;
+// zero values defer to the session template.
+type meshParams struct {
+	format        string
+	delta         float64
+	maxElements   int
+	maxRadiusEdge float64
+	minFacetAngle float64
+	timeout       time.Duration
+}
+
+func parseMeshParams(r *http.Request) (meshParams, error) {
+	q := r.URL.Query()
+	p := meshParams{format: "vtk"}
+	if f := q.Get("format"); f != "" {
+		if f != "vtk" && f != "off" {
+			return p, fmt.Errorf("unknown format %q (want vtk or off)", f)
+		}
+		p.format = f
+	}
+	parseF := func(name string, dst *float64) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		x, err := strconv.ParseFloat(v, 64)
+		if err != nil || x <= 0 {
+			return fmt.Errorf("bad %s=%q (want a positive number)", name, v)
+		}
+		*dst = x
+		return nil
+	}
+	if err := parseF("delta", &p.delta); err != nil {
+		return p, err
+	}
+	if err := parseF("max_radius_edge", &p.maxRadiusEdge); err != nil {
+		return p, err
+	}
+	if p.maxRadiusEdge != 0 && p.maxRadiusEdge < 2 {
+		// Below the paper's provable bound the refinement rules are not
+		// guaranteed to terminate; a server must not accept a request
+		// that can spin until the livelock watchdog.
+		return p, fmt.Errorf("max_radius_edge=%g below the provable bound 2", p.maxRadiusEdge)
+	}
+	if err := parseF("min_facet_angle", &p.minFacetAngle); err != nil {
+		return p, err
+	}
+	if v := q.Get("max_elements"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("bad max_elements=%q", v)
+		}
+		p.maxElements = n
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return p, fmt.Errorf("bad timeout=%q (want a positive duration like 30s)", v)
+		}
+		p.timeout = d
+	}
+	return p, nil
+}
+
+// handleMesh is POST /v1/mesh: read and cap the body, admit, run,
+// stream the mesh back.
+func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
+	params, err := parseMeshParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d byte cap", s.cfg.MaxRequestBytes)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) == 0 {
+		httpError(w, http.StatusBadRequest, "empty body: expected an NRRD label image")
+		return
+	}
+
+	key := ImageKey(body)
+	image, err := s.decodeImage(key, body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding image: %v", err)
+		return
+	}
+
+	ctx := r.Context()
+	if params.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, params.timeout)
+		defer cancel()
+	}
+
+	// Per-request quality knobs ride on top of the pool's session
+	// template via the tuned-run hook; the common path (no overrides)
+	// runs the template verbatim.
+	var tune func(*core.Config)
+	if params.delta > 0 || params.maxElements > 0 || params.maxRadiusEdge > 0 || params.minFacetAngle > 0 {
+		tune = func(cfg *core.Config) {
+			if params.delta > 0 {
+				cfg.Delta = params.delta
+			}
+			if params.maxElements > 0 {
+				cfg.MaxElements = params.maxElements
+			}
+			if params.maxRadiusEdge > 0 {
+				cfg.MaxRadiusEdge = params.maxRadiusEdge
+			}
+			if params.minFacetAngle > 0 {
+				cfg.MinFacetAngle = params.minFacetAngle
+			}
+		}
+	}
+
+	// Encode while the lease is held (the mesh is recycled afterwards).
+	// Headers go out only once the run has succeeded, so admission
+	// failures below can still set an error status.
+	_, err = s.Mesh(ctx, key, image, tune, func(res *core.Result) error {
+		switch params.format {
+		case "off":
+			w.Header().Set("Content-Type", "model/off")
+			tris := quality.BoundaryTriangles(res.Mesh, res.Final, image)
+			return meshio.WriteOFF(w, tris)
+		default:
+			w.Header().Set("Content-Type", "text/vtk")
+			return meshio.WriteVTK(w, res.Mesh, res.Final, image)
+		}
+	})
+	if err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrPoolClosed):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrDeadline):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, core.ErrSessionBusy):
+		// Unreachable through the pool; surfaced for completeness.
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}

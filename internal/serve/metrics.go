@@ -1,0 +1,278 @@
+// Package serve is the serving layer of PI2M: a bounded pool of warm
+// core.Sessions multiplexing concurrent image-to-mesh requests, a job
+// admission controller with queue-depth and deadline rejection, an
+// HTTP surface (POST /v1/mesh, /healthz, /v1/stats, /metrics), and a
+// dependency-free metrics registry with Prometheus text exposition.
+//
+// The layering: Pool owns sessions and affinity; Server owns
+// admission, the image cache, metrics and encoding; the HTTP handlers
+// are a thin translation of Server errors into status codes. cmd/pi2md
+// is the daemon wrapping a Server in an http.Server with graceful
+// drain.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates float64 observations into cumulative buckets
+// (Prometheus histogram semantics: bucket le="x" counts observations
+// <= x, plus an implicit +Inf bucket, a sum and a count).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds, +Inf excluded
+	counts []int64   // len(bounds)+1; last is the +Inf overflow
+	sum    float64
+	count  int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, x)
+	h.counts[i]++
+	h.sum += x
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// CounterVec is a family of counters split by one label's values
+// (e.g. requests_total{code="200"}). Unknown values materialize their
+// series on first use.
+type CounterVec struct {
+	label string
+	mu    sync.Mutex
+	vals  map[string]*Counter
+}
+
+// With returns the counter for the given label value.
+func (cv *CounterVec) With(value string) *Counter {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	c, ok := cv.vals[value]
+	if !ok {
+		c = &Counter{}
+		cv.vals[value] = c
+	}
+	return c
+}
+
+// Value returns the count for the given label value (0 if the series
+// does not exist yet).
+func (cv *CounterVec) Value(value string) int64 {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	if c, ok := cv.vals[value]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Total sums the counter across all label values.
+func (cv *CounterVec) Total() int64 {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	var t int64
+	for _, c := range cv.vals {
+		t += c.Value()
+	}
+	return t
+}
+
+// metric is one registered metric with its exposition metadata.
+type metric struct {
+	name string
+	help string
+	typ  string // "counter", "gauge", "histogram"
+
+	counter    *Counter
+	gauge      *Gauge
+	gaugeFunc  func() float64
+	histogram  *Histogram
+	counterVec *CounterVec
+}
+
+// Registry is an ordered collection of metrics with Prometheus text
+// exposition. The zero value is not usable; use NewRegistry.
+// Registration is meant for setup time; observation methods on the
+// returned metrics are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic(fmt.Sprintf("serve: metric %q registered twice", m.name))
+	}
+	r.byName[m.name] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, typ: "counter", counter: c})
+	return c
+}
+
+// CounterVec registers and returns a one-label counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	cv := &CounterVec{label: label, vals: make(map[string]*Counter)}
+	r.register(&metric{name: name, help: help, typ: "counter", counterVec: cv})
+	return cv
+}
+
+// Gauge registers and returns a settable gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, typ: "gauge", gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from f at
+// exposition time. f must be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {
+	r.register(&metric{name: name, help: help, typ: "gauge", gaugeFunc: f})
+}
+
+// Histogram registers and returns a histogram over the given sorted
+// bucket upper bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	h := &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+	r.register(&metric{name: name, help: help, typ: "histogram", histogram: h})
+	return h
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// WritePrometheus writes every registered metric in the Prometheus
+// text exposition format (version 0.0.4), in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, m := range metrics {
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.typ)
+		switch {
+		case m.counter != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.counter.Value())
+		case m.counterVec != nil:
+			cv := m.counterVec
+			cv.mu.Lock()
+			keys := make([]string, 0, len(cv.vals))
+			for k := range cv.vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", m.name, cv.label, escapeLabel(k), cv.vals[k].Value())
+			}
+			cv.mu.Unlock()
+		case m.gauge != nil:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.gauge.Value())
+		case m.gaugeFunc != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.gaugeFunc()))
+		case m.histogram != nil:
+			h := m.histogram
+			h.mu.Lock()
+			var cum int64
+			for i, bound := range h.bounds {
+				cum += h.counts[i]
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", m.name, formatFloat(bound), cum)
+			}
+			cum += h.counts[len(h.bounds)]
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(&b, "%s_sum %s\n", m.name, formatFloat(h.sum))
+			fmt.Fprintf(&b, "%s_count %d\n", m.name, h.count)
+			h.mu.Unlock()
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

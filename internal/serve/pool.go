@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/img"
+)
+
+// ErrPoolClosed is returned by Checkout after Close.
+var ErrPoolClosed = errors.New("serve: pool closed")
+
+// Pool multiplexes work over a fixed number of warm core.Sessions.
+// Checkout hands out an exclusive Lease on one session, preferring
+// the session that last ran the same image identity so the session's
+// cached distance transform actually hits; Checkin returns it. Idle
+// sessions can be evicted — their arenas and EDT buffers released —
+// and are transparently rebuilt cold on the next checkout.
+//
+// The pool relies on core.Session's busy-rejection contract
+// (ErrSessionBusy) only as a backstop: leases already guarantee
+// single ownership, so a busy rejection through a lease indicates a
+// caller bug and is surfaced as an error.
+type Pool struct {
+	cfg core.Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries []*poolEntry
+	closed  bool
+
+	checkouts    int64
+	affinityHits int64
+	evictions    int64
+	rebuilds     int64
+}
+
+// poolEntry is one slot of the pool.
+type poolEntry struct {
+	s        *core.Session
+	key      string // image identity of the last run ("" = never ran)
+	busy     bool
+	lastUsed time.Time
+}
+
+// PoolStats is a snapshot of the pool's behavior.
+type PoolStats struct {
+	Size         int   `json:"size"`
+	Busy         int   `json:"busy"`
+	Checkouts    int64 `json:"checkouts"`
+	AffinityHits int64 `json:"affinity_hits"`
+	Evictions    int64 `json:"evictions"`
+	Rebuilds     int64 `json:"rebuilds"`
+
+	// Sessions aggregates the member sessions' reuse counters.
+	Sessions core.SessionStats `json:"sessions"`
+}
+
+// NewPool builds a pool of n sessions sharing one configuration
+// template. Sessions start empty (a core.Session allocates lazily on
+// first Run), so construction is cheap; the pool warms as it serves.
+func NewPool(n int, cfg core.Config) (*Pool, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("serve: pool size must be positive, got %d", n)
+	}
+	cfg.Image = nil
+	cfg.Context = nil
+	p := &Pool{cfg: cfg, entries: make([]*poolEntry, n)}
+	p.cond = sync.NewCond(&p.mu)
+	for i := range p.entries {
+		s, err := core.NewSession(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.entries[i] = &poolEntry{s: s}
+	}
+	return p, nil
+}
+
+// Size returns the number of sessions in the pool.
+func (p *Pool) Size() int { return len(p.entries) }
+
+// Lease is exclusive ownership of one pool session between Checkout
+// and Release.
+type Lease struct {
+	p        *Pool
+	e        *poolEntry
+	key      string
+	affinity bool
+	released bool
+
+	// edtHit and warm record the session's reuse behavior across the
+	// lease's Run calls.
+	edtHit bool
+	warm   bool
+}
+
+// pickFree selects an unleased entry, preferring exact image-identity
+// affinity, then any session that has run before (warm arenas), then
+// a cold one.
+func (p *Pool) pickFree(key string) *poolEntry {
+	var warm, cold *poolEntry
+	for _, e := range p.entries {
+		if e.busy {
+			continue
+		}
+		if key != "" && e.key == key {
+			return e
+		}
+		if e.key != "" {
+			if warm == nil {
+				warm = e
+			}
+		} else if cold == nil {
+			cold = e
+		}
+	}
+	if cold != nil {
+		return cold // a never-used session beats evicting a warm cache
+	}
+	return warm
+}
+
+// Checkout blocks until a session is free (or ctx is done) and leases
+// it. key names the image identity the caller intends to run —
+// typically a content hash of the input — and steers the checkout to
+// the session most likely to hold a warm distance transform for it.
+func (p *Pool) Checkout(ctx context.Context, key string) (*Lease, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Wake our cond.Wait when the context fires; Broadcast is cheap
+	// and the loop re-checks ctx.Err.
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed {
+			return nil, ErrPoolClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if e := p.pickFree(key); e != nil {
+			e.busy = true
+			p.checkouts++
+			hit := key != "" && e.key == key
+			if hit {
+				p.affinityHits++
+			}
+			return &Lease{p: p, e: e, key: key, affinity: hit}, nil
+		}
+		p.cond.Wait()
+	}
+}
+
+// AffinityHit reports whether the checkout landed on the session that
+// last ran the same image identity.
+func (l *Lease) AffinityHit() bool { return l.affinity }
+
+// EDTHit reports whether any Run on this lease reused the session's
+// cached distance transform.
+func (l *Lease) EDTHit() bool { return l.edtHit }
+
+// WarmRun reports whether any Run on this lease reused warm arenas.
+func (l *Lease) WarmRun() bool { return l.warm }
+
+// Run executes one image-to-mesh conversion on the leased session.
+// The caller must extract everything it needs from the Result before
+// releasing the lease: the next Run on the same session recycles the
+// mesh arenas underneath it.
+func (l *Lease) Run(ctx context.Context, image *img.Image) (*core.Result, error) {
+	return l.RunTuned(ctx, image, nil)
+}
+
+// RunTuned is Run with per-run configuration overrides; see
+// core.Session.RunTuned.
+func (l *Lease) RunTuned(ctx context.Context, image *img.Image, tune func(*core.Config)) (*core.Result, error) {
+	if l.released {
+		return nil, errors.New("serve: Run on a released Lease")
+	}
+	before := l.e.s.Stats()
+	res, err := l.e.s.RunTuned(ctx, image, tune)
+	after := l.e.s.Stats()
+	if after.WarmEDTHits > before.WarmEDTHits {
+		l.edtHit = true
+	}
+	if after.WarmRuns > before.WarmRuns {
+		l.warm = true
+	}
+	return res, err
+}
+
+// Release returns the session to the pool, recording the lease's
+// image identity for future affinity routing. Idempotent.
+func (l *Lease) Release() {
+	if l.released {
+		return
+	}
+	l.released = true
+	p := l.p
+	p.mu.Lock()
+	l.e.busy = false
+	if l.key != "" {
+		l.e.key = l.key
+	}
+	l.e.lastUsed = time.Now()
+	if p.closed {
+		l.e.s.Close() // the pool closed while this lease was out
+	}
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// EvictIdle closes sessions that have been idle longer than maxIdle,
+// releasing their retained arenas, grids and EDT buffers, and
+// replaces them with empty sessions that rebuild lazily on their next
+// checkout. It returns how many sessions were evicted. Sessions that
+// never ran are never evicted (there is nothing to release).
+func (p *Pool) EvictIdle(maxIdle time.Duration) int {
+	cutoff := time.Now().Add(-maxIdle)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return 0
+	}
+	n := 0
+	for _, e := range p.entries {
+		if e.busy || e.key == "" || e.lastUsed.After(cutoff) {
+			continue
+		}
+		e.s.Close()
+		fresh, err := core.NewSession(p.cfg)
+		if err != nil {
+			// The template validated at NewPool time; a failure here is
+			// unreachable, but never leave a closed session in the pool.
+			panic(fmt.Sprintf("serve: rebuilding evicted session: %v", err))
+		}
+		e.s = fresh
+		e.key = ""
+		e.lastUsed = time.Time{}
+		p.evictions++
+		p.rebuilds++
+		n++
+	}
+	return n
+}
+
+// Stats snapshots the pool counters and the member sessions'
+// aggregated reuse counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PoolStats{
+		Size:         len(p.entries),
+		Checkouts:    p.checkouts,
+		AffinityHits: p.affinityHits,
+		Evictions:    p.evictions,
+		Rebuilds:     p.rebuilds,
+	}
+	for _, e := range p.entries {
+		if e.busy {
+			st.Busy++
+		}
+		ss := e.s.Stats()
+		st.Sessions.Runs += ss.Runs
+		st.Sessions.WarmRuns += ss.WarmRuns
+		st.Sessions.WarmEDTHits += ss.WarmEDTHits
+		st.Sessions.BusyRejects += ss.BusyRejects
+	}
+	return st
+}
+
+// Close fails all pending and future checkouts with ErrPoolClosed and
+// closes every idle session. Leases already handed out stay valid
+// until released; their sessions close at release. Idempotent.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	for _, e := range p.entries {
+		if !e.busy {
+			e.s.Close()
+		}
+	}
+	p.cond.Broadcast()
+	return nil
+}

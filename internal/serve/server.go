@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/img"
+)
+
+// Admission and execution errors; the HTTP layer maps them to status
+// codes (queue full → 429, draining/deadline → 503, bad input → 400).
+var (
+	// ErrQueueFull rejects a job because the wait queue is at capacity
+	// (or the QueueFull fault point fired).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining rejects a job because the server is shutting down.
+	ErrDraining = errors.New("serve: server draining")
+	// ErrDeadline rejects a job whose deadline expired before a
+	// session became available.
+	ErrDeadline = errors.New("serve: deadline expired before a session was available")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// PoolSize is the number of warm sessions — the run concurrency
+	// ceiling (default 2).
+	PoolSize int
+	// QueueDepth is the maximum number of admitted jobs waiting for a
+	// session beyond the ones running; one more is rejected with
+	// ErrQueueFull (default 16).
+	QueueDepth int
+	// DefaultTimeout caps a job's total time (queue wait + run) when
+	// the request does not carry its own deadline (default 60s).
+	DefaultTimeout time.Duration
+	// MaxRequestBytes caps the request body the HTTP layer will read
+	// (default 64 MiB).
+	MaxRequestBytes int64
+	// ImageCacheSize is the number of parsed input images retained by
+	// content hash, so a repeated identical request reuses the same
+	// *img.Image pointer and can hit the session's distance-transform
+	// cache (default 8, 0 keeps the default; negative disables).
+	ImageCacheSize int
+	// Session is the configuration template every pool session runs
+	// with. Its Image and Context fields are ignored.
+	Session core.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 64 << 20
+	}
+	if c.ImageCacheSize == 0 {
+		c.ImageCacheSize = 8
+	}
+	return c
+}
+
+// Server multiplexes mesh jobs over a session Pool with bounded
+// queueing, per-job deadlines, metrics, and graceful drain. Create
+// one with NewServer, expose it with Handler, stop it with Drain.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	start time.Time
+
+	waiting  atomic.Int64 // admitted jobs blocked in Checkout
+	inflight sync.WaitGroup
+	draining atomic.Bool
+
+	imgCache struct {
+		sync.Mutex
+		m     map[string]*img.Image
+		order []string // FIFO eviction
+	}
+
+	// Metrics (the catalogue documented in DESIGN.md "Serving layer").
+	reg           *Registry
+	mRequests     *CounterVec // pi2md_http_requests_total{code}
+	mAccepted     *Counter
+	mCompleted    *Counter
+	mFailed       *Counter
+	mRejected     *CounterVec // pi2md_jobs_rejected_total{reason}
+	mQueueWait    *Histogram
+	mRunSeconds   *Histogram
+	mCells        *Counter
+	mCellsPerSec  *Gauge
+	mRollbacks    *Counter
+	mDegraded     *Counter
+	mAborted      *Counter
+	mTransitions  *Counter
+	mEDTHits      *Counter
+	mWarmRuns     *Counter
+	mAffinityHits *Counter
+	mImgCacheHit  *Counter
+	mImgCacheMiss *Counter
+	mEvictions    *Counter
+
+	// lastRuns is a ring of recent run summaries for /v1/stats.
+	lastMu   sync.Mutex
+	lastRuns []JobSummary
+}
+
+// JobSummary is one served job in /v1/stats' recent-runs ring.
+type JobSummary struct {
+	ImageKey    string          `json:"image_key"`
+	QueueWaitMs float64         `json:"queue_wait_ms"`
+	EDTCacheHit bool            `json:"edt_cache_hit"`
+	WarmRun     bool            `json:"warm_run"`
+	Run         core.RunSummary `json:"run"`
+}
+
+// NewServer validates the configuration, builds the pool and wires
+// the metrics registry.
+func NewServer(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	pool, err := NewPool(cfg.PoolSize, cfg.Session)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, pool: pool, start: time.Now(), reg: NewRegistry()}
+	s.imgCache.m = make(map[string]*img.Image)
+
+	r := s.reg
+	s.mRequests = r.CounterVec("pi2md_http_requests_total",
+		"HTTP requests served, by status code.", "code")
+	s.mAccepted = r.Counter("pi2md_jobs_accepted_total",
+		"Mesh jobs admitted past the queue-depth check.")
+	s.mCompleted = r.Counter("pi2md_jobs_completed_total",
+		"Mesh jobs that produced a mesh (completed or degraded runs).")
+	s.mFailed = r.Counter("pi2md_jobs_failed_total",
+		"Admitted mesh jobs that ended without a mesh (aborts, run errors).")
+	s.mRejected = r.CounterVec("pi2md_jobs_rejected_total",
+		"Mesh jobs rejected by admission control, by reason.", "reason")
+	r.GaugeFunc("pi2md_queue_depth",
+		"Admitted jobs currently waiting for a session.",
+		func() float64 { return float64(s.waiting.Load()) })
+	r.GaugeFunc("pi2md_pool_sessions",
+		"Sessions in the pool.",
+		func() float64 { return float64(s.pool.Size()) })
+	r.GaugeFunc("pi2md_pool_busy_sessions",
+		"Sessions currently leased to a running job.",
+		func() float64 { return float64(s.pool.Stats().Busy) })
+	s.mQueueWait = r.Histogram("pi2md_queue_wait_seconds",
+		"Time admitted jobs spent waiting for a session.",
+		[]float64{0.001, 0.005, 0.02, 0.1, 0.5, 2, 10, 30})
+	s.mRunSeconds = r.Histogram("pi2md_run_seconds",
+		"Wall time of the meshing run itself.",
+		[]float64{0.01, 0.05, 0.2, 1, 5, 20, 60})
+	s.mCells = r.Counter("pi2md_cells_total",
+		"Tetrahedra generated across all completed jobs.")
+	s.mCellsPerSec = r.Gauge("pi2md_cells_per_second",
+		"Generation rate of the most recent completed job.")
+	s.mRollbacks = r.Counter("pi2md_rollbacks_total",
+		"Speculative-operation rollbacks across all runs.")
+	s.mDegraded = r.Counter("pi2md_degraded_runs_total",
+		"Runs that completed through the failure-handling ladder.")
+	s.mAborted = r.Counter("pi2md_aborted_runs_total",
+		"Runs that aborted (cancellation, panic budget, livelock).")
+	s.mTransitions = r.Counter("pi2md_degradation_transitions_total",
+		"Failure-handling transitions recorded across all runs.")
+	s.mEDTHits = r.Counter("pi2md_edt_cache_hits_total",
+		"Runs that reused a session's cached distance transform.")
+	s.mWarmRuns = r.Counter("pi2md_warm_runs_total",
+		"Runs that reused a session's warm arenas.")
+	s.mAffinityHits = r.Counter("pi2md_pool_affinity_hits_total",
+		"Checkouts routed to the session that last ran the same image.")
+	s.mImgCacheHit = r.Counter("pi2md_image_cache_hits_total",
+		"Request bodies whose parsed image was served from the cache.")
+	s.mImgCacheMiss = r.Counter("pi2md_image_cache_misses_total",
+		"Request bodies that had to be parsed.")
+	s.mEvictions = r.Counter("pi2md_pool_evictions_total",
+		"Idle sessions evicted to release their retained memory.")
+	return s, nil
+}
+
+// Registry exposes the metrics registry (for /metrics and tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Pool exposes the session pool (for stats and eviction janitors).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// EvictIdle evicts pool sessions idle longer than maxIdle, recording
+// the evictions in the metrics. See Pool.EvictIdle.
+func (s *Server) EvictIdle(maxIdle time.Duration) int {
+	n := s.pool.EvictIdle(maxIdle)
+	s.mEvictions.Add(int64(n))
+	return n
+}
+
+// ImageKey is the image identity used for session affinity and the
+// parsed-image cache: a content hash of the serialized input.
+func ImageKey(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:8])
+}
+
+// decodeImage parses body as NRRD through the cache: a repeated
+// identical body returns the previously parsed *img.Image, giving the
+// leased session a chance to reuse its cached distance transform
+// (which is keyed by image pointer identity).
+func (s *Server) decodeImage(key string, body []byte) (*img.Image, error) {
+	if s.cfg.ImageCacheSize > 0 {
+		s.imgCache.Lock()
+		im, ok := s.imgCache.m[key]
+		s.imgCache.Unlock()
+		if ok {
+			s.mImgCacheHit.Inc()
+			return im, nil
+		}
+	}
+	s.mImgCacheMiss.Inc()
+	im, err := img.ReadNRRD(bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.ImageCacheSize > 0 {
+		s.imgCache.Lock()
+		if _, dup := s.imgCache.m[key]; !dup {
+			for len(s.imgCache.order) >= s.cfg.ImageCacheSize {
+				oldest := s.imgCache.order[0]
+				s.imgCache.order = s.imgCache.order[1:]
+				delete(s.imgCache.m, oldest)
+			}
+			s.imgCache.m[key] = im
+			s.imgCache.order = append(s.imgCache.order, key)
+		} else {
+			im = s.imgCache.m[key] // lost a parse race; converge on one pointer
+		}
+		s.imgCache.Unlock()
+	}
+	return im, nil
+}
+
+// JobResult is the outcome Mesh hands back: the run plus the serving
+// metadata a response encoder or stats consumer needs. Its Result
+// (and the mesh inside) is only valid until the lease's session runs
+// again, so Mesh extracts/encodes before releasing.
+type JobResult struct {
+	Summary JobSummary
+	Result  *core.Result
+}
+
+// Mesh runs one image-to-mesh job under admission control: a
+// queue-depth check, a bounded wait for a pool session (with image
+// affinity), the run itself under the job deadline, and metrics
+// accounting. tune, when non-nil, applies per-request quality knobs
+// on top of the pool's session template (core.Session.RunTuned).
+// encode, when non-nil, is called with the Result while the lease is
+// still held — the only window in which the mesh may be read safely.
+func (s *Server) Mesh(ctx context.Context, key string, image *img.Image, tune func(*core.Config), encode func(*core.Result) error) (*JobResult, error) {
+	if s.draining.Load() {
+		s.mRejected.With("draining").Inc()
+		return nil, ErrDraining
+	}
+	// Admission: bounded queue. The waiting counter is incremented
+	// optimistically so concurrent arrivals see each other.
+	if n := s.waiting.Add(1); n > int64(s.cfg.QueueDepth) || faultinject.Fire(faultinject.QueueFull) {
+		s.waiting.Add(-1)
+		s.mRejected.With("queue_full").Inc()
+		return nil, ErrQueueFull
+	}
+	s.mAccepted.Inc()
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	jctx := ctx
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
+		defer cancel()
+	}
+
+	waitStart := time.Now()
+	lease, err := s.pool.Checkout(jctx, key)
+	s.waiting.Add(-1)
+	wait := time.Since(waitStart)
+	s.mQueueWait.Observe(wait.Seconds())
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.mRejected.With("deadline").Inc()
+			return nil, fmt.Errorf("%w: %v", ErrDeadline, err)
+		}
+		s.mRejected.With("pool_closed").Inc()
+		return nil, err
+	}
+	defer lease.Release()
+
+	// Injectable stall between checkout and run: everyone queued
+	// behind this session now waits longer (degradation under load).
+	faultinject.Sleep(faultinject.SlowSession)
+
+	runStart := time.Now()
+	res, err := lease.RunTuned(jctx, image, tune)
+	s.mRunSeconds.Observe(time.Since(runStart).Seconds())
+	if err != nil {
+		s.mFailed.Inc()
+		return nil, fmt.Errorf("serve: run: %w", err)
+	}
+
+	if lease.AffinityHit() {
+		s.mAffinityHits.Inc()
+	}
+	if lease.EDTHit() {
+		s.mEDTHits.Inc()
+	}
+	if lease.WarmRun() {
+		s.mWarmRuns.Inc()
+	}
+	sum := res.Summary()
+	s.mRollbacks.Add(sum.Rollbacks)
+	s.mTransitions.Add(int64(sum.Transitions))
+	switch res.Status {
+	case core.StatusAborted:
+		s.mAborted.Inc()
+		s.mFailed.Inc()
+		return nil, fmt.Errorf("serve: run aborted: %w", res.Err())
+	case core.StatusDegraded:
+		s.mDegraded.Inc()
+	}
+	s.mCompleted.Inc()
+	s.mCells.Add(int64(sum.Elements))
+	s.mCellsPerSec.Set(int64(sum.CellsPerSec))
+
+	jr := &JobResult{
+		Summary: JobSummary{
+			ImageKey:    key,
+			QueueWaitMs: float64(wait) / 1e6,
+			EDTCacheHit: lease.EDTHit(),
+			WarmRun:     lease.WarmRun(),
+			Run:         sum,
+		},
+		Result: res,
+	}
+	s.lastMu.Lock()
+	s.lastRuns = append(s.lastRuns, jr.Summary)
+	if len(s.lastRuns) > 16 {
+		s.lastRuns = s.lastRuns[len(s.lastRuns)-16:]
+	}
+	s.lastMu.Unlock()
+
+	if encode != nil {
+		if err := encode(res); err != nil {
+			return jr, fmt.Errorf("serve: encoding result: %w", err)
+		}
+	}
+	return jr, nil
+}
+
+// Stats is the /v1/stats document.
+type Stats struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Draining      bool         `json:"draining"`
+	QueueDepth    int64        `json:"queue_depth"`
+	QueueCapacity int          `json:"queue_capacity"`
+	Accepted      int64        `json:"jobs_accepted"`
+	Completed     int64        `json:"jobs_completed"`
+	Failed        int64        `json:"jobs_failed"`
+	RejectedFull  int64        `json:"jobs_rejected_queue_full"`
+	RejectedDL    int64        `json:"jobs_rejected_deadline"`
+	Pool          PoolStats    `json:"pool"`
+	RecentRuns    []JobSummary `json:"recent_runs"`
+}
+
+// Stats snapshots the serving counters for /v1/stats.
+func (s *Server) Stats() Stats {
+	s.lastMu.Lock()
+	recent := append([]JobSummary(nil), s.lastRuns...)
+	s.lastMu.Unlock()
+	return Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.draining.Load(),
+		QueueDepth:    s.waiting.Load(),
+		QueueCapacity: s.cfg.QueueDepth,
+		Accepted:      s.mAccepted.Value(),
+		Completed:     s.mCompleted.Value(),
+		Failed:        s.mFailed.Value(),
+		RejectedFull:  s.mRejected.Value("queue_full"),
+		RejectedDL:    s.mRejected.Value("deadline"),
+		Pool:          s.pool.Stats(),
+		RecentRuns:    recent,
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the server down: new jobs are rejected with
+// ErrDraining, in-flight jobs run to completion (bounded by ctx), and
+// the pool is closed. It returns ctx.Err() if the wait was cut short
+// (the pool is closed regardless).
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	if ctx == nil {
+		<-done
+	} else {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	}
+	s.pool.Close()
+	return err
+}

@@ -6,7 +6,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/serve"
 )
+
+// ErrSessionBusy is returned by Session.Run when another Run is
+// already in flight on the same session: runs never queue. Retry
+// after the in-flight run returns, or use a Pool.
+var ErrSessionBusy = core.ErrSessionBusy
 
 // SessionStats counts a Session's reuse behavior (runs, warm runs,
 // cached-EDT hits); see internal/core.SessionStats.
@@ -232,6 +238,15 @@ func (s *Session) Run(ctx context.Context, image *Image) (*Result, error) {
 	return s.s.Run(ctx, image)
 }
 
+// RunTuned is Run with per-run configuration overrides: tune receives
+// a copy of the session's configuration template (image attached) and
+// may adjust per-run quality knobs — Delta, MaxElements,
+// MaxRadiusEdge, MinFacetAngle, SizeFunc — before validation. The
+// template itself is never modified. See core.Session.RunTuned.
+func (s *Session) RunTuned(ctx context.Context, image *Image, tune func(*Config)) (*Result, error) {
+	return s.s.RunTuned(ctx, image, tune)
+}
+
 // Close releases the session's pooled per-worker scratch and marks it
 // unusable; the mesh of the last Result stays valid. Idempotent.
 func (s *Session) Close() error { return s.s.Close() }
@@ -242,3 +257,28 @@ func (s *Session) Invalidate() { s.s.Invalidate() }
 
 // Stats returns a snapshot of the session's reuse counters.
 func (s *Session) Stats() SessionStats { return s.s.Stats() }
+
+// Pool multiplexes concurrent meshing over a fixed number of warm
+// sessions with image-identity affinity and idle eviction — the
+// building block of the serving layer (internal/serve carries the
+// full documentation). Checkout a Lease, Run on it, Release it.
+type Pool = serve.Pool
+
+// PoolLease is exclusive ownership of one pool session between
+// Checkout and Release.
+type PoolLease = serve.Lease
+
+// PoolStats snapshots a Pool's checkout/affinity/eviction counters
+// and the member sessions' aggregated reuse counters.
+type PoolStats = serve.PoolStats
+
+// NewPool builds a pool of size identically-configured sessions. The
+// options are the same ones NewSession takes; WithFaultInjection is
+// ignored here (arm the harness process-globally in tests instead).
+func NewPool(size int, opts ...Option) (*Pool, error) {
+	var o sessionOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return serve.NewPool(size, o.cfg)
+}
