@@ -1,11 +1,13 @@
 // Command bench runs the session cold-vs-warm benchmark pairs over
 // the standard phantoms plus the pool-style repeated-run throughput
-// sweep, and emits a machine-readable JSON report — the artifact the
-// CI benchmark smoke job uploads.
+// sweep and the serving-layer coalescing sweep, and emits a
+// machine-readable JSON report — the artifact the CI benchmark smoke
+// job uploads.
 //
-//	bench                      # full scales, writes BENCH_pr3.json
+//	bench                      # full scales, writes BENCH_pr4.json
 //	bench -short -o out.json   # reduced scales for CI smoke runs
 //	bench -pool 1,2,4          # pool concurrency levels to sweep
+//	bench -coalesce 1,8        # coalesce-group caps to sweep
 //
 // For each phantom it measures a cold run (fresh Session per
 // iteration: every arena, grid and EDT buffer allocated from scratch)
@@ -13,7 +15,11 @@
 // ns/op, allocs/op, bytes/op, cells/sec, and the warm-vs-cold deltas.
 // The pool sweep then hammers a pool of k warm sessions from k
 // clients and reports aggregate runs/sec and cells/sec per level —
-// the serving layer's capacity curve.
+// the serving layer's capacity curve. The coalesce sweep hammers one
+// in-process Server with identical jobs at each coalesce cap and
+// reports jobs/sec, actual runs, and the lease-occupancy histogram
+// (response encoding happens off-lease from snapshots, so occupancy
+// tracks meshing alone).
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -32,7 +39,9 @@ import (
 	"time"
 
 	pi2m "repro"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/serve"
 )
 
 // Case is one measured benchmark configuration.
@@ -70,19 +79,42 @@ type PoolCase struct {
 	WarmRuns    int64   `json:"warm_runs"`
 }
 
-// Report is the BENCH_pr3.json schema.
+// CoalesceCase is one serving-layer coalescing measurement: clients
+// hammering one in-process Server with identical jobs under a given
+// coalesce-group cap. Runs counts actual meshing runs (leaders);
+// CoalescedJobs counts jobs served from another job's snapshot. The
+// lease-occupancy histogram shows how long sessions stayed leased —
+// encoding runs off-lease from snapshots, so MeanLeaseMs excludes
+// MeanEncodeMs entirely.
+type CoalesceCase struct {
+	Phantom        string                  `json:"phantom"`
+	CoalesceMax    int                     `json:"coalesce_max"`
+	Clients        int                     `json:"clients"`
+	Jobs           int64                   `json:"jobs"`
+	Runs           int64                   `json:"runs"`
+	CoalescedJobs  int64                   `json:"coalesced_jobs"`
+	WallSeconds    float64                 `json:"wall_seconds"`
+	JobsPerSec     float64                 `json:"jobs_per_sec"`
+	MeanLeaseMs    float64                 `json:"mean_lease_ms"`
+	MeanEncodeMs   float64                 `json:"mean_encode_ms"`
+	SnapshotBytes  float64                 `json:"mean_snapshot_bytes"`
+	LeaseOccupancy serve.HistogramSnapshot `json:"lease_occupancy"`
+}
+
+// Report is the BENCH_pr4.json schema.
 type Report struct {
-	Benchmark string     `json:"benchmark"`
-	GoVersion string     `json:"go_version"`
-	GOOS      string     `json:"goos"`
-	GOARCH    string     `json:"goarch"`
-	CPUs      int        `json:"cpus"`
-	Workers   int        `json:"workers"`
-	Scale     int        `json:"scale"`
-	Timestamp time.Time  `json:"timestamp"`
-	Cases     []Case     `json:"cases"`
-	Deltas    []Delta    `json:"deltas"`
-	PoolCases []PoolCase `json:"pool_cases"`
+	Benchmark     string         `json:"benchmark"`
+	GoVersion     string         `json:"go_version"`
+	GOOS          string         `json:"goos"`
+	GOARCH        string         `json:"goarch"`
+	CPUs          int            `json:"cpus"`
+	Workers       int            `json:"workers"`
+	Scale         int            `json:"scale"`
+	Timestamp     time.Time      `json:"timestamp"`
+	Cases         []Case         `json:"cases"`
+	Deltas        []Delta        `json:"deltas"`
+	PoolCases     []PoolCase     `json:"pool_cases"`
+	CoalesceCases []CoalesceCase `json:"coalesce_cases"`
 }
 
 func main() {
@@ -90,16 +122,21 @@ func main() {
 	log.SetPrefix("bench: ")
 
 	var (
-		out      = flag.String("o", "BENCH_pr3.json", "output JSON path (- for stdout)")
+		out      = flag.String("o", "BENCH_pr4.json", "output JSON path (- for stdout)")
 		workers  = flag.Int("workers", 2, "refinement threads per run")
 		scale    = flag.Int("scale", 32, "phantom edge length in voxels")
 		short    = flag.Bool("short", false, "reduced scales for CI smoke runs")
 		pool     = flag.String("pool", "1,2,4", "pool concurrency levels to sweep (comma-separated, empty disables)")
 		poolTime = flag.Duration("pooltime", 2*time.Second, "wall time per pool level")
+		coalesce = flag.String("coalesce", "1,8", "coalesce-group caps to sweep (comma-separated, empty disables)")
 	)
 	flag.Parse()
 
 	levels, err := parseLevels(*pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coalesceLevels, err := parseLevels(*coalesce)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -174,6 +211,17 @@ func main() {
 		rep.PoolCases = append(rep.PoolCases, pc)
 		fmt.Printf("%-10s pool k=%d: %.1f runs/sec, %.0f cells/sec (%d runs, %d EDT hits)\n",
 			pc.Phantom, k, pc.RunsPerSec, pc.CellsPerSec, pc.Runs, pc.EDTHits)
+	}
+
+	// Coalescing sweep on the encode-heavy phantom: identical jobs at
+	// each group cap. cap=1 is the no-coalescing baseline; higher caps
+	// show single-flight fan-out turning jobs into shared runs.
+	last := phantoms[len(phantoms)-1]
+	for _, cmax := range coalesceLevels {
+		cc := measureCoalesce(last.name, last.im, cmax, *workers, pt)
+		rep.CoalesceCases = append(rep.CoalesceCases, cc)
+		fmt.Printf("%-10s coalesce max=%d: %.1f jobs/sec (%d jobs, %d runs, %d coalesced), lease %.1fms, encode %.1fms\n",
+			cc.Phantom, cmax, cc.JobsPerSec, cc.Jobs, cc.Runs, cc.CoalescedJobs, cc.MeanLeaseMs, cc.MeanEncodeMs)
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -346,4 +394,82 @@ func measurePool(phantom string, im *pi2m.Image, k, workers int, wall time.Durat
 		EDTHits:     int64(st.Sessions.WarmEDTHits),
 		WarmRuns:    int64(st.Sessions.WarmRuns),
 	}
+}
+
+// measureCoalesce hammers one in-process Server (pool of 2 sessions)
+// with identical jobs from 3x that many clients for the given wall
+// time, under the given coalesce cap, and each client VTK-encodes its
+// snapshot to io.Discard — the off-lease work the lease-occupancy
+// histogram must exclude.
+func measureCoalesce(phantom string, im *pi2m.Image, cmax, workers int, wall time.Duration) CoalesceCase {
+	const poolSize = 2
+	clients := 3 * poolSize
+	srv, err := serve.NewServer(serve.Config{
+		PoolSize:    poolSize,
+		QueueDepth:  2 * clients,
+		CoalesceMax: cmax,
+		Session: core.Config{
+			Workers:         workers,
+			LivelockTimeout: time.Minute,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	key := "bench-coalesce-" + phantom
+
+	var (
+		wg        sync.WaitGroup
+		jobs      atomic.Int64
+		encodeNs  atomic.Int64
+		snapBytes atomic.Int64
+	)
+	start := time.Now()
+	deadline := start.Add(wall)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				sr, err := srv.MeshSnapshot(context.Background(), key, "", im, nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				encStart := time.Now()
+				if err := pi2m.WriteVTKSnapshot(io.Discard, sr.Snapshot); err != nil {
+					log.Fatal(err)
+				}
+				encodeNs.Add(time.Since(encStart).Nanoseconds())
+				snapBytes.Add(int64(sr.Snapshot.SizeBytes()))
+				jobs.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	st := srv.Stats()
+	occ := srv.LeaseOccupancy().Snapshot()
+	cc := CoalesceCase{
+		Phantom:        phantom,
+		CoalesceMax:    cmax,
+		Clients:        clients,
+		Jobs:           jobs.Load(),
+		Runs:           st.Accepted - st.Coalesced,
+		CoalescedJobs:  st.Coalesced,
+		WallSeconds:    elapsed,
+		JobsPerSec:     float64(jobs.Load()) / elapsed,
+		LeaseOccupancy: occ,
+	}
+	if occ.Count > 0 {
+		cc.MeanLeaseMs = occ.Sum / float64(occ.Count) * 1e3
+	}
+	if n := jobs.Load(); n > 0 {
+		cc.MeanEncodeMs = float64(encodeNs.Load()) / float64(n) / 1e6
+		cc.SnapshotBytes = float64(snapBytes.Load()) / float64(n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	srv.Drain(ctx)
+	return cc
 }

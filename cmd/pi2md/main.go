@@ -44,6 +44,7 @@ func main() {
 		idleEvict    = flag.Duration("idle-evict", 10*time.Minute, "evict sessions idle this long (0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		imageCache   = flag.Int("image-cache", 8, "parsed input images retained by content hash (<0 disables)")
+		coalesceMax  = flag.Int("coalesce-max", 32, "max jobs sharing one run via single-flight coalescing (1 disables)")
 		livelock     = flag.Duration("livelock-timeout", 2*time.Minute, "per-run livelock watchdog (0 disables)")
 	)
 	flag.Parse()
@@ -54,6 +55,7 @@ func main() {
 		DefaultTimeout:  *timeout,
 		MaxRequestBytes: *maxBytes,
 		ImageCacheSize:  *imageCache,
+		CoalesceMax:     *coalesceMax,
 		Session: core.Config{
 			Workers:         *workers,
 			Delta:           *delta,

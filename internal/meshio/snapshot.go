@@ -1,0 +1,52 @@
+package meshio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// WriteVTKSnapshot writes a MeshSnapshot as a legacy-ASCII VTK
+// unstructured grid — byte-identical to WriteVTK over the Result the
+// snapshot was taken from (the snapshot preserves WriteVTK's
+// first-seen vertex compaction). This is the off-lease encoding path
+// of the serving layer: the snapshot is copied out while the session
+// lease is held, and the (much slower) text encoding happens after
+// the session is already serving the next job.
+func WriteVTKSnapshot(w io.Writer, s *core.MeshSnapshot) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	fmt.Fprintln(bw, "PI2M tetrahedral mesh")
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET UNSTRUCTURED_GRID")
+	fmt.Fprintf(bw, "POINTS %d double\n", len(s.Verts))
+	for _, p := range s.Verts {
+		fmt.Fprintf(bw, "%g %g %g\n", p.X, p.Y, p.Z)
+	}
+	fmt.Fprintf(bw, "CELLS %d %d\n", len(s.Cells), 5*len(s.Cells))
+	for _, c := range s.Cells {
+		fmt.Fprintf(bw, "4 %d %d %d %d\n", c[0], c[1], c[2], c[3])
+	}
+	fmt.Fprintf(bw, "CELL_TYPES %d\n", len(s.Cells))
+	for range s.Cells {
+		fmt.Fprintln(bw, 10) // VTK_TETRA
+	}
+	if s.Labels != nil {
+		fmt.Fprintf(bw, "CELL_DATA %d\n", len(s.Cells))
+		fmt.Fprintln(bw, "SCALARS tissue int 1")
+		fmt.Fprintln(bw, "LOOKUP_TABLE default")
+		for _, l := range s.Labels {
+			fmt.Fprintln(bw, int(l))
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteOFFSnapshot writes the snapshot's boundary triangulation as an
+// OFF surface mesh, extracting the boundary from the copied geometry
+// (MeshSnapshot.BoundaryTriangles) — no mesh or lease required.
+func WriteOFFSnapshot(w io.Writer, s *core.MeshSnapshot) error {
+	return WriteOFF(w, s.BoundaryTriangles())
+}

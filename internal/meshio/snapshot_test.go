@@ -1,0 +1,85 @@
+package meshio
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"repro/internal/quality"
+)
+
+// TestWriteVTKSnapshotParity: the snapshot encoder must be
+// byte-identical to the lease-bound encoder over the same run — the
+// serving layer fans the snapshot bytes out to coalesced waiters that
+// would previously each have encoded from the live mesh.
+func TestWriteVTKSnapshotParity(t *testing.T) {
+	res, im := smallMesh(t)
+
+	var direct bytes.Buffer
+	if err := WriteVTK(&direct, res.Mesh, res.Final, im); err != nil {
+		t.Fatal(err)
+	}
+	var fromSnap bytes.Buffer
+	if err := WriteVTKSnapshot(&fromSnap, res.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), fromSnap.Bytes()) {
+		t.Fatalf("snapshot VTK differs from direct VTK (%d vs %d bytes)",
+			direct.Len(), fromSnap.Len())
+	}
+}
+
+// triKey reduces a triangle to an order-independent identity so the
+// two boundary extractions can be compared as multisets (they agree
+// on the facet set, not necessarily on emission order or winding
+// start).
+func triKey(tr quality.Triangle) [9]float64 {
+	pts := [3][3]float64{
+		{tr.A.X, tr.A.Y, tr.A.Z},
+		{tr.B.X, tr.B.Y, tr.B.Z},
+		{tr.C.X, tr.C.Y, tr.C.Z},
+	}
+	sort.Slice(pts[:], func(i, j int) bool {
+		for k := 0; k < 3; k++ {
+			if pts[i][k] != pts[j][k] {
+				return pts[i][k] < pts[j][k]
+			}
+		}
+		return false
+	})
+	var k [9]float64
+	for i, p := range pts {
+		copy(k[3*i:], p[:])
+	}
+	return k
+}
+
+// TestSnapshotBoundaryParity: MeshSnapshot.BoundaryTriangles must
+// produce the same facet multiset as quality.BoundaryTriangles over
+// the live mesh, so OFF responses encoded off-lease match on-lease
+// ones geometrically.
+func TestSnapshotBoundaryParity(t *testing.T) {
+	res, im := smallMesh(t)
+
+	live := quality.BoundaryTriangles(res.Mesh, res.Final, im)
+	snap := res.Snapshot().BoundaryTriangles()
+	if len(live) != len(snap) {
+		t.Fatalf("boundary sizes differ: live %d, snapshot %d", len(live), len(snap))
+	}
+	count := make(map[[9]float64]int, len(live))
+	for _, tr := range live {
+		count[triKey(tr)]++
+	}
+	for _, tr := range snap {
+		k := triKey(tr)
+		if count[k] == 0 {
+			t.Fatal("snapshot boundary contains a facet the live extraction does not")
+		}
+		count[k]--
+	}
+	for _, n := range count {
+		if n != 0 {
+			t.Fatal("live boundary contains a facet the snapshot extraction does not")
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/img"
+)
+
+// flight is one single-flight coalescing group: the leader executes
+// the run, followers subscribe to done and share the outcome. members
+// counts everyone attached (leader included) and is guarded by the
+// server's flightMu; out/err are written once, before done closes,
+// and read only after.
+type flight struct {
+	done    chan struct{}
+	out     *SnapshotResult
+	err     error
+	members int
+}
+
+// coalesceKey joins the image identity with the tuning variant so
+// only jobs requesting the same mesh (same input and same quality
+// knobs) can share a run. The response format is deliberately not
+// part of the key: encoding happens per-waiter from the shared
+// snapshot.
+func coalesceKey(key, variant string) string {
+	if variant == "" {
+		return key
+	}
+	return key + "|" + variant
+}
+
+// MeshSnapshot runs one mesh job end to end — admission, queueing,
+// the run under the job deadline — and returns the result as a
+// lease-independent snapshot. variant is a canonical encoding of the
+// per-job tuning (quality overrides, element budget); jobs agreeing
+// on (image key, variant) are coalesced: the first becomes the
+// leader and runs, later arrivals subscribe to its outcome without
+// consuming a pool session, up to Config.CoalesceMax members per
+// flight (a full flight stops accepting and a fresh one forms).
+//
+// Followers receive the leader's SnapshotResult with their own
+// serving metadata (Coalesced=true, their own queue wait); the
+// Snapshot pointer is shared and read-only. A follower whose context
+// ends before the leader finishes detaches with ErrDeadline or
+// ErrCanceled; a leader that fails fans its error out to every
+// follower.
+func (s *Server) MeshSnapshot(ctx context.Context, key, variant string, image *img.Image, tune func(*core.Config)) (*SnapshotResult, error) {
+	if s.draining.Load() {
+		s.mRejected.With("draining").Inc()
+		return nil, ErrDraining
+	}
+	if faultinject.Fire(faultinject.QueueFull) {
+		s.mRejected.With("queue_full").Inc()
+		return nil, ErrQueueFull
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	jctx := ctx
+	if jctx == nil {
+		jctx = context.Background()
+	}
+	if _, ok := jctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		jctx, cancel = context.WithTimeout(jctx, s.cfg.DefaultTimeout)
+		defer cancel()
+	}
+
+	if s.cfg.CoalesceMax <= 1 || key == "" {
+		return s.runOnce(jctx, key, image, tune)
+	}
+
+	ckey := coalesceKey(key, variant)
+	s.flightMu.Lock()
+	if f, ok := s.flights[ckey]; ok && f.members < s.cfg.CoalesceMax {
+		f.members++
+		s.flightMu.Unlock()
+		return s.joinFlight(jctx, key, f)
+	}
+	// No joinable flight: lead a new one. A still-running full flight
+	// stays reachable by its members but is unlinked from the table,
+	// so the next arrival starts over here.
+	f := &flight{done: make(chan struct{}), members: 1}
+	s.flights[ckey] = f
+	s.flightMu.Unlock()
+
+	f.out, f.err = s.runOnce(jctx, key, image, tune)
+	s.flightMu.Lock()
+	if s.flights[ckey] == f {
+		delete(s.flights, ckey)
+	}
+	s.flightMu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, f.err
+	}
+	return f.out, nil
+}
+
+// joinFlight waits for the flight's leader to finish and adapts the
+// shared outcome to this follower: same snapshot, own metadata. A
+// follower that gives up first (deadline or cancellation) detaches —
+// the leader keeps running for the remaining members.
+func (s *Server) joinFlight(jctx context.Context, key string, f *flight) (*SnapshotResult, error) {
+	s.mCoalesced.Inc()
+	waitStart := time.Now()
+	select {
+	case <-jctx.Done():
+		s.flightMu.Lock()
+		f.members--
+		s.flightMu.Unlock()
+		return nil, s.rejectForCtx(jctx.Err())
+	case <-f.done:
+	}
+	s.mAccepted.Inc()
+	if f.err != nil {
+		s.mFailed.Inc()
+		return nil, fmt.Errorf("serve: coalesced run: %w", f.err)
+	}
+	s.mCompleted.Inc()
+	sr := &SnapshotResult{
+		Summary: JobSummary{
+			ImageKey:    key,
+			QueueWaitMs: float64(time.Since(waitStart)) / 1e6,
+			EDTCacheHit: f.out.Summary.EDTCacheHit,
+			WarmRun:     f.out.Summary.WarmRun,
+			Coalesced:   true,
+			Run:         f.out.Summary.Run,
+		},
+		Snapshot: f.out.Snapshot,
+	}
+	return sr, nil
+}

@@ -12,7 +12,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/meshio"
-	"repro/internal/quality"
 )
 
 // Handler returns the server's HTTP surface:
@@ -174,9 +173,14 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 
 	// Per-request quality knobs ride on top of the pool's session
 	// template via the tuned-run hook; the common path (no overrides)
-	// runs the template verbatim.
+	// runs the template verbatim. The variant string canonicalizes the
+	// same knobs for the coalescing key, so only jobs requesting the
+	// same mesh share a run (the format is per-waiter and excluded).
 	var tune func(*core.Config)
+	var variant string
 	if params.delta > 0 || params.maxElements > 0 || params.maxRadiusEdge > 0 || params.minFacetAngle > 0 {
+		variant = fmt.Sprintf("d=%g,n=%d,re=%g,fa=%g",
+			params.delta, params.maxElements, params.maxRadiusEdge, params.minFacetAngle)
 		tune = func(cfg *core.Config) {
 			if params.delta > 0 {
 				cfg.Delta = params.delta
@@ -193,36 +197,41 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// Encode while the lease is held (the mesh is recycled afterwards).
-	// Headers go out only once the run has succeeded, so admission
-	// failures below can still set an error status.
-	_, err = s.Mesh(ctx, key, image, tune, func(res *core.Result) error {
-		switch params.format {
-		case "off":
-			w.Header().Set("Content-Type", "model/off")
-			tris := quality.BoundaryTriangles(res.Mesh, res.Final, image)
-			return meshio.WriteOFF(w, tris)
+	sr, err := s.MeshSnapshot(ctx, key, variant, image, tune)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrDeadline):
+			// Capacity signal: the job's deadline expired before a
+			// session freed up. Worth retrying shortly.
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, ErrCanceled):
+			// The client gave up; nobody is listening, but the status
+			// still lands in logs and metrics (nginx's 499).
+			httpError(w, StatusClientClosedRequest, "%v", err)
+		case errors.Is(err, ErrDraining), errors.Is(err, ErrPoolClosed):
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, core.ErrSessionBusy):
+			// Unreachable through the pool; surfaced for completeness.
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
 		default:
-			w.Header().Set("Content-Type", "text/vtk")
-			return meshio.WriteVTK(w, res.Mesh, res.Final, image)
+			httpError(w, http.StatusInternalServerError, "%v", err)
 		}
-	})
-	if err == nil {
 		return
 	}
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusTooManyRequests, "%v", err)
-	case errors.Is(err, ErrDraining), errors.Is(err, ErrPoolClosed):
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-	case errors.Is(err, ErrDeadline):
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
-	case errors.Is(err, core.ErrSessionBusy):
-		// Unreachable through the pool; surfaced for completeness.
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+
+	// Encode off-lease from the snapshot: the session that produced
+	// this mesh is already serving the next job.
+	switch params.format {
+	case "off":
+		w.Header().Set("Content-Type", "model/off")
+		meshio.WriteOFFSnapshot(w, sr.Snapshot)
 	default:
-		httpError(w, http.StatusInternalServerError, "%v", err)
+		w.Header().Set("Content-Type", "text/vtk")
+		meshio.WriteVTKSnapshot(w, sr.Snapshot)
 	}
 }
 

@@ -91,6 +91,30 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// HistogramSnapshot is a consistent copy of a histogram's state:
+// per-bucket (non-cumulative) counts aligned with Bounds, plus the
+// implicit +Inf overflow bucket as the final Counts entry.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Snapshot copies the histogram's buckets, sum and count atomically —
+// the benchmark harness embeds lease-occupancy histograms in its
+// report this way.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
 // CounterVec is a family of counters split by one label's values
 // (e.g. requests_total{code="200"}). Unknown values materialize their
 // series on first use.

@@ -164,6 +164,29 @@ func (p *Pool) Checkout(ctx context.Context, key string) (*Lease, error) {
 	}
 }
 
+// TryCheckout leases a free session immediately, or returns (nil,
+// nil) without blocking when every session is busy. It is the
+// admission controller's fast path: a job that finds a free session
+// never counts against the wait queue.
+func (p *Pool) TryCheckout(key string) (*Lease, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	e := p.pickFree(key)
+	if e == nil {
+		return nil, nil
+	}
+	e.busy = true
+	p.checkouts++
+	hit := key != "" && e.key == key
+	if hit {
+		p.affinityHits++
+	}
+	return &Lease{p: p, e: e, key: key, affinity: hit}, nil
+}
+
 // AffinityHit reports whether the checkout landed on the session that
 // last ran the same image identity.
 func (l *Lease) AffinityHit() bool { return l.affinity }

@@ -17,7 +17,8 @@ import (
 )
 
 // Admission and execution errors; the HTTP layer maps them to status
-// codes (queue full → 429, draining/deadline → 503, bad input → 400).
+// codes (queue full → 429, draining/deadline → 503, caller
+// cancellation → 499, bad input → 400).
 var (
 	// ErrQueueFull rejects a job because the wait queue is at capacity
 	// (or the QueueFull fault point fired).
@@ -27,7 +28,16 @@ var (
 	// ErrDeadline rejects a job whose deadline expired before a
 	// session became available.
 	ErrDeadline = errors.New("serve: deadline expired before a session was available")
+	// ErrCanceled rejects a job whose caller canceled it before a
+	// session became available. Unlike ErrDeadline this is not a
+	// server-capacity signal: the client went away, so the HTTP layer
+	// answers 499 without a Retry-After.
+	ErrCanceled = errors.New("serve: canceled by the caller before a session was available")
 )
+
+// StatusClientClosedRequest is nginx's non-standard 499: the client
+// canceled the request before the server could answer.
+const StatusClientClosedRequest = 499
 
 // Config parameterizes a Server.
 type Config struct {
@@ -36,7 +46,8 @@ type Config struct {
 	PoolSize int
 	// QueueDepth is the maximum number of admitted jobs waiting for a
 	// session beyond the ones running; one more is rejected with
-	// ErrQueueFull (default 16).
+	// ErrQueueFull (default 16). A job that finds a free session is
+	// admitted without counting against the queue.
 	QueueDepth int
 	// DefaultTimeout caps a job's total time (queue wait + run) when
 	// the request does not carry its own deadline (default 60s).
@@ -49,6 +60,13 @@ type Config struct {
 	// *img.Image pointer and can hit the session's distance-transform
 	// cache (default 8, 0 keeps the default; negative disables).
 	ImageCacheSize int
+	// CoalesceMax caps how many jobs may share one meshing run via
+	// single-flight coalescing, including the leader. A job whose
+	// coalesce key (image key + tuning variant) matches a job already
+	// queued or running subscribes to that job's snapshot instead of
+	// consuming a pool session. 0 selects the default (32); 1 disables
+	// coalescing; negative values are treated as 1.
+	CoalesceMax int
 	// Session is the configuration template every pool session runs
 	// with. Its Image and Context fields are ignored.
 	Session core.Config
@@ -70,12 +88,19 @@ func (c Config) withDefaults() Config {
 	if c.ImageCacheSize == 0 {
 		c.ImageCacheSize = 8
 	}
+	if c.CoalesceMax == 0 {
+		c.CoalesceMax = 32
+	}
+	if c.CoalesceMax < 1 {
+		c.CoalesceMax = 1
+	}
 	return c
 }
 
 // Server multiplexes mesh jobs over a session Pool with bounded
-// queueing, per-job deadlines, metrics, and graceful drain. Create
-// one with NewServer, expose it with Handler, stop it with Drain.
+// queueing, per-job deadlines, single-flight coalescing, metrics, and
+// graceful drain. Create one with NewServer, expose it with Handler,
+// stop it with Drain.
 type Server struct {
 	cfg   Config
 	pool  *Pool
@@ -85,6 +110,12 @@ type Server struct {
 	inflight sync.WaitGroup
 	draining atomic.Bool
 
+	// flights is the single-flight table: one entry per in-progress
+	// (image key, tuning variant) pair; followers subscribe instead of
+	// consuming a session.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
 	imgCache struct {
 		sync.Mutex
 		m     map[string]*img.Image
@@ -92,26 +123,29 @@ type Server struct {
 	}
 
 	// Metrics (the catalogue documented in DESIGN.md "Serving layer").
-	reg           *Registry
-	mRequests     *CounterVec // pi2md_http_requests_total{code}
-	mAccepted     *Counter
-	mCompleted    *Counter
-	mFailed       *Counter
-	mRejected     *CounterVec // pi2md_jobs_rejected_total{reason}
-	mQueueWait    *Histogram
-	mRunSeconds   *Histogram
-	mCells        *Counter
-	mCellsPerSec  *Gauge
-	mRollbacks    *Counter
-	mDegraded     *Counter
-	mAborted      *Counter
-	mTransitions  *Counter
-	mEDTHits      *Counter
-	mWarmRuns     *Counter
-	mAffinityHits *Counter
-	mImgCacheHit  *Counter
-	mImgCacheMiss *Counter
-	mEvictions    *Counter
+	reg            *Registry
+	mRequests      *CounterVec // pi2md_http_requests_total{code}
+	mAccepted      *Counter
+	mCompleted     *Counter
+	mFailed        *Counter
+	mRejected      *CounterVec // pi2md_jobs_rejected_total{reason}
+	mCoalesced     *Counter
+	mQueueWait     *Histogram
+	mRunSeconds    *Histogram
+	mLeaseSeconds  *Histogram
+	mSnapshotBytes *Histogram
+	mCells         *Counter
+	mCellsPerSec   *Gauge
+	mRollbacks     *Counter
+	mDegraded      *Counter
+	mAborted       *Counter
+	mTransitions   *Counter
+	mEDTHits       *Counter
+	mWarmRuns      *Counter
+	mAffinityHits  *Counter
+	mImgCacheHit   *Counter
+	mImgCacheMiss  *Counter
+	mEvictions     *Counter
 
 	// lastRuns is a ring of recent run summaries for /v1/stats.
 	lastMu   sync.Mutex
@@ -124,6 +158,7 @@ type JobSummary struct {
 	QueueWaitMs float64         `json:"queue_wait_ms"`
 	EDTCacheHit bool            `json:"edt_cache_hit"`
 	WarmRun     bool            `json:"warm_run"`
+	Coalesced   bool            `json:"coalesced,omitempty"`
 	Run         core.RunSummary `json:"run"`
 }
 
@@ -137,18 +172,21 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg, pool: pool, start: time.Now(), reg: NewRegistry()}
 	s.imgCache.m = make(map[string]*img.Image)
+	s.flights = make(map[string]*flight)
 
 	r := s.reg
 	s.mRequests = r.CounterVec("pi2md_http_requests_total",
 		"HTTP requests served, by status code.", "code")
 	s.mAccepted = r.Counter("pi2md_jobs_accepted_total",
-		"Mesh jobs admitted past the queue-depth check.")
+		"Mesh jobs that reached a session (leaders) or a shared run's outcome (followers).")
 	s.mCompleted = r.Counter("pi2md_jobs_completed_total",
-		"Mesh jobs that produced a mesh (completed or degraded runs).")
+		"Mesh jobs whose caller received a mesh (completed or degraded runs, coalesced followers included).")
 	s.mFailed = r.Counter("pi2md_jobs_failed_total",
-		"Admitted mesh jobs that ended without a mesh (aborts, run errors).")
+		"Admitted mesh jobs that ended without a mesh (aborts, run errors, fanned-out leader failures).")
 	s.mRejected = r.CounterVec("pi2md_jobs_rejected_total",
 		"Mesh jobs rejected by admission control, by reason.", "reason")
+	s.mCoalesced = r.Counter("pi2md_coalesced_jobs_total",
+		"Mesh jobs served from another job's run via single-flight coalescing (followers).")
 	r.GaugeFunc("pi2md_queue_depth",
 		"Admitted jobs currently waiting for a session.",
 		func() float64 { return float64(s.waiting.Load()) })
@@ -164,8 +202,14 @@ func NewServer(cfg Config) (*Server, error) {
 	s.mRunSeconds = r.Histogram("pi2md_run_seconds",
 		"Wall time of the meshing run itself.",
 		[]float64{0.01, 0.05, 0.2, 1, 5, 20, 60})
+	s.mLeaseSeconds = r.Histogram("pi2md_lease_seconds",
+		"Time a job held a pool session (checkout to release). Response encoding happens off-lease from a snapshot and is excluded.",
+		[]float64{0.01, 0.05, 0.2, 1, 5, 20, 60})
+	s.mSnapshotBytes = r.Histogram("pi2md_snapshot_bytes",
+		"Size of the mesh snapshots copied out of the lease window.",
+		[]float64{64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20})
 	s.mCells = r.Counter("pi2md_cells_total",
-		"Tetrahedra generated across all completed jobs.")
+		"Tetrahedra generated across all completed runs (coalesced fan-out not double-counted).")
 	s.mCellsPerSec = r.Gauge("pi2md_cells_per_second",
 		"Generation rate of the most recent completed job.")
 	s.mRollbacks = r.Counter("pi2md_rollbacks_total",
@@ -197,6 +241,11 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Pool exposes the session pool (for stats and eviction janitors).
 func (s *Server) Pool() *Pool { return s.pool }
 
+// LeaseOccupancy exposes the lease-occupancy histogram (checkout to
+// release) — the benchmark harness reads it to show that off-lease
+// encoding shortens session occupancy.
+func (s *Server) LeaseOccupancy() *Histogram { return s.mLeaseSeconds }
+
 // EvictIdle evicts pool sessions idle longer than maxIdle, recording
 // the evictions in the metrics. See Pool.EvictIdle.
 func (s *Server) EvictIdle(maxIdle time.Duration) int {
@@ -205,11 +254,15 @@ func (s *Server) EvictIdle(maxIdle time.Duration) int {
 	return n
 }
 
-// ImageKey is the image identity used for session affinity and the
-// parsed-image cache: a content hash of the serialized input.
+// ImageKey is the image identity used for session affinity, the
+// parsed-image cache, and single-flight coalescing: the full SHA-256
+// content hash of the serialized input. It must be the complete
+// digest — a truncated key that collides would silently serve a wrong
+// cached image to the colliding request and fan a wrong mesh out to
+// every coalesced waiter.
 func ImageKey(body []byte) string {
 	sum := sha256.Sum256(body)
-	return hex.EncodeToString(sum[:8])
+	return hex.EncodeToString(sum[:])
 }
 
 // decodeImage parses body as NRRD through the cache: a repeated
@@ -249,62 +302,82 @@ func (s *Server) decodeImage(key string, body []byte) (*img.Image, error) {
 	return im, nil
 }
 
-// JobResult is the outcome Mesh hands back: the run plus the serving
-// metadata a response encoder or stats consumer needs. Its Result
-// (and the mesh inside) is only valid until the lease's session runs
-// again, so Mesh extracts/encodes before releasing.
-type JobResult struct {
-	Summary JobSummary
-	Result  *core.Result
+// SnapshotResult is the outcome a mesh job hands back: the serving
+// metadata plus a MeshSnapshot copied out of the lease window, valid
+// indefinitely — encode it, cache it, or hand it to another goroutine
+// without holding any session. Coalesced followers share the leader's
+// snapshot pointer; treat it as read-only.
+type SnapshotResult struct {
+	Summary  JobSummary
+	Snapshot *core.MeshSnapshot
 }
 
-// Mesh runs one image-to-mesh job under admission control: a
-// queue-depth check, a bounded wait for a pool session (with image
-// affinity), the run itself under the job deadline, and metrics
-// accounting. tune, when non-nil, applies per-request quality knobs
-// on top of the pool's session template (core.Session.RunTuned).
-// encode, when non-nil, is called with the Result while the lease is
-// still held — the only window in which the mesh may be read safely.
-func (s *Server) Mesh(ctx context.Context, key string, image *img.Image, tune func(*core.Config), encode func(*core.Result) error) (*JobResult, error) {
-	if s.draining.Load() {
-		s.mRejected.With("draining").Inc()
-		return nil, ErrDraining
+// rejectForCtx classifies a context failure while waiting for a
+// session: deadline expiry is a capacity signal (ErrDeadline, retry
+// later), caller cancellation is not (ErrCanceled, the client went
+// away). Conflating the two inflates the deadline metric and tells
+// dead clients to retry.
+func (s *Server) rejectForCtx(err error) error {
+	if errors.Is(err, context.Canceled) {
+		s.mRejected.With("canceled").Inc()
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
 	}
-	// Admission: bounded queue. The waiting counter is incremented
-	// optimistically so concurrent arrivals see each other.
-	if n := s.waiting.Add(1); n > int64(s.cfg.QueueDepth) || faultinject.Fire(faultinject.QueueFull) {
-		s.waiting.Add(-1)
-		s.mRejected.With("queue_full").Inc()
-		return nil, ErrQueueFull
-	}
-	s.mAccepted.Inc()
-	s.inflight.Add(1)
-	defer s.inflight.Done()
+	s.mRejected.With("deadline").Inc()
+	return fmt.Errorf("%w: %v", ErrDeadline, err)
+}
 
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	jctx := ctx
-	if _, has := ctx.Deadline(); !has {
-		var cancel context.CancelFunc
-		jctx, cancel = context.WithTimeout(ctx, s.cfg.DefaultTimeout)
-		defer cancel()
-	}
-
-	waitStart := time.Now()
-	lease, err := s.pool.Checkout(jctx, key)
-	s.waiting.Add(-1)
-	wait := time.Since(waitStart)
-	s.mQueueWait.Observe(wait.Seconds())
+// runOnce executes one actual meshing run under admission control: a
+// non-blocking checkout (free sessions bypass the queue entirely), a
+// bounded wait otherwise, the run itself under the job deadline, and
+// the snapshot copy-out that ends the lease before any encoding.
+// Coalesced followers never reach this function.
+func (s *Server) runOnce(jctx context.Context, key string, image *img.Image, tune func(*core.Config)) (*SnapshotResult, error) {
+	// Admission: a job only counts against QueueDepth while it is
+	// actually waiting. A burst that fits the free sessions is
+	// admitted without touching the wait counter, so QueueDepth
+	// bounds the waiters beyond the PoolSize running jobs — exactly
+	// the documented contract.
+	lease, err := s.pool.TryCheckout(key)
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			s.mRejected.With("deadline").Inc()
-			return nil, fmt.Errorf("%w: %v", ErrDeadline, err)
-		}
 		s.mRejected.With("pool_closed").Inc()
 		return nil, err
 	}
-	defer lease.Release()
+	var wait time.Duration
+	if lease == nil {
+		if n := s.waiting.Add(1); n > int64(s.cfg.QueueDepth) {
+			s.waiting.Add(-1)
+			s.mRejected.With("queue_full").Inc()
+			return nil, ErrQueueFull
+		}
+		waitStart := time.Now()
+		lease, err = s.pool.Checkout(jctx, key)
+		s.waiting.Add(-1)
+		wait = time.Since(waitStart)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return nil, s.rejectForCtx(err)
+			}
+			s.mRejected.With("pool_closed").Inc()
+			return nil, err
+		}
+	}
+	s.mAccepted.Inc()
+	s.mQueueWait.Observe(wait.Seconds())
+
+	// The lease window: released explicitly right after the snapshot
+	// copy-out on success (the deferred release is the error path),
+	// and its occupancy is observed exactly once.
+	leaseStart := time.Now()
+	released := false
+	release := func() {
+		if released {
+			return
+		}
+		released = true
+		lease.Release()
+		s.mLeaseSeconds.Observe(time.Since(leaseStart).Seconds())
+	}
+	defer release()
 
 	// Injectable stall between checkout and run: everyone queued
 	// behind this session now waits longer (degradation under load).
@@ -338,11 +411,20 @@ func (s *Server) Mesh(ctx context.Context, key string, image *img.Image, tune fu
 	case core.StatusDegraded:
 		s.mDegraded.Inc()
 	}
+
+	// Copy the final geometry out of the lease window, then release:
+	// everything below — metrics, the stats ring, response encoding in
+	// the caller — runs off-lease while the session already serves the
+	// next job.
+	snap := res.Snapshot()
+	release()
+	s.mSnapshotBytes.Observe(float64(snap.SizeBytes()))
+
 	s.mCompleted.Inc()
 	s.mCells.Add(int64(sum.Elements))
 	s.mCellsPerSec.Set(int64(sum.CellsPerSec))
 
-	jr := &JobResult{
+	sr := &SnapshotResult{
 		Summary: JobSummary{
 			ImageKey:    key,
 			QueueWaitMs: float64(wait) / 1e6,
@@ -350,21 +432,15 @@ func (s *Server) Mesh(ctx context.Context, key string, image *img.Image, tune fu
 			WarmRun:     lease.WarmRun(),
 			Run:         sum,
 		},
-		Result: res,
+		Snapshot: snap,
 	}
 	s.lastMu.Lock()
-	s.lastRuns = append(s.lastRuns, jr.Summary)
+	s.lastRuns = append(s.lastRuns, sr.Summary)
 	if len(s.lastRuns) > 16 {
 		s.lastRuns = s.lastRuns[len(s.lastRuns)-16:]
 	}
 	s.lastMu.Unlock()
-
-	if encode != nil {
-		if err := encode(res); err != nil {
-			return jr, fmt.Errorf("serve: encoding result: %w", err)
-		}
-	}
-	return jr, nil
+	return sr, nil
 }
 
 // Stats is the /v1/stats document.
@@ -376,8 +452,10 @@ type Stats struct {
 	Accepted      int64        `json:"jobs_accepted"`
 	Completed     int64        `json:"jobs_completed"`
 	Failed        int64        `json:"jobs_failed"`
+	Coalesced     int64        `json:"jobs_coalesced"`
 	RejectedFull  int64        `json:"jobs_rejected_queue_full"`
 	RejectedDL    int64        `json:"jobs_rejected_deadline"`
+	RejectedCancl int64        `json:"jobs_rejected_canceled"`
 	Pool          PoolStats    `json:"pool"`
 	RecentRuns    []JobSummary `json:"recent_runs"`
 }
@@ -395,8 +473,10 @@ func (s *Server) Stats() Stats {
 		Accepted:      s.mAccepted.Value(),
 		Completed:     s.mCompleted.Value(),
 		Failed:        s.mFailed.Value(),
+		Coalesced:     s.mCoalesced.Value(),
 		RejectedFull:  s.mRejected.Value("queue_full"),
 		RejectedDL:    s.mRejected.Value("deadline"),
+		RejectedCancl: s.mRejected.Value("canceled"),
 		Pool:          s.pool.Stats(),
 		RecentRuns:    recent,
 	}
@@ -406,9 +486,9 @@ func (s *Server) Stats() Stats {
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Drain gracefully shuts the server down: new jobs are rejected with
-// ErrDraining, in-flight jobs run to completion (bounded by ctx), and
-// the pool is closed. It returns ctx.Err() if the wait was cut short
-// (the pool is closed regardless).
+// ErrDraining, in-flight jobs (coalesced followers included) run to
+// completion (bounded by ctx), and the pool is closed. It returns
+// ctx.Err() if the wait was cut short (the pool is closed regardless).
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan struct{})

@@ -199,6 +199,7 @@ func TestServerEndToEnd(t *testing.T) {
 	completed := metricValue(t, text, "pi2md_jobs_completed_total")
 	accepted := metricValue(t, text, "pi2md_jobs_accepted_total")
 	failed := metricValue(t, text, "pi2md_jobs_failed_total")
+	coalesced := metricValue(t, text, "pi2md_coalesced_jobs_total")
 	rejectedFull := metricValue(t, text, `pi2md_jobs_rejected_total{reason="queue_full"}`)
 	edtHits := metricValue(t, text, "pi2md_edt_cache_hits_total")
 	warmRuns := metricValue(t, text, "pi2md_warm_runs_total")
@@ -223,8 +224,11 @@ func TestServerEndToEnd(t *testing.T) {
 	if accepted != completed+failed {
 		t.Errorf("accepted %v != completed %v + failed %v", accepted, completed, failed)
 	}
-	if waits != accepted || runs != accepted {
-		t.Errorf("histogram counts (wait %v, run %v) disagree with accepted %v", waits, runs, accepted)
+	// Queue-wait and run histograms record leaders only: coalesced
+	// followers never wait for a session or run one.
+	if leaders := accepted - coalesced; waits != leaders || runs != leaders {
+		t.Errorf("histogram counts (wait %v, run %v) disagree with leaders %v (accepted %v - coalesced %v)",
+			waits, runs, leaders, accepted, coalesced)
 	}
 	if ok200 != completed {
 		t.Errorf("http 200s %v != completed jobs %v", ok200, completed)
@@ -372,17 +376,30 @@ func TestServerDeadlineRejection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	code, out := post(t, client, ts.URL+"/v1/mesh?timeout=50ms", nrrdBody(t, 8))
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("deadline-bound request: status %d (%s), want 503", code, out)
+	resp, err := client.Post(ts.URL+"/v1/mesh?timeout=50ms", "application/octet-stream",
+		bytes.NewReader(nrrdBody(t, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deadline-bound request: status %d (%s), want 503", resp.StatusCode, out)
+	}
+	// A deadline rejection is a capacity signal; it must invite a retry.
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("deadline rejection carries no Retry-After header")
 	}
 	if srv.mRejected.Value("deadline") != 1 {
 		t.Fatalf("deadline rejections = %d, want 1", srv.mRejected.Value("deadline"))
 	}
+	if n := srv.mRejected.Value("canceled"); n != 0 {
+		t.Fatalf("canceled rejections = %d, want 0 (deadline expiry misclassified)", n)
+	}
 	lease.Release()
 
 	// With the session back, the same request succeeds.
-	code, _ = post(t, client, ts.URL+"/v1/mesh?timeout=30s", nrrdBody(t, 8))
+	code, _ := post(t, client, ts.URL+"/v1/mesh?timeout=30s", nrrdBody(t, 8))
 	if code != http.StatusOK {
 		t.Fatalf("request after release: status %d, want 200", code)
 	}
@@ -467,7 +484,9 @@ func TestServerDrain(t *testing.T) {
 func TestServerSlowSessionFault(t *testing.T) {
 	srv, ts := newTestServer(t, Config{PoolSize: 1})
 	client := ts.Client()
-	body := nrrdBody(t, 12)
+	// Two distinct payloads: identical bodies would coalesce into one
+	// run and the follower would never enter the session queue.
+	bodies := [][]byte{nrrdBody(t, 12), nrrdBody(t, 13)}
 
 	restore := faultinject.Enable(faultinject.New(faultinject.Config{
 		Seed:  7,
@@ -479,12 +498,12 @@ func TestServerSlowSessionFault(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < 2; i++ {
 		wg.Add(1)
-		go func() {
+		go func(body []byte) {
 			defer wg.Done()
 			if code, out := post(t, client, ts.URL+"/v1/mesh", body); code != http.StatusOK {
 				t.Errorf("status %d: %s", code, out)
 			}
-		}()
+		}(bodies[i])
 	}
 	wg.Wait()
 	faultinject.Disable()

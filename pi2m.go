@@ -57,6 +57,12 @@ type (
 	EnergyModel = core.EnergyModel
 	// EnergyReport is the outcome of applying an EnergyModel.
 	EnergyReport = core.EnergyReport
+	// MeshSnapshot is a lease-independent copy of a run's final mesh;
+	// take one with Result.Snapshot while the Result is still valid.
+	MeshSnapshot = core.MeshSnapshot
+	// RunSummary is the compact digest of a run carried by snapshots
+	// and serving statistics.
+	RunSummary = core.RunSummary
 
 	// Image is a segmented multi-label voxel image.
 	Image = img.Image
@@ -163,6 +169,20 @@ func WriteVTK(w io.Writer, m *Mesh, final []CellHandle, im *Image) error {
 // with tissue labels.
 func WriteVTKFile(path string, m *Mesh, final []CellHandle, im *Image) error {
 	return meshio.WriteVTKFile(path, m, final, im)
+}
+
+// WriteVTKSnapshot exports a MeshSnapshot as a legacy VTK
+// unstructured grid to w — byte-identical to WriteVTK over the Result
+// the snapshot was taken from, but valid after the session has moved
+// on (the serving layer's off-lease encoding path).
+func WriteVTKSnapshot(w io.Writer, s *MeshSnapshot) error {
+	return meshio.WriteVTKSnapshot(w, s)
+}
+
+// WriteOFFSnapshot exports a MeshSnapshot's boundary triangulation as
+// an OFF surface to w.
+func WriteOFFSnapshot(w io.Writer, s *MeshSnapshot) error {
+	return meshio.WriteOFFSnapshot(w, s)
 }
 
 // WriteOFF exports boundary triangles as an OFF surface to w.
