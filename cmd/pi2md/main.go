@@ -7,6 +7,7 @@
 //
 //	curl -s --data-binary @brain.nrrd 'localhost:8080/v1/mesh?format=vtk' > brain.vtk
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/readyz
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/metrics
 //
@@ -46,16 +47,26 @@ func main() {
 		imageCache   = flag.Int("image-cache", 8, "parsed input images retained by content hash (<0 disables)")
 		coalesceMax  = flag.Int("coalesce-max", 32, "max jobs sharing one run via single-flight coalescing (1 disables)")
 		livelock     = flag.Duration("livelock-timeout", 2*time.Minute, "per-run livelock watchdog (0 disables)")
+		suspect      = flag.Int("suspect-threshold", 3, "consecutive suspect runs before a session is quarantined and rebuilt")
+		brkThresh    = flag.Int("breaker-threshold", 3, "consecutive leader failures tripping a per-image circuit breaker (<0 disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker fast-fail window before a half-open probe")
+		wdFactor     = flag.Float64("watchdog-factor", 4, "runaway-run watchdog limit as a multiple of the job deadline (<0 disables)")
+		wdGrace      = flag.Duration("watchdog-grace", 2*time.Second, "grace after watchdog cancel before the session is abandoned")
 	)
 	flag.Parse()
 
 	srv, err := serve.NewServer(serve.Config{
-		PoolSize:        *pool,
-		QueueDepth:      *queue,
-		DefaultTimeout:  *timeout,
-		MaxRequestBytes: *maxBytes,
-		ImageCacheSize:  *imageCache,
-		CoalesceMax:     *coalesceMax,
+		PoolSize:         *pool,
+		QueueDepth:       *queue,
+		DefaultTimeout:   *timeout,
+		MaxRequestBytes:  *maxBytes,
+		ImageCacheSize:   *imageCache,
+		CoalesceMax:      *coalesceMax,
+		SuspectThreshold: *suspect,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		WatchdogFactor:   *wdFactor,
+		WatchdogGrace:    *wdGrace,
 		Session: core.Config{
 			Workers:         *workers,
 			Delta:           *delta,

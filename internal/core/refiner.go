@@ -687,17 +687,27 @@ func (r *Refiner) startAux() func() {
 	}
 
 	if ctx := r.cfg.Context; ctx != nil {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			select {
-			case <-stop:
-			case <-ctx.Done():
-				reason := fmt.Sprintf("canceled: %v", ctx.Err())
-				r.recordTransition("cancel", reason)
-				r.abortRun(reason)
-			}
-		}()
+		if err := ctx.Err(); err != nil {
+			// Already canceled before the first worker starts: abort
+			// synchronously. The watcher goroutine alone races tiny
+			// runs, which can complete before it is ever scheduled and
+			// return StatusCompleted for a canceled job.
+			reason := fmt.Sprintf("canceled: %v", err)
+			r.recordTransition("cancel", reason)
+			r.abortRun(reason)
+		} else {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				select {
+				case <-stop:
+				case <-ctx.Done():
+					reason := fmt.Sprintf("canceled: %v", ctx.Err())
+					r.recordTransition("cancel", reason)
+					r.abortRun(reason)
+				}
+			}()
+		}
 	}
 
 	if r.cfg.Progress != nil {

@@ -46,6 +46,17 @@ const (
 	// SlowSession stalls a checked-out pool session just before its
 	// run, inflating queue wait for everyone behind it.
 	SlowSession
+	// RunPoisoned fails a serving-layer run outright before it starts,
+	// simulating an input that reliably crashes the engine — the
+	// trigger for per-key circuit breakers and session suspicion.
+	RunPoisoned
+	// LeaseLeak stalls a run while it ignores its context, simulating
+	// a wedged run that holds its pool lease past cancellation — the
+	// trigger for the runaway-run watchdog's abandon path.
+	LeaseLeak
+	// RebuildFail fails an asynchronous quarantined-session rebuild
+	// attempt, forcing the pool's rebuild loop to retry with backoff.
+	RebuildFail
 
 	// NumPoints is the number of injection points.
 	NumPoints int = iota
@@ -68,6 +79,12 @@ func (p Point) String() string {
 		return "queue-full"
 	case SlowSession:
 		return "slow-session"
+	case RunPoisoned:
+		return "run-poisoned"
+	case LeaseLeak:
+		return "lease-leak"
+	case RebuildFail:
+		return "rebuild-fail"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -71,25 +72,41 @@ func (s *Server) MeshSnapshot(ctx context.Context, key, variant string, image *i
 		defer cancel()
 	}
 
+	ckey := coalesceKey(key, variant)
 	if s.cfg.CoalesceMax <= 1 || key == "" {
-		return s.runOnce(jctx, key, image, tune)
+		// No coalescing: the job is its own leader, but the key's
+		// circuit breaker still gates it.
+		if err := s.admitLeader(ckey, key); err != nil {
+			return nil, err
+		}
+		return s.leadRun(jctx, ckey, key, image, tune)
 	}
 
-	ckey := coalesceKey(key, variant)
 	s.flightMu.Lock()
+	// Join before breaker consultation: followers don't consume a
+	// session, and riding an in-flight (possibly half-open probe) run
+	// is always safe.
 	if f, ok := s.flights[ckey]; ok && f.members < s.cfg.CoalesceMax {
 		f.members++
 		s.flightMu.Unlock()
 		return s.joinFlight(jctx, key, f)
 	}
-	// No joinable flight: lead a new one. A still-running full flight
-	// stays reachable by its members but is unlinked from the table,
-	// so the next arrival starts over here.
+	// Leading a new flight: the key's breaker decides whether this
+	// leader may consume a session at all. Open breaker → fast-fail
+	// without touching the pool.
+	if ok, retry := s.breakers.admitLocked(ckey, time.Now()); !ok {
+		s.flightMu.Unlock()
+		s.mRejected.With("breaker_open").Inc()
+		return nil, &BreakerOpenError{Key: ckey, RetryAfter: retry}
+	}
+	// A still-running full flight stays reachable by its members but
+	// is unlinked from the table, so the next arrival starts over here.
 	f := &flight{done: make(chan struct{}), members: 1}
 	s.flights[ckey] = f
 	s.flightMu.Unlock()
 
-	f.out, f.err = s.runOnce(jctx, key, image, tune)
+	out, err := s.leadRun(jctx, ckey, key, image, tune)
+	f.out, f.err = out, err
 	s.flightMu.Lock()
 	if s.flights[ckey] == f {
 		delete(s.flights, ckey)
@@ -102,12 +119,50 @@ func (s *Server) MeshSnapshot(ctx context.Context, key, variant string, image *i
 	return f.out, nil
 }
 
+// admitLeader consults the key's circuit breaker for a non-coalesced
+// leader (the coalescing path does this inline under flightMu).
+func (s *Server) admitLeader(ckey, key string) error {
+	if key == "" || !s.breakers.enabled() {
+		return nil
+	}
+	s.flightMu.Lock()
+	ok, retry := s.breakers.admitLocked(ckey, time.Now())
+	s.flightMu.Unlock()
+	if !ok {
+		s.mRejected.With("breaker_open").Inc()
+		return &BreakerOpenError{Key: ckey, RetryAfter: retry}
+	}
+	return nil
+}
+
+// leadRun executes a breaker-admitted leader run and reports its
+// outcome back to the key's breaker. Capacity rejections and caller
+// cancellations are deliberately not reported — they say nothing
+// about whether the key itself is poisoned — but a half-open probe
+// that ends in one still returns its probe slot so the next arrival
+// can try.
+func (s *Server) leadRun(jctx context.Context, ckey, key string, image *img.Image, tune func(*core.Config)) (*SnapshotResult, error) {
+	out, err := s.runOnce(jctx, key, image, tune)
+	if key == "" || !s.breakers.enabled() {
+		return out, err
+	}
+	neutral := err != nil && (errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) ||
+		errors.Is(err, ErrDeadline) || errors.Is(err, ErrCanceled) || errors.Is(err, ErrPoolClosed))
+	s.flightMu.Lock()
+	if neutral {
+		s.breakers.releaseProbeLocked(ckey)
+	} else if s.breakers.reportLocked(ckey, err == nil, time.Now()) {
+		s.mBreakerTrips.Inc()
+	}
+	s.flightMu.Unlock()
+	return out, err
+}
+
 // joinFlight waits for the flight's leader to finish and adapts the
 // shared outcome to this follower: same snapshot, own metadata. A
 // follower that gives up first (deadline or cancellation) detaches —
 // the leader keeps running for the remaining members.
 func (s *Server) joinFlight(jctx context.Context, key string, f *flight) (*SnapshotResult, error) {
-	s.mCoalesced.Inc()
 	waitStart := time.Now()
 	select {
 	case <-jctx.Done():
@@ -117,6 +172,10 @@ func (s *Server) joinFlight(jctx context.Context, key string, f *flight) (*Snaps
 		return nil, s.rejectForCtx(jctx.Err())
 	case <-f.done:
 	}
+	// Counted only now: a follower that detached above was never served
+	// from the leader's run, and counting it would break
+	// runs == accepted − coalesced − abandoned.
+	s.mCoalesced.Inc()
 	s.mAccepted.Inc()
 	if f.err != nil {
 		s.mFailed.Inc()

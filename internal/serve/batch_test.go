@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -382,5 +383,66 @@ func TestCoalesceSlowSession(t *testing.T) {
 	// histogram must have seen it.
 	if occ := srv.mLeaseSeconds.Snapshot(); occ.Count != 1 || occ.Sum < 0.14 {
 		t.Errorf("lease occupancy count=%d sum=%v; expected one lease >= 140ms", occ.Count, occ.Sum)
+	}
+}
+
+// TestCoalesceLeaderPanic: a leader whose run panics (here: inside
+// the tune hook, which executes unguarded in the engine) must not
+// strand its followers — the panic is recovered into a flight error
+// and fanned out, and the leader's session is quarantined.
+func TestCoalesceLeaderPanic(t *testing.T) {
+	srv := newBareServer(t, Config{PoolSize: 1, BreakerThreshold: -1})
+	image := img.SpherePhantom(8)
+	const key = "coalesce-leader-panic"
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	leaderc := make(chan jobOutcome, 1)
+	go func() {
+		sr, err := srv.MeshSnapshot(context.Background(), key, "", image, func(*core.Config) {
+			close(entered)
+			<-gate
+			panic("injected tune panic")
+		})
+		leaderc <- jobOutcome{sr, err}
+	}()
+	<-entered
+
+	const followers = 2
+	fc := make(chan jobOutcome, followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			sr, err := srv.MeshSnapshot(context.Background(), key, "", image, nil)
+			fc <- jobOutcome{sr, err}
+		}()
+	}
+	waitMembers(t, srv, key, 1+followers)
+	close(gate)
+
+	leader := <-leaderc
+	if leader.err == nil || !strings.Contains(leader.err.Error(), "panicked") {
+		t.Fatalf("panicked leader returned %v, want a panic-converted error", leader.err)
+	}
+	for i := 0; i < followers; i++ {
+		select {
+		case f := <-fc:
+			if f.err == nil {
+				t.Error("follower of a panicked leader returned no error")
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("follower hung after leader panic")
+		}
+	}
+	if n := srv.mFailed.Value(); n != 1+followers {
+		t.Errorf("jobs_failed_total = %d, want %d", n, 1+followers)
+	}
+
+	// The panic marked the session bad: quarantined and rebuilt.
+	srv.pool.WaitSettled()
+	if q := srv.pool.Quarantines(); q != 1 {
+		t.Errorf("quarantines = %d, want 1 (panicked session must not return to the pool)", q)
+	}
+	if h := srv.pool.Healthy(); h != 1 {
+		t.Errorf("healthy = %d, want 1", h)
 	}
 }

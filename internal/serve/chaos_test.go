@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/img"
+)
+
+// chaosSeed returns the soak seed: PI2MD_CHAOS_SEED if set (the CI
+// matrix), a fixed default otherwise — the run is reproducible either
+// way.
+func chaosSeed(t *testing.T) int64 {
+	if v := os.Getenv("PI2MD_CHAOS_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("bad PI2MD_CHAOS_SEED=%q: %v", v, err)
+		}
+		return n
+	}
+	return 11
+}
+
+// chaosOutcome is one request's observed behavior, checked against
+// the service invariants after the storm.
+type chaosOutcome struct {
+	code       int
+	body       string
+	retryAfter string
+}
+
+// TestChaosSoak is the service-level chaos harness: a live Server
+// under a seeded randomized workload with injected worker panics,
+// slow sessions, queue-full storms, poisoned runs, a wedged run, and
+// failing rebuilds. It asserts the self-healing invariants:
+//
+//   - no request hangs (every worker returns, bounded);
+//   - every 4xx/5xx carries a reason, every 429/503 a Retry-After;
+//   - the pool returns to PoolSize healthy sessions without operator
+//     action, and every breaker closes after recovery probes;
+//   - the metrics stay consistent: accepted == completed + failed,
+//     runs == accepted − coalesced − watchdog-abandoned, and one HTTP
+//     200 per completed job.
+//
+// A JSON invariant report is written to $PI2MD_CHAOS_REPORT if set.
+func TestChaosSoak(t *testing.T) {
+	seed := chaosSeed(t)
+	const poolSize = 2
+	srv, ts := newTestServer(t, Config{
+		PoolSize:         poolSize,
+		QueueDepth:       8,
+		DefaultTimeout:   5 * time.Second,
+		CoalesceMax:      4,
+		SuspectThreshold: 2,
+		BreakerThreshold: 3,
+		BreakerCooldown:  150 * time.Millisecond,
+		WatchdogFactor:   1,
+		WatchdogGrace:    50 * time.Millisecond,
+	})
+	client := ts.Client()
+
+	bodies := [][]byte{nrrdBody(t, 6), nrrdBody(t, 7), nrrdBody(t, 8)}
+	variants := []string{"", "delta=2.5", "max_elements=500"}
+	formats := []string{"vtk", "off"}
+
+	// ---- Phase A: the storm. -------------------------------------
+	storm := faultinject.New(faultinject.Config{
+		Seed: seed,
+		Rates: map[faultinject.Point]float64{
+			faultinject.WorkerPanic: 0.01,
+			faultinject.SlowSession: 0.05,
+			faultinject.QueueFull:   0.03,
+			faultinject.RunPoisoned: 0.05,
+			faultinject.RebuildFail: 1,
+		},
+		MaxFires: map[faultinject.Point]int64{
+			faultinject.RunPoisoned: 6,
+			faultinject.RebuildFail: 3,
+		},
+		After: map[faultinject.Point]int64{
+			faultinject.WorkerPanic: 50,
+		},
+		Delay: 50 * time.Millisecond,
+	})
+	restore := faultinject.Enable(storm)
+
+	const workers, perWorker = 4, 30
+	outcomes := make(chan chaosOutcome, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for i := 0; i < perWorker; i++ {
+				url := ts.URL + "/v1/mesh?format=" + formats[rng.Intn(len(formats))]
+				if v := variants[rng.Intn(len(variants))]; v != "" {
+					url += "&" + v
+				}
+				body := bodies[rng.Intn(len(bodies))]
+				switch roll := rng.Intn(100); {
+				case roll < 5:
+					body = []byte("this is not an NRRD image")
+				case roll < 12:
+					url += "&timeout=1ms" // doomed: deadline pressure
+				}
+				resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("worker %d request %d: transport error: %v", w, i, err)
+					continue
+				}
+				buf := make([]byte, 512)
+				n, _ := resp.Body.Read(buf)
+				resp.Body.Close()
+				outcomes <- chaosOutcome{
+					code:       resp.StatusCode,
+					body:       string(buf[:n]),
+					retryAfter: resp.Header.Get("Retry-After"),
+				}
+			}
+		}(w)
+	}
+	stormDone := make(chan struct{})
+	go func() { wg.Wait(); close(stormDone) }()
+	select {
+	case <-stormDone:
+	case <-time.After(90 * time.Second):
+		t.Fatal("storm workload hung: a request never returned")
+	}
+	restore()
+
+	// ---- Phase B: deterministic kill wave (leader panics). --------
+	for i := 0; i < 2; i++ {
+		key := fmt.Sprintf("chaos-kill-%d", i)
+		im, err := img.ReadNRRD(bytes.NewReader(bodies[i%len(bodies)]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = srv.MeshSnapshot(context.Background(), key, "", im,
+			func(*core.Config) { panic("chaos: injected tune panic") })
+		if err == nil {
+			t.Fatal("panicking kill-wave run returned no error")
+		}
+	}
+
+	// ---- Phase C: one wedged run for the watchdog. ----------------
+	wedge := faultinject.New(faultinject.Config{
+		Seed:     seed,
+		Rates:    map[faultinject.Point]float64{faultinject.LeaseLeak: 1},
+		MaxFires: map[faultinject.Point]int64{faultinject.LeaseLeak: 1},
+		Delay:    600 * time.Millisecond,
+	})
+	restoreWedge := faultinject.Enable(wedge)
+	resp, err := client.Post(ts.URL+"/v1/mesh?timeout=100ms", "application/octet-stream",
+		bytes.NewReader(bodies[0]))
+	if err != nil {
+		t.Fatalf("wedge request: %v", err)
+	}
+	resp.Body.Close()
+	restoreWedge()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("wedged run answered %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("wedged-run 503 missing Retry-After")
+	}
+	if a := srv.mWatchdogAbandons.Value(); a < 1 {
+		t.Errorf("watchdog abandons = %d, want >= 1 (the wedge must not leak its lease)", a)
+	}
+
+	// ---- Phase D: recovery — self-heal without operator action. ---
+	var healed, breakersClosed bool
+	recoveryDeadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(recoveryDeadline) {
+		srv.pool.WaitSettled()
+		// Healthy probes for every (body, variant) pair the storm may
+		// have tripped a breaker for; successes close them.
+		for _, b := range bodies {
+			for _, v := range variants {
+				url := ts.URL + "/v1/mesh"
+				if v != "" {
+					url += "?" + v
+				}
+				r, err := client.Post(url, "application/octet-stream", bytes.NewReader(b))
+				if err != nil {
+					t.Fatalf("recovery probe: %v", err)
+				}
+				r.Body.Close()
+			}
+		}
+		healed = srv.pool.Healthy() == poolSize
+		breakersClosed = srv.Stats().BreakersOpen == 0
+		if healed && breakersClosed {
+			break
+		}
+		time.Sleep(160 * time.Millisecond) // past the breaker cooldown
+	}
+	if !healed {
+		t.Errorf("pool did not heal: %d/%d healthy sessions", srv.pool.Healthy(), poolSize)
+	}
+	if !breakersClosed {
+		t.Errorf("%d breakers still open after recovery probes", srv.Stats().BreakersOpen)
+	}
+
+	// ---- Invariants. ----------------------------------------------
+	close(outcomes)
+	var fiveXX, fourXX, twoXX int
+	for o := range outcomes {
+		switch {
+		case o.code >= 500 || o.code == StatusClientClosedRequest:
+			fiveXX++
+			if o.body == "" {
+				t.Errorf("status %d carried no reason body", o.code)
+			}
+		case o.code >= 400:
+			fourXX++
+			if o.body == "" {
+				t.Errorf("status %d carried no reason body", o.code)
+			}
+		default:
+			twoXX++
+		}
+		if (o.code == http.StatusTooManyRequests || o.code == http.StatusServiceUnavailable) && o.retryAfter == "" {
+			t.Errorf("status %d missing Retry-After", o.code)
+		}
+	}
+
+	accepted := srv.mAccepted.Value()
+	completed := srv.mCompleted.Value()
+	failed := srv.mFailed.Value()
+	coalesced := srv.mCoalesced.Value()
+	abandoned := srv.mWatchdogAbandons.Value()
+	runs := srv.mRunSeconds.Count()
+	if accepted != completed+failed {
+		t.Errorf("accepted %d != completed %d + failed %d", accepted, completed, failed)
+	}
+	if runs != accepted-coalesced-abandoned {
+		t.Errorf("runs %d != accepted %d - coalesced %d - abandoned %d",
+			runs, accepted, coalesced, abandoned)
+	}
+	if ok200 := srv.mRequests.Value("200"); ok200 != completed {
+		t.Errorf("HTTP 200s %d != completed jobs %d", ok200, completed)
+	}
+	ps := srv.pool.Stats()
+	if ps.Quarantines != ps.HealthRebuilds {
+		t.Errorf("quarantines %d != rebuilds %d after settling", ps.Quarantines, ps.HealthRebuilds)
+	}
+	if ps.Quarantines < 1 {
+		t.Errorf("quarantines = %d; the kill wave alone should have quarantined sessions", ps.Quarantines)
+	}
+	if completed < 1 {
+		t.Error("no job completed during the soak")
+	}
+
+	// ---- Invariant report (CI artifact). --------------------------
+	if path := os.Getenv("PI2MD_CHAOS_REPORT"); path != "" {
+		report := map[string]any{
+			"seed":               seed,
+			"accepted":           accepted,
+			"completed":          completed,
+			"failed":             failed,
+			"coalesced":          coalesced,
+			"runs":               runs,
+			"http_2xx":           twoXX,
+			"http_4xx":           fourXX,
+			"http_5xx":           fiveXX,
+			"quarantines":        ps.Quarantines,
+			"rebuilds":           ps.HealthRebuilds,
+			"healthy":            srv.pool.Healthy(),
+			"watchdog_kills":     srv.mWatchdogKills.Value(),
+			"watchdog_abandoned": abandoned,
+			"breaker_trips":      srv.mBreakerTrips.Value(),
+			"breakers_open":      srv.Stats().BreakersOpen,
+			"rejected_queue":     srv.mRejected.Value("queue_full"),
+			"rejected_deadline":  srv.mRejected.Value("deadline"),
+			"rejected_breaker":   srv.mRejected.Value("breaker_open"),
+			"pool_healed":        healed,
+			"breakers_closed":    breakersClosed,
+		}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("writing chaos report: %v", err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -17,7 +18,8 @@ import (
 // Handler returns the server's HTTP surface:
 //
 //	POST /v1/mesh    NRRD body (raw or gzip encoding) → VTK/OFF mesh
-//	GET  /healthz    liveness ("ok", 503 while draining)
+//	GET  /healthz    liveness (always "ok" while the process is alive)
+//	GET  /readyz     readiness (503 while draining or with no healthy sessions)
 //	GET  /v1/stats   JSON serving statistics
 //	GET  /metrics    Prometheus text exposition
 //
@@ -28,6 +30,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mesh", s.handleMesh)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.countRequests(mux)
@@ -94,8 +97,11 @@ func parseMeshParams(r *http.Request) (meshParams, error) {
 			return nil
 		}
 		x, err := strconv.ParseFloat(v, 64)
-		if err != nil || x <= 0 {
-			return fmt.Errorf("bad %s=%q (want a positive number)", name, v)
+		// ParseFloat accepts "NaN" and "Inf" — and NaN <= 0 is false, so
+		// without the explicit checks a delta=NaN request would reach
+		// the engine as a NaN-configured run.
+		if err != nil || math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
+			return fmt.Errorf("bad %s=%q (want a positive finite number)", name, v)
 		}
 		*dst = x
 		return nil
@@ -199,14 +205,29 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 
 	sr, err := s.MeshSnapshot(ctx, key, variant, image, tune)
 	if err != nil {
+		var brkOpen *BreakerOpenError
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w)
 			httpError(w, http.StatusTooManyRequests, "%v", err)
 		case errors.Is(err, ErrDeadline):
 			// Capacity signal: the job's deadline expired before a
-			// session freed up. Worth retrying shortly.
-			w.Header().Set("Retry-After", "1")
+			// session freed up (or mid-run). Worth retrying shortly.
+			s.setRetryAfter(w)
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.As(err, &brkOpen):
+			// The breaker knows exactly when it will admit a probe;
+			// its own hint beats the latency-derived one.
+			secs := int(math.Ceil(brkOpen.RetryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, ErrWatchdog):
+			// The run was abandoned and its session quarantined; by the
+			// time a retry lands the pool has likely backfilled.
+			s.setRetryAfter(w)
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, ErrCanceled):
 			// The client gave up; nobody is listening, but the status
@@ -235,13 +256,34 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// setRetryAfter stamps the latency-derived Retry-After hint on a
+// capacity rejection.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+}
+
+// handleHealthz is pure liveness: if the process can answer, it is
+// alive. Draining and pool health are readiness concerns — /readyz —
+// so an orchestrator doesn't kill a pod that is merely finishing its
+// in-flight work or rebuilding quarantined sessions.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz reports whether the server should receive new traffic:
+// 503 while draining or while every pool session is quarantined.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	if s.pool.Healthy() == 0 {
+		httpError(w, http.StatusServiceUnavailable, "no healthy sessions (all quarantined)")
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	io.WriteString(w, "ready\n")
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

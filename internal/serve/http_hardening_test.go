@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterTracksLatency: the Retry-After hint follows the
+// observed queue-wait p90 + lease p50 instead of a hardcoded "1" — a
+// loaded server tells clients to back off for about as long as
+// capacity actually takes to free up.
+func TestRetryAfterTracksLatency(t *testing.T) {
+	srv := newBareServer(t, Config{PoolSize: 1})
+	srv.retryJitter = func() float64 { return 0.5 } // ×1.0: deterministic
+
+	// Fast service: sub-millisecond waits round up to the 1s floor.
+	for i := 0; i < 100; i++ {
+		srv.mQueueWait.Observe(0.0005)
+		srv.mLeaseSeconds.Observe(0.01)
+	}
+	if got := srv.retryAfterSeconds(); got != 1 {
+		t.Errorf("fast-server hint = %ds, want 1", got)
+	}
+
+	// Load arrives: waits land in the 10s bucket, leases in the 5s
+	// bucket — the hint must grow with them.
+	for i := 0; i < 1000; i++ {
+		srv.mQueueWait.Observe(8)
+		srv.mLeaseSeconds.Observe(3)
+	}
+	slow := srv.retryAfterSeconds()
+	if slow < 10 {
+		t.Errorf("loaded-server hint = %ds, want >= 10 (p90 wait ~10s bucket)", slow)
+	}
+	if slow > 30 {
+		t.Errorf("hint = %ds exceeds the 30s clamp", slow)
+	}
+
+	// Jitter stays inside ±20% and respects the clamps.
+	srv.retryJitter = func() float64 { return 0 }
+	low := srv.retryAfterSeconds()
+	srv.retryJitter = func() float64 { return 1 }
+	high := srv.retryAfterSeconds()
+	if low > high {
+		t.Errorf("jitter inverted: low=%d high=%d", low, high)
+	}
+	if low < 1 || high > 30 {
+		t.Errorf("jittered hints %d..%d escape the [1,30] clamp", low, high)
+	}
+}
+
+// hostileParams is the shared oracle: parseMeshParams must reject
+// these outright (no panic, no NaN/Inf/non-positive knob reaching the
+// engine).
+var hostileParams = []string{
+	"delta=NaN",
+	"delta=nan",
+	"delta=+Inf",
+	"delta=-Inf",
+	"delta=Infinity",
+	"delta=-1",
+	"delta=0",
+	"delta=1e",
+	"max_radius_edge=NaN",
+	"max_radius_edge=Inf",
+	"max_radius_edge=1.9",
+	"max_radius_edge=-2",
+	"min_facet_angle=NaN",
+	"min_facet_angle=-30",
+	"max_elements=-1",
+	"max_elements=2.5",
+	"max_elements=NaN",
+	"timeout=-5s",
+	"timeout=0s",
+	"timeout=NaN",
+	"format=evil",
+	"format=vtk%00",
+}
+
+// TestParseMeshParamsHostile: every hostile/boundary knob yields a
+// parse error (the HTTP layer turns it into a 400), never a
+// NaN-configured run. delta=NaN previously slipped through because
+// ParseFloat accepts "NaN" and NaN <= 0 is false.
+func TestParseMeshParamsHostile(t *testing.T) {
+	for _, qs := range hostileParams {
+		r := httptest.NewRequest(http.MethodPost, "/v1/mesh?"+qs, nil)
+		if _, err := parseMeshParams(r); err == nil {
+			t.Errorf("query %q accepted, want an error", qs)
+		}
+	}
+	// Sanity: the legitimate knobs still parse.
+	r := httptest.NewRequest(http.MethodPost,
+		"/v1/mesh?format=off&delta=0.5&max_elements=1000&max_radius_edge=2.2&min_facet_angle=25&timeout=30s", nil)
+	p, err := parseMeshParams(r)
+	if err != nil {
+		t.Fatalf("legitimate query rejected: %v", err)
+	}
+	if p.format != "off" || p.delta != 0.5 || p.maxElements != 1000 ||
+		p.maxRadiusEdge != 2.2 || p.minFacetAngle != 25 || p.timeout != 30*time.Second {
+		t.Errorf("parsed params %+v do not match the query", p)
+	}
+}
+
+// FuzzParseMeshParams: arbitrary query strings must never panic the
+// parser, and anything it accepts must be a sane engine
+// configuration — finite positive floats, non-negative element
+// budget, radius-edge at or above the provable bound, positive
+// timeout.
+func FuzzParseMeshParams(f *testing.F) {
+	for _, qs := range hostileParams {
+		f.Add(qs)
+	}
+	f.Add("format=vtk&delta=0.5")
+	f.Add("delta=1e309")
+	f.Add("delta=0x1p-1074")
+	f.Add("max_radius_edge=2&min_facet_angle=1e-300")
+	f.Add("timeout=9999999999999999999ns")
+	f.Add("delta=%GG&max_elements=+0")
+	f.Fuzz(func(t *testing.T, qs string) {
+		r := httptest.NewRequest(http.MethodPost, "/v1/mesh", nil)
+		if u, err := url.Parse("/v1/mesh?" + qs); err == nil {
+			r.URL = u
+		}
+		p, err := parseMeshParams(r)
+		if err != nil {
+			return
+		}
+		for name, v := range map[string]float64{
+			"delta":           p.delta,
+			"max_radius_edge": p.maxRadiusEdge,
+			"min_facet_angle": p.minFacetAngle,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("accepted %s=%v from %q (NaN/Inf/negative would reach the engine)", name, v, qs)
+			}
+		}
+		if p.maxRadiusEdge != 0 && p.maxRadiusEdge < 2 {
+			t.Fatalf("accepted max_radius_edge=%v below the provable bound from %q", p.maxRadiusEdge, qs)
+		}
+		if p.maxElements < 0 {
+			t.Fatalf("accepted max_elements=%d from %q", p.maxElements, qs)
+		}
+		if p.timeout < 0 {
+			t.Fatalf("accepted timeout=%v from %q", p.timeout, qs)
+		}
+		if p.format != "vtk" && p.format != "off" {
+			t.Fatalf("accepted format=%q from %q", p.format, qs)
+		}
+	})
+}

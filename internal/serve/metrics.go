@@ -91,6 +91,32 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// counts: the upper bound of the first bucket whose cumulative count
+// reaches q of the total. Observations in the +Inf overflow bucket
+// clamp to the largest finite bound. Returns 0 with no observations.
+// The estimate is bucket-granular — good enough for retry hints and
+// watchdog limits, which clamp the result anyway.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q <= 0 || q > 1 {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		if cum >= target {
+			return b
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // HistogramSnapshot is a consistent copy of a histogram's state:
 // per-bucket (non-cumulative) counts aligned with Bounds, plus the
 // implicit +Inf overflow bucket as the final Counts entry.
@@ -164,11 +190,12 @@ type metric struct {
 	help string
 	typ  string // "counter", "gauge", "histogram"
 
-	counter    *Counter
-	gauge      *Gauge
-	gaugeFunc  func() float64
-	histogram  *Histogram
-	counterVec *CounterVec
+	counter     *Counter
+	gauge       *Gauge
+	gaugeFunc   func() float64
+	counterFunc func() float64
+	histogram   *Histogram
+	counterVec  *CounterVec
 }
 
 // Registry is an ordered collection of metrics with Prometheus text
@@ -221,6 +248,14 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // exposition time. f must be safe to call concurrently.
 func (r *Registry) GaugeFunc(name, help string, f func() float64) {
 	r.register(&metric{name: name, help: help, typ: "gauge", gaugeFunc: f})
+}
+
+// CounterFunc registers a counter whose value is read from f at
+// exposition time — for monotone counters owned by another subsystem
+// (e.g. the pool's quarantine ledger). f must be safe to call
+// concurrently and must never decrease.
+func (r *Registry) CounterFunc(name, help string, f func() float64) {
+	r.register(&metric{name: name, help: help, typ: "counter", counterFunc: f})
 }
 
 // Histogram registers and returns a histogram over the given sorted
@@ -282,6 +317,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s %d\n", m.name, m.gauge.Value())
 		case m.gaugeFunc != nil:
 			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.gaugeFunc()))
+		case m.counterFunc != nil:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.counterFunc()))
 		case m.histogram != nil:
 			h := m.histogram
 			h.mu.Lock()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/img"
 )
 
@@ -26,7 +27,8 @@ var ErrPoolClosed = errors.New("serve: pool closed")
 // single ownership, so a busy rejection through a lease indicates a
 // caller bug and is surfaced as an error.
 type Pool struct {
-	cfg core.Config
+	cfg    core.Config
+	health HealthConfig
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -37,7 +39,42 @@ type Pool struct {
 	affinityHits int64
 	evictions    int64
 	rebuilds     int64
+
+	// Health-ledger counters (see DESIGN.md "Failure model", the
+	// serving-layer ladder).
+	quarantines    int64
+	healthRebuilds int64
+
+	// rebuilds in flight, so tests can wait for the pool to settle.
+	rebuildWG sync.WaitGroup
 }
+
+// HealthConfig parameterizes the pool's session health ledger.
+type HealthConfig struct {
+	// SuspectThreshold is the number of consecutive suspect runs
+	// (recovered panics, degraded outcomes, run errors) after which a
+	// session is quarantined and rebuilt. A clean run resets the
+	// counter. Default 3; values <= 0 select the default.
+	SuspectThreshold int
+	// RebuildBackoff is the initial delay between failed rebuild
+	// attempts of a quarantined slot; it doubles up to a 500ms cap.
+	// Default 10ms.
+	RebuildBackoff time.Duration
+}
+
+func (h HealthConfig) withDefaults() HealthConfig {
+	if h.SuspectThreshold <= 0 {
+		h.SuspectThreshold = 3
+	}
+	if h.RebuildBackoff <= 0 {
+		h.RebuildBackoff = 10 * time.Millisecond
+	}
+	return h
+}
+
+// SetHealth replaces the pool's health-ledger configuration. Call it
+// before serving; it is not synchronized against concurrent checkouts.
+func (p *Pool) SetHealth(h HealthConfig) { p.health = h.withDefaults() }
 
 // poolEntry is one slot of the pool.
 type poolEntry struct {
@@ -45,6 +82,12 @@ type poolEntry struct {
 	key      string // image identity of the last run ("" = never ran)
 	busy     bool
 	lastUsed time.Time
+
+	// Health ledger: suspicion counts consecutive suspect runs; a
+	// quarantined slot is unschedulable until its asynchronous rebuild
+	// swaps a fresh session in.
+	suspicion   int
+	quarantined bool
 }
 
 // PoolStats is a snapshot of the pool's behavior.
@@ -55,6 +98,13 @@ type PoolStats struct {
 	AffinityHits int64 `json:"affinity_hits"`
 	Evictions    int64 `json:"evictions"`
 	Rebuilds     int64 `json:"rebuilds"`
+
+	// Health ledger: Healthy/Quarantined are the current slot states;
+	// Quarantines/HealthRebuilds are lifetime totals.
+	Healthy        int   `json:"healthy"`
+	Quarantined    int   `json:"quarantined"`
+	Quarantines    int64 `json:"quarantines_total"`
+	HealthRebuilds int64 `json:"health_rebuilds_total"`
 
 	// Sessions aggregates the member sessions' reuse counters.
 	Sessions core.SessionStats `json:"sessions"`
@@ -69,7 +119,7 @@ func NewPool(n int, cfg core.Config) (*Pool, error) {
 	}
 	cfg.Image = nil
 	cfg.Context = nil
-	p := &Pool{cfg: cfg, entries: make([]*poolEntry, n)}
+	p := &Pool{cfg: cfg, health: HealthConfig{}.withDefaults(), entries: make([]*poolEntry, n)}
 	p.cond = sync.NewCond(&p.mu)
 	for i := range p.entries {
 		s, err := core.NewSession(cfg)
@@ -84,14 +134,28 @@ func NewPool(n int, cfg core.Config) (*Pool, error) {
 // Size returns the number of sessions in the pool.
 func (p *Pool) Size() int { return len(p.entries) }
 
+// Lease verdicts, recorded by the caller between Run and Release and
+// folded into the session health ledger at release time.
+const (
+	verdictClean   = iota // run gave no health signal; resets suspicion
+	verdictSuspect        // failure machinery engaged; counts toward quarantine
+	verdictBad            // session-poisoning outcome; quarantine immediately
+)
+
 // Lease is exclusive ownership of one pool session between Checkout
 // and Release.
 type Lease struct {
 	p        *Pool
 	e        *poolEntry
+	s        *core.Session // captured at checkout; stable across entry rebuilds
 	key      string
 	affinity bool
 	released bool
+
+	// verdict is the health outcome the caller recorded for this
+	// lease's runs; abandoned marks a lease detached by the watchdog.
+	verdict   int
+	abandoned bool
 
 	// edtHit and warm record the session's reuse behavior across the
 	// lease's Run calls.
@@ -99,13 +163,13 @@ type Lease struct {
 	warm   bool
 }
 
-// pickFree selects an unleased entry, preferring exact image-identity
-// affinity, then any session that has run before (warm arenas), then
-// a cold one.
+// pickFree selects an unleased, unquarantined entry, preferring exact
+// image-identity affinity, then any session that has run before (warm
+// arenas), then a cold one.
 func (p *Pool) pickFree(key string) *poolEntry {
 	var warm, cold *poolEntry
 	for _, e := range p.entries {
-		if e.busy {
+		if e.busy || e.quarantined {
 			continue
 		}
 		if key != "" && e.key == key {
@@ -158,7 +222,7 @@ func (p *Pool) Checkout(ctx context.Context, key string) (*Lease, error) {
 			if hit {
 				p.affinityHits++
 			}
-			return &Lease{p: p, e: e, key: key, affinity: hit}, nil
+			return &Lease{p: p, e: e, s: e.s, key: key, affinity: hit}, nil
 		}
 		p.cond.Wait()
 	}
@@ -184,7 +248,7 @@ func (p *Pool) TryCheckout(key string) (*Lease, error) {
 	if hit {
 		p.affinityHits++
 	}
-	return &Lease{p: p, e: e, key: key, affinity: hit}, nil
+	return &Lease{p: p, e: e, s: e.s, key: key, affinity: hit}, nil
 }
 
 // AffinityHit reports whether the checkout landed on the session that
@@ -212,9 +276,9 @@ func (l *Lease) RunTuned(ctx context.Context, image *img.Image, tune func(*core.
 	if l.released {
 		return nil, errors.New("serve: Run on a released Lease")
 	}
-	before := l.e.s.Stats()
-	res, err := l.e.s.RunTuned(ctx, image, tune)
-	after := l.e.s.Stats()
+	before := l.s.Stats()
+	res, err := l.s.RunTuned(ctx, image, tune)
+	after := l.s.Stats()
 	if after.WarmEDTHits > before.WarmEDTHits {
 		l.edtHit = true
 	}
@@ -224,26 +288,195 @@ func (l *Lease) RunTuned(ctx context.Context, image *img.Image, tune func(*core.
 	return res, err
 }
 
-// Release returns the session to the pool, recording the lease's
-// image identity for future affinity routing. Idempotent.
+// MarkSuspect records that this lease's run engaged the failure
+// machinery (recovered panics, a degraded outcome, a run error). At
+// release, consecutive suspect runs past HealthConfig.SuspectThreshold
+// quarantine the session.
+func (l *Lease) MarkSuspect() {
+	if l.verdict < verdictSuspect {
+		l.verdict = verdictSuspect
+	}
+}
+
+// MarkBad records a session-poisoning outcome (a panicked run, an
+// abort for a non-caller reason). At release the session is
+// quarantined immediately and rebuilt off the request path.
+func (l *Lease) MarkBad() { l.verdict = verdictBad }
+
+// Release returns the session to the pool, folding the lease's health
+// verdict into the ledger: a clean run resets suspicion, a suspect run
+// counts toward the threshold, and a bad run (or a threshold crossing)
+// quarantines the slot and kicks off an asynchronous rebuild.
+// Idempotent; a no-op on leases detached by Abandon.
 func (l *Lease) Release() {
-	if l.released {
+	if l.released || l.abandoned {
 		return
 	}
 	l.released = true
 	p := l.p
+	e := l.e
 	p.mu.Lock()
-	l.e.busy = false
-	if l.key != "" {
-		l.e.key = l.key
+	e.busy = false
+	switch l.verdict {
+	case verdictBad:
+		p.quarantineLocked(e, l.s)
+	case verdictSuspect:
+		e.suspicion++
+		if e.suspicion >= p.health.SuspectThreshold {
+			p.quarantineLocked(e, l.s)
+		}
+	default:
+		e.suspicion = 0
 	}
-	l.e.lastUsed = time.Now()
-	if p.closed {
-		l.e.s.Close() // the pool closed while this lease was out
+	if !e.quarantined {
+		if l.key != "" {
+			e.key = l.key
+		}
+		e.lastUsed = time.Now()
+		if p.closed {
+			l.s.Close() // the pool closed while this lease was out
+		}
+		p.cond.Signal()
 	}
-	p.cond.Signal()
 	p.mu.Unlock()
 }
+
+// Abandon detaches a lease whose run ignored cancellation: the slot is
+// quarantined and backfilled by an asynchronous rebuild so pool
+// capacity recovers, while the wedged session stays out of the pool.
+// The caller must invoke FinishAbandoned once the runaway run finally
+// returns, to close the detached session. Idempotent.
+func (l *Lease) Abandon() {
+	p := l.p
+	p.mu.Lock()
+	if l.released || l.abandoned {
+		p.mu.Unlock()
+		return
+	}
+	l.abandoned = true
+	e := l.e
+	e.busy = false
+	// The wedged session is NOT handed to the rebuild goroutine for
+	// closing — Close would block until the stuck run returns.
+	// FinishAbandoned closes it instead.
+	p.quarantineLocked(e, nil)
+	p.mu.Unlock()
+}
+
+// FinishAbandoned closes the session detached by Abandon. Call it
+// after the runaway run has returned; Close blocks until the session
+// is idle, so calling it early stalls the caller, not the pool.
+func (l *Lease) FinishAbandoned() {
+	if l.abandoned {
+		l.s.Close()
+	}
+}
+
+// quarantineLocked (p.mu held) marks the slot unschedulable and starts
+// its asynchronous rebuild. old, when non-nil, is the session the
+// rebuild goroutine closes off the request path.
+func (p *Pool) quarantineLocked(e *poolEntry, old *core.Session) {
+	if e.quarantined {
+		return
+	}
+	e.quarantined = true
+	e.key = ""
+	e.suspicion = 0
+	p.quarantines++
+	if p.closed {
+		if old != nil {
+			go old.Close()
+		}
+		return
+	}
+	p.rebuildWG.Add(1)
+	go p.rebuild(e, old)
+}
+
+// rebuild replaces a quarantined slot's session with a freshly built
+// one, retrying with doubling backoff when construction fails (the
+// RebuildFail injection point simulates that), and wakes waiters once
+// capacity is restored. Runs off the request path.
+func (p *Pool) rebuild(e *poolEntry, old *core.Session) {
+	defer p.rebuildWG.Done()
+	if old != nil {
+		old.Close()
+	}
+	backoff := p.health.RebuildBackoff
+	for {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		var fresh *core.Session
+		var err error
+		if faultinject.Fire(faultinject.RebuildFail) {
+			err = errors.New("serve: session rebuild failed (injected)")
+		} else {
+			fresh, err = core.NewSession(p.cfg)
+		}
+		if err == nil {
+			p.mu.Lock()
+			if p.closed {
+				p.mu.Unlock()
+				fresh.Close()
+				return
+			}
+			e.s = fresh
+			e.key = ""
+			e.suspicion = 0
+			e.quarantined = false
+			e.busy = false
+			e.lastUsed = time.Time{}
+			p.healthRebuilds++
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+}
+
+// Healthy returns the number of unquarantined slots — the capacity
+// /readyz and the chaos harness reason about.
+func (p *Pool) Healthy() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, e := range p.entries {
+		if !e.quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// Quarantines reports how many sessions the health ledger has pulled
+// from rotation since the pool was created. Unlike Stats, this reads
+// only the pool's own counters — it never touches a session and so
+// never blocks on one mid-run.
+func (p *Pool) Quarantines() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quarantines
+}
+
+// Rebuilds reports how many quarantined slots have been rebuilt with
+// a fresh session and returned to rotation.
+func (p *Pool) Rebuilds() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.healthRebuilds
+}
+
+// WaitSettled blocks until every in-flight quarantine rebuild has
+// finished (test hook).
+func (p *Pool) WaitSettled() { p.rebuildWG.Wait() }
 
 // EvictIdle closes sessions that have been idle longer than maxIdle,
 // releasing their retained arenas, grids and EDT buffers, and
@@ -259,7 +492,7 @@ func (p *Pool) EvictIdle(maxIdle time.Duration) int {
 	}
 	n := 0
 	for _, e := range p.entries {
-		if e.busy || e.key == "" || e.lastUsed.After(cutoff) {
+		if e.busy || e.quarantined || e.key == "" || e.lastUsed.After(cutoff) {
 			continue
 		}
 		e.s.Close()
@@ -285,16 +518,25 @@ func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st := PoolStats{
-		Size:         len(p.entries),
-		Checkouts:    p.checkouts,
-		AffinityHits: p.affinityHits,
-		Evictions:    p.evictions,
-		Rebuilds:     p.rebuilds,
+		Size:           len(p.entries),
+		Checkouts:      p.checkouts,
+		AffinityHits:   p.affinityHits,
+		Evictions:      p.evictions,
+		Rebuilds:       p.rebuilds,
+		Quarantines:    p.quarantines,
+		HealthRebuilds: p.healthRebuilds,
 	}
 	for _, e := range p.entries {
 		if e.busy {
 			st.Busy++
 		}
+		if e.quarantined {
+			// A quarantined slot's session is mid-teardown (possibly a
+			// wedged run holding its own lock) — don't block stats on it.
+			st.Quarantined++
+			continue
+		}
+		st.Healthy++
 		ss := e.s.Stats()
 		st.Sessions.Runs += ss.Runs
 		st.Sessions.WarmRuns += ss.WarmRuns
@@ -315,7 +557,10 @@ func (p *Pool) Close() error {
 	}
 	p.closed = true
 	for _, e := range p.entries {
-		if !e.busy {
+		// Quarantined slots are owned by their rebuild goroutine (or an
+		// abandoned lease's FinishAbandoned) — closing here could block
+		// on a wedged run.
+		if !e.busy && !e.quarantined {
 			e.s.Close()
 		}
 	}

@@ -7,6 +7,8 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +35,11 @@ var (
 	// server-capacity signal: the client went away, so the HTTP layer
 	// answers 499 without a Retry-After.
 	ErrCanceled = errors.New("serve: canceled by the caller before a session was available")
+	// ErrWatchdog fails a job whose run exceeded the runaway-run
+	// watchdog's limit and then ignored cancellation past the grace
+	// window; its session was abandoned and quarantined rather than
+	// leaked. The HTTP layer answers 503 with a Retry-After.
+	ErrWatchdog = errors.New("serve: run abandoned by the runaway-run watchdog")
 )
 
 // StatusClientClosedRequest is nginx's non-standard 499: the client
@@ -67,6 +74,30 @@ type Config struct {
 	// consuming a pool session. 0 selects the default (32); 1 disables
 	// coalescing; negative values are treated as 1.
 	CoalesceMax int
+	// SuspectThreshold is how many consecutive suspect runs (degraded
+	// outcomes, recovered panics, run errors) quarantine a session for
+	// an asynchronous rebuild (default 3). A run that panics or aborts
+	// for non-caller reasons quarantines its session immediately.
+	SuspectThreshold int
+	// BreakerThreshold is how many consecutive leader failures for one
+	// (image, variant) coalesce key trip that key's circuit breaker,
+	// fast-failing the key with 503 + Retry-After while healthy keys
+	// flow. 0 selects the default (3); negative disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker fast-fails its key
+	// before admitting a single half-open probe (default 5s).
+	BreakerCooldown time.Duration
+	// WatchdogFactor bounds a run's wall time at factor × its deadline
+	// budget, tightened toward factor × the observed run p99 once
+	// enough history accumulates — but never below the deadline the
+	// caller agreed to. A run exceeding the limit is canceled; one that
+	// ignores cancellation past WatchdogGrace has its session
+	// quarantined instead of leaked. 0 selects the default (4);
+	// values in (0,1) clamp to 1; negative disables the watchdog.
+	WatchdogFactor float64
+	// WatchdogGrace is how long a watchdog-canceled run may keep
+	// running before its session is abandoned (default 2s).
+	WatchdogGrace time.Duration
 	// Session is the configuration template every pool session runs
 	// with. Its Image and Context fields are ignored.
 	Session core.Config
@@ -94,6 +125,23 @@ func (c Config) withDefaults() Config {
 	if c.CoalesceMax < 1 {
 		c.CoalesceMax = 1
 	}
+	if c.SuspectThreshold <= 0 {
+		c.SuspectThreshold = 3
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.WatchdogFactor == 0 {
+		c.WatchdogFactor = 4
+	} else if c.WatchdogFactor > 0 && c.WatchdogFactor < 1 {
+		c.WatchdogFactor = 1
+	}
+	if c.WatchdogGrace <= 0 {
+		c.WatchdogGrace = 2 * time.Second
+	}
 	return c
 }
 
@@ -112,9 +160,17 @@ type Server struct {
 
 	// flights is the single-flight table: one entry per in-progress
 	// (image key, tuning variant) pair; followers subscribe instead of
-	// consuming a session.
+	// consuming a session. breakers shares flightMu: both tables decide
+	// who may lead a run for a coalesce key, so they move under one
+	// lock.
 	flightMu sync.Mutex
 	flights  map[string]*flight
+	breakers *breakerTable
+
+	// retryJitter randomizes the Retry-After hint (±20%) so
+	// synchronized clients don't retry in lockstep; injectable for
+	// deterministic tests.
+	retryJitter func() float64
 
 	imgCache struct {
 		sync.Mutex
@@ -123,29 +179,32 @@ type Server struct {
 	}
 
 	// Metrics (the catalogue documented in DESIGN.md "Serving layer").
-	reg            *Registry
-	mRequests      *CounterVec // pi2md_http_requests_total{code}
-	mAccepted      *Counter
-	mCompleted     *Counter
-	mFailed        *Counter
-	mRejected      *CounterVec // pi2md_jobs_rejected_total{reason}
-	mCoalesced     *Counter
-	mQueueWait     *Histogram
-	mRunSeconds    *Histogram
-	mLeaseSeconds  *Histogram
-	mSnapshotBytes *Histogram
-	mCells         *Counter
-	mCellsPerSec   *Gauge
-	mRollbacks     *Counter
-	mDegraded      *Counter
-	mAborted       *Counter
-	mTransitions   *Counter
-	mEDTHits       *Counter
-	mWarmRuns      *Counter
-	mAffinityHits  *Counter
-	mImgCacheHit   *Counter
-	mImgCacheMiss  *Counter
-	mEvictions     *Counter
+	reg               *Registry
+	mRequests         *CounterVec // pi2md_http_requests_total{code}
+	mAccepted         *Counter
+	mCompleted        *Counter
+	mFailed           *Counter
+	mRejected         *CounterVec // pi2md_jobs_rejected_total{reason}
+	mCoalesced        *Counter
+	mQueueWait        *Histogram
+	mRunSeconds       *Histogram
+	mLeaseSeconds     *Histogram
+	mSnapshotBytes    *Histogram
+	mCells            *Counter
+	mCellsPerSec      *Gauge
+	mRollbacks        *Counter
+	mDegraded         *Counter
+	mAborted          *Counter
+	mTransitions      *Counter
+	mEDTHits          *Counter
+	mWarmRuns         *Counter
+	mAffinityHits     *Counter
+	mImgCacheHit      *Counter
+	mImgCacheMiss     *Counter
+	mEvictions        *Counter
+	mWatchdogKills    *Counter
+	mWatchdogAbandons *Counter
+	mBreakerTrips     *Counter
 
 	// lastRuns is a ring of recent run summaries for /v1/stats.
 	lastMu   sync.Mutex
@@ -170,9 +229,12 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	pool.SetHealth(HealthConfig{SuspectThreshold: cfg.SuspectThreshold})
 	s := &Server{cfg: cfg, pool: pool, start: time.Now(), reg: NewRegistry()}
 	s.imgCache.m = make(map[string]*img.Image)
 	s.flights = make(map[string]*flight)
+	s.breakers = newBreakerTable(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	s.retryJitter = rand.Float64
 
 	r := s.reg
 	s.mRequests = r.CounterVec("pi2md_http_requests_total",
@@ -232,6 +294,29 @@ func NewServer(cfg Config) (*Server, error) {
 		"Request bodies that had to be parsed.")
 	s.mEvictions = r.Counter("pi2md_pool_evictions_total",
 		"Idle sessions evicted to release their retained memory.")
+	s.mWatchdogKills = r.Counter("pi2md_watchdog_kills_total",
+		"Runs canceled by the runaway-run watchdog for exceeding their limit.")
+	s.mWatchdogAbandons = r.Counter("pi2md_watchdog_abandoned_total",
+		"Watchdog-canceled runs that ignored cancellation past the grace window; their sessions were quarantined.")
+	s.mBreakerTrips = r.Counter("pi2md_breaker_trips_total",
+		"Circuit-breaker transitions into the open state.")
+	r.CounterFunc("pi2md_sessions_quarantined_total",
+		"Sessions pulled from rotation by the health ledger (panicked, aborted, repeatedly suspect, or abandoned runs).",
+		func() float64 { return float64(s.pool.Quarantines()) })
+	r.CounterFunc("pi2md_session_rebuilds_total",
+		"Quarantined pool slots rebuilt with a fresh session and returned to rotation.",
+		func() float64 { return float64(s.pool.Rebuilds()) })
+	r.GaugeFunc("pi2md_breaker_state",
+		"Coalesce keys whose circuit breaker is currently open or half-open.",
+		func() float64 {
+			s.flightMu.Lock()
+			n := s.breakers.openCountLocked()
+			s.flightMu.Unlock()
+			return float64(n)
+		})
+	r.GaugeFunc("pi2md_pool_healthy_sessions",
+		"Pool slots holding a healthy (non-quarantined) session.",
+		func() float64 { return float64(s.pool.Healthy()) })
 	return s, nil
 }
 
@@ -384,9 +469,21 @@ func (s *Server) runOnce(jctx context.Context, key string, image *img.Image, tun
 	faultinject.Sleep(faultinject.SlowSession)
 
 	runStart := time.Now()
-	res, err := lease.RunTuned(jctx, image, tune)
+	res, err := s.superviseRun(jctx, lease, image, tune)
+	if errors.Is(err, ErrWatchdog) {
+		// The run ignored cancellation past the grace window. Its lease
+		// was abandoned (Release above is now a no-op) and the session
+		// quarantined; the run's true wall time is unknowable here, so
+		// mRunSeconds is deliberately not observed — the invariant is
+		// runs == accepted − coalesced − watchdog_abandoned.
+		s.mFailed.Inc()
+		return nil, err
+	}
 	s.mRunSeconds.Observe(time.Since(runStart).Seconds())
 	if err != nil {
+		// Run errors and recovered panics: a panic already marked the
+		// session bad in guardedRun; anything else makes it suspect.
+		lease.MarkSuspect()
 		s.mFailed.Inc()
 		return nil, fmt.Errorf("serve: run: %w", err)
 	}
@@ -403,13 +500,32 @@ func (s *Server) runOnce(jctx context.Context, key string, image *img.Image, tun
 	sum := res.Summary()
 	s.mRollbacks.Add(sum.Rollbacks)
 	s.mTransitions.Add(int64(sum.Transitions))
+	if res.Stats.RecoveredPanics > 0 {
+		// The run survived worker/bootstrap panics (possibly still
+		// StatusCompleted): the session's arenas were touched by code
+		// that crashed, so raise suspicion even on success.
+		lease.MarkSuspect()
+	}
 	switch res.Status {
 	case core.StatusAborted:
 		s.mAborted.Inc()
 		s.mFailed.Inc()
+		if abortedByCaller(res) {
+			// The caller's own deadline or cancellation cut the run
+			// short mid-flight: the session cooperated and is healthy,
+			// and the failure classifies like a pre-run rejection.
+			if errors.Is(jctx.Err(), context.Canceled) {
+				return nil, fmt.Errorf("%w: run aborted mid-flight: %v", ErrCanceled, res.Err())
+			}
+			return nil, fmt.Errorf("%w: run aborted mid-flight: %v", ErrDeadline, res.Err())
+		}
+		// Aborted for engine reasons (panic budget, livelock): the
+		// session's internal state is untrustworthy — quarantine it.
+		lease.MarkBad()
 		return nil, fmt.Errorf("serve: run aborted: %w", res.Err())
 	case core.StatusDegraded:
 		s.mDegraded.Inc()
+		lease.MarkSuspect()
 	}
 
 	// Copy the final geometry out of the lease window, then release:
@@ -443,6 +559,142 @@ func (s *Server) runOnce(jctx context.Context, key string, image *img.Image, tun
 	return sr, nil
 }
 
+// guardedRun executes the run itself behind a panic guard: a panic
+// escaping the engine (or a tune hook) is converted into an error so
+// no coalesced follower can hang on a never-closed flight, and the
+// session — whose internal state the panic may have corrupted — is
+// marked bad for quarantine on release.
+func (s *Server) guardedRun(ctx context.Context, lease *Lease, image *img.Image, tune func(*core.Config)) (res *core.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			lease.MarkBad()
+			err = fmt.Errorf("serve: run panicked: %v", r)
+		}
+	}()
+	// Injectable wedge: the run stalls while ignoring its context —
+	// exactly the failure the watchdog's abandon path exists for.
+	faultinject.Sleep(faultinject.LeaseLeak)
+	if faultinject.Fire(faultinject.RunPoisoned) {
+		return nil, errors.New("serve: injected run-poisoned failure")
+	}
+	return lease.RunTuned(ctx, image, tune)
+}
+
+// superviseRun runs the job under the runaway-run watchdog. A run
+// exceeding watchdogLimit is canceled; if it returns within the grace
+// window the normal outcome path classifies it (the job deadline has
+// expired by then, so it reads as a mid-flight deadline abort). A run
+// that ignores cancellation past the grace window has its lease
+// abandoned — the pool quarantines the slot and backfills with a
+// fresh session — and a reaper goroutine closes the wedged session
+// whenever the run finally returns.
+func (s *Server) superviseRun(jctx context.Context, lease *Lease, image *img.Image, tune func(*core.Config)) (*core.Result, error) {
+	if s.cfg.WatchdogFactor <= 0 {
+		return s.guardedRun(jctx, lease, image, tune)
+	}
+	limit := s.watchdogLimit(jctx)
+	runCtx, cancelRun := context.WithCancel(jctx)
+	defer cancelRun()
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := s.guardedRun(runCtx, lease, image, tune)
+		done <- outcome{res, err}
+	}()
+	timer := time.NewTimer(limit)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-timer.C:
+	}
+	s.mWatchdogKills.Inc()
+	cancelRun()
+	grace := time.NewTimer(s.cfg.WatchdogGrace)
+	defer grace.Stop()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-grace.C:
+	}
+	s.mWatchdogAbandons.Inc()
+	lease.Abandon()
+	go func() {
+		<-done
+		lease.FinishAbandoned()
+	}()
+	return nil, fmt.Errorf("%w: run exceeded %v and ignored cancellation for %v",
+		ErrWatchdog, limit.Round(time.Millisecond), s.cfg.WatchdogGrace)
+}
+
+// watchdogLimit is the wall-time bound for one run: WatchdogFactor ×
+// the job's remaining deadline budget, tightened toward factor × the
+// observed run p99 once at least 64 runs are recorded — but never
+// below the deadline (+grace) the caller agreed to, so the watchdog
+// can only fire on runs that are already ignoring their own deadline.
+func (s *Server) watchdogLimit(jctx context.Context) time.Duration {
+	remaining := s.cfg.DefaultTimeout
+	if dl, ok := jctx.Deadline(); ok {
+		remaining = time.Until(dl)
+	}
+	if remaining < time.Millisecond {
+		remaining = time.Millisecond
+	}
+	limit := time.Duration(s.cfg.WatchdogFactor * float64(remaining))
+	if s.mRunSeconds.Count() >= 64 {
+		if p99 := s.mRunSeconds.Quantile(0.99); p99 > 0 {
+			alt := time.Duration(s.cfg.WatchdogFactor * p99 * float64(time.Second))
+			if floor := remaining + s.cfg.WatchdogGrace; alt < floor {
+				alt = floor
+			}
+			if alt < limit {
+				limit = alt
+			}
+		}
+	}
+	return limit
+}
+
+// abortedByCaller reports whether an aborted run was cut short by its
+// own context (a "cancel" transition) rather than by the engine's
+// failure ladder — the session cooperated, so it stays healthy.
+func abortedByCaller(res *core.Result) bool {
+	for _, tr := range res.Transitions {
+		if tr.Event == "cancel" {
+			return true
+		}
+	}
+	return false
+}
+
+// retryAfterSeconds derives the Retry-After hint for capacity
+// rejections from observed latency: a queued job typically waits
+// about one p90 queue wait plus a median lease before capacity frees
+// up. The estimate is jittered ±20% (so synchronized clients don't
+// retry in lockstep) and clamped to [1, 30] seconds.
+func (s *Server) retryAfterSeconds() int {
+	est := s.mQueueWait.Quantile(0.90) + s.mLeaseSeconds.Quantile(0.50)
+	est *= 0.8 + 0.4*s.retryJitter()
+	sec := int(math.Ceil(est))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}
+
+// Ready reports whether the server can currently serve meshing work:
+// not draining, and at least one healthy (non-quarantined) session in
+// the pool. The /readyz endpoint exposes it.
+func (s *Server) Ready() bool {
+	return !s.draining.Load() && s.pool.Healthy() > 0
+}
+
 // Stats is the /v1/stats document.
 type Stats struct {
 	UptimeSeconds float64      `json:"uptime_seconds"`
@@ -456,6 +708,11 @@ type Stats struct {
 	RejectedFull  int64        `json:"jobs_rejected_queue_full"`
 	RejectedDL    int64        `json:"jobs_rejected_deadline"`
 	RejectedCancl int64        `json:"jobs_rejected_canceled"`
+	RejectedBrkr  int64        `json:"jobs_rejected_breaker_open"`
+	WatchdogKills int64        `json:"watchdog_kills"`
+	WatchdogAband int64        `json:"watchdog_abandoned"`
+	BreakersOpen  int          `json:"breakers_open"`
+	BreakerTrips  int64        `json:"breaker_trips"`
 	Pool          PoolStats    `json:"pool"`
 	RecentRuns    []JobSummary `json:"recent_runs"`
 }
@@ -465,6 +722,9 @@ func (s *Server) Stats() Stats {
 	s.lastMu.Lock()
 	recent := append([]JobSummary(nil), s.lastRuns...)
 	s.lastMu.Unlock()
+	s.flightMu.Lock()
+	breakersOpen := s.breakers.openCountLocked()
+	s.flightMu.Unlock()
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Draining:      s.draining.Load(),
@@ -477,6 +737,11 @@ func (s *Server) Stats() Stats {
 		RejectedFull:  s.mRejected.Value("queue_full"),
 		RejectedDL:    s.mRejected.Value("deadline"),
 		RejectedCancl: s.mRejected.Value("canceled"),
+		RejectedBrkr:  s.mRejected.Value("breaker_open"),
+		WatchdogKills: s.mWatchdogKills.Value(),
+		WatchdogAband: s.mWatchdogAbandons.Value(),
+		BreakersOpen:  breakersOpen,
+		BreakerTrips:  s.mBreakerTrips.Value(),
 		Pool:          s.pool.Stats(),
 		RecentRuns:    recent,
 	}

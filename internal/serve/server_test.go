@@ -443,8 +443,8 @@ func TestServerQualityOverrides(t *testing.T) {
 }
 
 // TestServerDrain verifies the graceful-drain contract: draining
-// rejects new work with 503, /healthz flips unhealthy, and in-flight
-// jobs complete.
+// rejects new work with 503, /readyz flips unready while /healthz
+// stays alive (liveness vs readiness), and in-flight jobs complete.
 func TestServerDrain(t *testing.T) {
 	srv, ts := newTestServer(t, Config{PoolSize: 1})
 	client := ts.Client()
@@ -454,6 +454,14 @@ func TestServerDrain(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("pre-drain request failed: %d", code)
 	}
+	resp, err := client.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz before drain: %d, want 200", resp.StatusCode)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -461,13 +469,24 @@ func TestServerDrain(t *testing.T) {
 		t.Fatalf("drain: %v", err)
 	}
 
-	resp, err := client.Get(ts.URL + "/healthz")
+	// Liveness is not readiness: the process still answers (an
+	// orchestrator must not kill it mid-drain), but it should stop
+	// receiving new traffic.
+	resp, err = client.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while drained: %d, want 200 (liveness)", resp.StatusCode)
+	}
+	resp, err = client.Get(ts.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while drained: %d, want 503", resp.StatusCode)
+		t.Errorf("readyz while drained: %d, want 503", resp.StatusCode)
 	}
 	code, _ = post(t, client, ts.URL+"/v1/mesh", body)
 	if code != http.StatusServiceUnavailable {
