@@ -1,18 +1,21 @@
 // Command pi2md is the PI2M meshing daemon: an HTTP server
 // multiplexing image-to-mesh requests over a bounded pool of warm
-// sessions, with admission control, Prometheus metrics and graceful
-// drain.
+// sessions, with admission control, a crash-safe persistent result
+// cache, Prometheus metrics and graceful drain.
 //
-//	pi2md -addr :8080 -pool 4 -queue 32
+//	pi2md -addr :8080 -pool 4 -queue 32 -cache-dir /var/lib/pi2md/cache
 //
 //	curl -s --data-binary @brain.nrrd 'localhost:8080/v1/mesh?format=vtk' > brain.vtk
+//	curl -s -H 'If-None-Match: "<etag>-vtk"' --data-binary @brain.nrrd localhost:8080/v1/mesh
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/readyz
 //	curl -s localhost:8080/v1/stats
 //	curl -s localhost:8080/metrics
 //
 // On SIGINT/SIGTERM the daemon stops accepting, lets in-flight jobs
-// finish (bounded by -drain-timeout), and exits.
+// finish (bounded by -drain-timeout), checkpoints the cache index, and
+// exits. A kill -9 loses none of the cached meshes: the next boot's
+// fsck pass re-verifies every blob and rebuilds the index.
 package main
 
 import (
@@ -21,11 +24,13 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"repro/internal/cachestore"
 	"repro/internal/core"
 	"repro/internal/serve"
 )
@@ -36,6 +41,7 @@ func main() {
 
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
+		debugAddr    = flag.String("debug-addr", "", "optional net/http/pprof listener (never on the serving port; empty disables)")
 		pool         = flag.Int("pool", 2, "warm sessions (run concurrency ceiling)")
 		queue        = flag.Int("queue", 16, "max jobs queued beyond the running ones")
 		workers      = flag.Int("workers", 0, "refinement threads per session (0 = GOMAXPROCS)")
@@ -45,6 +51,9 @@ func main() {
 		idleEvict    = flag.Duration("idle-evict", 10*time.Minute, "evict sessions idle this long (0 disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
 		imageCache   = flag.Int("image-cache", 8, "parsed input images retained by content hash (<0 disables)")
+		imageCacheB  = flag.Int64("image-cache-bytes", 256<<20, "byte budget for the parsed-image LRU cache (<0 disables)")
+		cacheDir     = flag.String("cache-dir", "", "persistent result-cache directory (empty disables the cache)")
+		cacheMaxB    = flag.Int64("cache-max-bytes", 1<<30, "LRU byte budget for the persistent result cache")
 		coalesceMax  = flag.Int("coalesce-max", 32, "max jobs sharing one run via single-flight coalescing (1 disables)")
 		livelock     = flag.Duration("livelock-timeout", 2*time.Minute, "per-run livelock watchdog (0 disables)")
 		suspect      = flag.Int("suspect-threshold", 3, "consecutive suspect runs before a session is quarantined and rebuilt")
@@ -55,12 +64,28 @@ func main() {
 	)
 	flag.Parse()
 
+	var cache *cachestore.Store
+	if *cacheDir != "" {
+		var rep cachestore.FsckReport
+		var err error
+		cache, rep, err = cachestore.Open(cachestore.Config{Dir: *cacheDir, MaxBytes: *cacheMaxB})
+		if err != nil {
+			log.Fatalf("opening result cache: %v", err)
+		}
+		log.Printf("result cache %s: %d entries, %s", *cacheDir, cache.Len(), rep)
+		if cache.Degraded() {
+			log.Printf("result cache opened degraded (disk refused writes at boot); serving memory-only")
+		}
+	}
+
 	srv, err := serve.NewServer(serve.Config{
 		PoolSize:         *pool,
 		QueueDepth:       *queue,
 		DefaultTimeout:   *timeout,
 		MaxRequestBytes:  *maxBytes,
 		ImageCacheSize:   *imageCache,
+		ImageCacheBytes:  *imageCacheB,
+		Cache:            cache,
 		CoalesceMax:      *coalesceMax,
 		SuspectThreshold: *suspect,
 		BreakerThreshold: *brkThresh,
@@ -89,6 +114,28 @@ func main() {
 		}()
 	}
 
+	// The pprof surface lives on its own listener, opt-in, and is never
+	// registered on the serving mux: profiling endpoints leak heap and
+	// goroutine internals and must not be reachable from mesh clients.
+	if *debugAddr != "" {
+		if *debugAddr == *addr {
+			log.Fatalf("-debug-addr %s must differ from the serving -addr", *debugAddr)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ds := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Printf("pprof on %s", *debugAddr)
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -106,6 +153,11 @@ func main() {
 		defer cancel()
 		if err := srv.Drain(ctx); err != nil {
 			log.Printf("drain cut short: %v", err)
+		}
+		if cache != nil {
+			if err := cache.Close(); err != nil {
+				log.Printf("closing result cache: %v", err)
+			}
 		}
 		hs.Shutdown(ctx)
 	}()

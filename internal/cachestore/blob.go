@@ -1,0 +1,195 @@
+// Package cachestore is a crash-safe, disk-backed, content-addressed
+// store of encoded core.MeshSnapshot blobs keyed by (image hash,
+// quality variant). It is the persistence layer behind the serving
+// layer's result cache: identical requests are answered from disk
+// across restarts instead of re-meshing.
+//
+// Crash safety is the design center, not an afterthought:
+//
+//   - every blob is written via temp file + fsync + atomic rename, and
+//     framed with a magic/version header and a CRC64 trailer, so a torn
+//     write is detectable and a half-written temp file is never visible
+//     under a final name;
+//   - the index is an append-only journal of CRC-guarded records with a
+//     compacting checkpoint; a torn journal tail truncates cleanly;
+//   - Open runs an fsck pass: every indexed blob is re-verified, corrupt
+//     or mislabeled blobs are moved to quarantine/ (counted, never
+//     served), orphan blobs that verify are adopted back into the index,
+//     and when the journal and checkpoint are both damaged the index is
+//     rebuilt from the surviving blobs alone;
+//   - every read re-verifies the CRC before a byte is returned, so even
+//     corruption that happens at rest after fsck cannot be served;
+//   - a failing disk degrades, it does not fail requests: ENOSPC/EIO on
+//     write flips the store to memory-only read-through with a periodic
+//     durable re-probe.
+package cachestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/img"
+)
+
+// blobMagic identifies a cachestore blob and its format version. A
+// future format change bumps the trailing digits; fsck quarantines
+// unknown versions rather than guessing.
+const blobMagic = "PI2MCS01"
+
+// crcTable is the CRC64 polynomial every blob trailer and ETag uses.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// blobMeta is the self-describing header carried inside every blob, so
+// the index can be rebuilt from the blobs alone: fsck reads the header
+// back and re-derives the (image key, variant) identity without any
+// surviving journal.
+type blobMeta struct {
+	ImageKey  string          `json:"image_key"`
+	Variant   string          `json:"variant,omitempty"`
+	CreatedNS int64           `json:"created_unix_nano"`
+	Summary   core.RunSummary `json:"summary"`
+}
+
+// encodeBlob frames a snapshot for disk:
+//
+//	magic[8] | u32 metaLen | metaJSON | u64 nVerts | u64 nCells |
+//	u8 hasLabels | verts (3×f64 each) | cells (4×u32 each) |
+//	labels (1 byte each, if present) | u64 CRC64(everything above)
+//
+// All integers are little-endian. The returned etag is the hex CRC64 —
+// the same checksum the trailer carries — so conditional GETs can be
+// answered from the index without touching the blob.
+func encodeBlob(meta blobMeta, snap *core.MeshSnapshot) (data []byte, etag string, err error) {
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return nil, "", fmt.Errorf("cachestore: encoding blob meta: %w", err)
+	}
+	if snap.Labels != nil && len(snap.Labels) != len(snap.Cells) {
+		return nil, "", fmt.Errorf("cachestore: %d labels for %d cells", len(snap.Labels), len(snap.Cells))
+	}
+	size := len(blobMagic) + 4 + len(metaJSON) + 8 + 8 + 1 +
+		24*len(snap.Verts) + 16*len(snap.Cells) + len(snap.Labels) + 8
+	buf := bytes.NewBuffer(make([]byte, 0, size))
+	buf.WriteString(blobMagic)
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(metaJSON)))
+	buf.Write(u32[:])
+	buf.Write(metaJSON)
+	binary.LittleEndian.PutUint64(u64[:], uint64(len(snap.Verts)))
+	buf.Write(u64[:])
+	binary.LittleEndian.PutUint64(u64[:], uint64(len(snap.Cells)))
+	buf.Write(u64[:])
+	if snap.Labels != nil {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	for _, v := range snap.Verts {
+		binary.LittleEndian.PutUint64(u64[:], math.Float64bits(v.X))
+		buf.Write(u64[:])
+		binary.LittleEndian.PutUint64(u64[:], math.Float64bits(v.Y))
+		buf.Write(u64[:])
+		binary.LittleEndian.PutUint64(u64[:], math.Float64bits(v.Z))
+		buf.Write(u64[:])
+	}
+	for _, c := range snap.Cells {
+		for j := 0; j < 4; j++ {
+			binary.LittleEndian.PutUint32(u32[:], uint32(c[j]))
+			buf.Write(u32[:])
+		}
+	}
+	for _, l := range snap.Labels {
+		buf.WriteByte(byte(l))
+	}
+	crc := crc64.Checksum(buf.Bytes(), crcTable)
+	binary.LittleEndian.PutUint64(u64[:], crc)
+	buf.Write(u64[:])
+	return buf.Bytes(), fmt.Sprintf("%016x", crc), nil
+}
+
+// decodeBlob verifies and decodes a framed blob. The CRC is checked
+// before anything else is trusted, and the declared vertex/cell counts
+// are bounds-checked against the actual payload length before any
+// allocation, so a corrupt or hostile file cannot trigger a giant
+// allocation or an out-of-range read.
+func decodeBlob(data []byte) (blobMeta, *core.MeshSnapshot, string, error) {
+	var meta blobMeta
+	if len(data) < len(blobMagic)+4+8+8+1+8 {
+		return meta, nil, "", fmt.Errorf("cachestore: blob too short (%d bytes)", len(data))
+	}
+	if string(data[:len(blobMagic)]) != blobMagic {
+		return meta, nil, "", fmt.Errorf("cachestore: bad magic %q", data[:len(blobMagic)])
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	crc := crc64.Checksum(body, crcTable)
+	if got := binary.LittleEndian.Uint64(trailer); got != crc {
+		return meta, nil, "", fmt.Errorf("cachestore: CRC mismatch (stored %016x, computed %016x)", got, crc)
+	}
+	etag := fmt.Sprintf("%016x", crc)
+	p := body[len(blobMagic):]
+	metaLen := binary.LittleEndian.Uint32(p[:4])
+	p = p[4:]
+	if uint64(metaLen) > uint64(len(p)) {
+		return meta, nil, "", fmt.Errorf("cachestore: meta length %d exceeds blob", metaLen)
+	}
+	if err := json.Unmarshal(p[:metaLen], &meta); err != nil {
+		return meta, nil, "", fmt.Errorf("cachestore: decoding blob meta: %w", err)
+	}
+	p = p[metaLen:]
+	if len(p) < 17 {
+		return meta, nil, "", fmt.Errorf("cachestore: truncated geometry header")
+	}
+	nVerts := binary.LittleEndian.Uint64(p[:8])
+	nCells := binary.LittleEndian.Uint64(p[8:16])
+	hasLabels := p[16] == 1
+	p = p[17:]
+	want := 24 * nVerts
+	cellsAt := want
+	want += 16 * nCells
+	labelsAt := want
+	if hasLabels {
+		want += nCells
+	}
+	if uint64(len(p)) != want {
+		return meta, nil, "", fmt.Errorf("cachestore: payload is %d bytes, header declares %d", len(p), want)
+	}
+	snap := &core.MeshSnapshot{
+		Summary: meta.Summary,
+		Verts:   make([]geom.Vec3, nVerts),
+		Cells:   make([][4]int32, nCells),
+	}
+	for i := range snap.Verts {
+		off := 24 * i
+		snap.Verts[i] = geom.Vec3{
+			X: math.Float64frombits(binary.LittleEndian.Uint64(p[off:])),
+			Y: math.Float64frombits(binary.LittleEndian.Uint64(p[off+8:])),
+			Z: math.Float64frombits(binary.LittleEndian.Uint64(p[off+16:])),
+		}
+	}
+	for i := range snap.Cells {
+		off := int(cellsAt) + 16*i
+		for j := 0; j < 4; j++ {
+			idx := int32(binary.LittleEndian.Uint32(p[off+4*j:]))
+			// A CRC-valid blob written by us always indexes in range; a
+			// hand-crafted one must not crash a reader downstream.
+			if idx < 0 || uint64(idx) >= nVerts {
+				return meta, nil, "", fmt.Errorf("cachestore: cell %d references vertex %d of %d", i, idx, nVerts)
+			}
+			snap.Cells[i][j] = idx
+		}
+	}
+	if hasLabels {
+		snap.Labels = make([]img.Label, nCells)
+		for i := range snap.Labels {
+			snap.Labels[i] = img.Label(p[int(labelsAt)+i])
+		}
+	}
+	return meta, snap, etag, nil
+}

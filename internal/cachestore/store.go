@@ -1,0 +1,536 @@
+package cachestore
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// Dir is the cache directory; created if absent. Layout:
+	//
+	//	<dir>/blobs/<sha256(key)>.snap   framed snapshot blobs
+	//	<dir>/journal                    append-only index journal
+	//	<dir>/index.ckpt                 compacting index checkpoint
+	//	<dir>/quarantine/                corrupt blobs, moved aside
+	Dir string
+	// MaxBytes is the LRU byte budget across all live entries (blob
+	// bytes on disk, estimated snapshot bytes for memory-only entries).
+	// 0 selects the default of 1 GiB.
+	MaxBytes int64
+	// ReprobeInterval is how often a degraded (memory-only) store
+	// re-probes the disk with a real write, flipping back to durable
+	// mode on success. 0 selects the default of 5s.
+	ReprobeInterval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 1 << 30
+	}
+	if c.ReprobeInterval <= 0 {
+		c.ReprobeInterval = 5 * time.Second
+	}
+	return c
+}
+
+// Stats is a snapshot of the store's counters (the serving layer
+// exposes them as pi2md_cache_* / pi2md_fsck_* metrics).
+type Stats struct {
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	Writes          int64 `json:"writes"`
+	Evictions       int64 `json:"evictions"`
+	Corrupt         int64 `json:"corrupt"`
+	FsckRecovered   int64 `json:"fsck_recovered"`
+	FsckQuarantined int64 `json:"fsck_quarantined"`
+	Bytes           int64 `json:"bytes"`
+	Entries         int   `json:"entries"`
+	Degraded        bool  `json:"degraded"`
+}
+
+// entry is one live index entry. mem is non-nil for entries accepted
+// while the store was degraded: they live in memory only and are
+// served without touching the disk.
+type entry struct {
+	imageKey  string
+	variant   string
+	file      string // blob filename under blobs/
+	bytes     int64
+	etag      string
+	createdNS int64
+	elem      *list.Element
+	mem       *core.MeshSnapshot
+}
+
+func entryKey(imageKey, variant string) string { return imageKey + "\x00" + variant }
+
+// blobName content-addresses the (image key, variant) pair.
+func blobName(imageKey, variant string) string {
+	sum := sha256.Sum256([]byte(entryKey(imageKey, variant)))
+	return hex.EncodeToString(sum[:]) + ".snap"
+}
+
+// Store is a crash-safe persistent snapshot cache. All methods are
+// safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu         sync.Mutex
+	entries    map[string]*entry
+	lru        *list.List // front = most recently used
+	totalBytes int64
+	journal    *os.File
+	journalLen int
+	closed     bool
+	lastProbe  time.Time
+
+	degraded atomic.Bool
+
+	hits, misses, writes, evictions, corrupt atomic.Int64
+	fsckRecovered, fsckQuarantined           atomic.Int64
+}
+
+// Open opens (or creates) the store at cfg.Dir and runs the boot-time
+// fsck pass described in the package comment. The returned report says
+// what fsck found; Open only fails for unrecoverable environment
+// problems (the directory cannot be created or written).
+func Open(cfg Config) (*Store, FsckReport, error) {
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:     cfg,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+	}
+	for _, d := range []string{cfg.Dir, filepath.Join(cfg.Dir, blobsDirName), filepath.Join(cfg.Dir, quarantineName)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, FsckReport{}, fmt.Errorf("cachestore: creating %s: %w", d, err)
+		}
+	}
+	rep, err := s.fsck()
+	if err != nil {
+		return nil, rep, err
+	}
+	s.fsckRecovered.Store(int64(rep.Recovered))
+	s.fsckQuarantined.Store(int64(rep.Quarantined))
+	// Persist the reconciled index and start a fresh journal, so the
+	// next boot replays from a state fsck has already blessed.
+	if err := s.compactLocked(); err != nil {
+		// The disk is refusing writes already at boot: open degraded
+		// rather than failing — reads of verified blobs still work.
+		s.degrade()
+	}
+	return s, rep, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.cfg.Dir }
+
+// Degraded reports whether the store is in memory-only mode after a
+// disk write failure.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// Len returns the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats snapshots the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	bytes := s.totalBytes
+	n := len(s.entries)
+	s.mu.Unlock()
+	return Stats{
+		Hits:            s.hits.Load(),
+		Misses:          s.misses.Load(),
+		Writes:          s.writes.Load(),
+		Evictions:       s.evictions.Load(),
+		Corrupt:         s.corrupt.Load(),
+		FsckRecovered:   s.fsckRecovered.Load(),
+		FsckQuarantined: s.fsckQuarantined.Load(),
+		Bytes:           bytes,
+		Entries:         n,
+		Degraded:        s.degraded.Load(),
+	}
+}
+
+// ETag answers a conditional-GET lookup from the index alone — no blob
+// I/O. ok is false when the pair is not cached. A successful lookup
+// counts as a hit and refreshes the entry's recency: the caller is
+// about to answer 304 from it.
+func (s *Store) ETag(imageKey, variant string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[entryKey(imageKey, variant)]
+	if !ok {
+		return "", false
+	}
+	s.lru.MoveToFront(e.elem)
+	s.hits.Add(1)
+	return e.etag, true
+}
+
+// Contains reports whether the pair is indexed, without counting a hit
+// or touching recency.
+func (s *Store) Contains(imageKey, variant string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[entryKey(imageKey, variant)]
+	return ok
+}
+
+// Get returns the cached snapshot for (imageKey, variant), re-verifying
+// the blob's CRC before a byte is trusted. A corrupt blob is moved to
+// quarantine, dropped from the index, counted, and reported as a miss —
+// corrupt bytes are never served, they cost one re-mesh.
+func (s *Store) Get(imageKey, variant string) (*core.MeshSnapshot, string, bool) {
+	k := entryKey(imageKey, variant)
+	s.mu.Lock()
+	e, ok := s.entries[k]
+	if !ok {
+		s.misses.Add(1)
+		s.mu.Unlock()
+		return nil, "", false
+	}
+	if e.mem != nil {
+		s.lru.MoveToFront(e.elem)
+		s.hits.Add(1)
+		snap, etag := e.mem, e.etag
+		s.mu.Unlock()
+		return snap, etag, true
+	}
+	path := filepath.Join(s.cfg.Dir, blobsDirName, e.file)
+	s.mu.Unlock()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		// Concurrently evicted, or the disk is failing reads: either way
+		// this is a miss, not an error the caller must handle.
+		s.dropEntry(k, e, false)
+		s.misses.Add(1)
+		return nil, "", false
+	}
+	meta, snap, etag, derr := decodeBlob(data)
+	if derr == nil && (meta.ImageKey != imageKey || meta.Variant != variant) {
+		derr = fmt.Errorf("cachestore: blob %s carries identity (%.16s…, %q), index says (%.16s…, %q)",
+			e.file, meta.ImageKey, meta.Variant, imageKey, variant)
+	}
+	if derr != nil {
+		s.quarantineBlob(e.file)
+		s.dropEntry(k, e, true)
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		return nil, "", false
+	}
+	s.mu.Lock()
+	if cur, still := s.entries[k]; still && cur == e {
+		s.lru.MoveToFront(e.elem)
+	}
+	s.hits.Add(1)
+	s.mu.Unlock()
+	return snap, etag, true
+}
+
+// Put stores a snapshot for (imageKey, variant). Disk failures never
+// propagate to the caller: a write error (ENOSPC, EIO, injected) flips
+// the store to memory-only degraded mode and the entry is kept in
+// memory instead, so meshing never fails because the disk did. The
+// returned etag identifies the entry for conditional GETs.
+func (s *Store) Put(imageKey, variant string, snap *core.MeshSnapshot) (string, error) {
+	if imageKey == "" || snap == nil {
+		return "", errors.New("cachestore: Put needs an image key and a snapshot")
+	}
+	meta := blobMeta{
+		ImageKey:  imageKey,
+		Variant:   variant,
+		CreatedNS: time.Now().UnixNano(),
+		Summary:   snap.Summary,
+	}
+	data, etag, err := encodeBlob(meta, snap)
+	if err != nil {
+		return "", err
+	}
+	if int64(len(data)) > s.cfg.MaxBytes {
+		// One oversized entry must not evict the whole cache; skip it.
+		return etag, nil
+	}
+	name := blobName(imageKey, variant)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return etag, errors.New("cachestore: store closed")
+	}
+
+	durable := true
+	if s.degraded.Load() {
+		if time.Since(s.lastProbe) < s.cfg.ReprobeInterval {
+			durable = false
+		} else {
+			s.lastProbe = time.Now()
+		}
+	}
+	if durable {
+		if werr := s.writeBlobFile(name, data); werr != nil {
+			s.degrade()
+			s.lastProbe = time.Now()
+			durable = false
+		} else if s.degraded.Load() {
+			// The re-probe landed: the disk accepts writes again.
+			s.degraded.Store(false)
+		}
+	}
+
+	k := entryKey(imageKey, variant)
+	if old, ok := s.entries[k]; ok {
+		s.removeLocked(k, old, false)
+	}
+	e := &entry{
+		imageKey:  imageKey,
+		variant:   variant,
+		file:      name,
+		bytes:     int64(len(data)),
+		etag:      etag,
+		createdNS: meta.CreatedNS,
+	}
+	if !durable {
+		e.mem = snap
+		e.bytes = int64(snap.SizeBytes())
+	}
+	e.elem = s.lru.PushFront(e)
+	s.entries[k] = e
+	s.totalBytes += e.bytes
+	s.writes.Add(1)
+	if durable {
+		s.appendJournalLocked(journalRec{
+			Op: "put", ImageKey: imageKey, Variant: variant,
+			File: name, Bytes: e.bytes, ETag: etag, CreatedNS: e.createdNS,
+		})
+	}
+	s.evictLocked()
+	return etag, nil
+}
+
+// writeBlobFile writes one framed blob with the crash-safe discipline:
+// temp file, fsync, atomic rename, directory fsync. The faultinject
+// points simulate the disk failing (CacheWriteFail/CacheENOSPC) or
+// lying (CacheTornWrite/CacheBitFlip — the write "succeeds" but the
+// blob is corrupt, which the CRC must catch later). Caller holds s.mu.
+func (s *Store) writeBlobFile(name string, data []byte) error {
+	if faultinject.Fire(faultinject.CacheENOSPC) {
+		return fmt.Errorf("cachestore: injected disk-full: %w", syscall.ENOSPC)
+	}
+	if faultinject.Fire(faultinject.CacheWriteFail) {
+		return fmt.Errorf("cachestore: injected write failure: %w", syscall.EIO)
+	}
+	if faultinject.Fire(faultinject.CacheTornWrite) {
+		data = data[:len(data)/2]
+	} else if faultinject.Fire(faultinject.CacheBitFlip) {
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)/3] ^= 0x40
+		data = flipped
+	}
+	return atomicWriteFile(filepath.Join(s.cfg.Dir, blobsDirName, name), data)
+}
+
+// degrade flips the store to memory-only mode. Reads of already-stored
+// blobs keep working (the disk may still read fine); new entries live
+// in memory until a re-probe write lands.
+func (s *Store) degrade() { s.degraded.Store(true) }
+
+// appendJournalLocked appends one record; journal failures degrade the
+// store rather than failing the operation (the checkpoint on a healthy
+// restart repairs the history). Caller holds s.mu.
+func (s *Store) appendJournalLocked(rec journalRec) {
+	if s.journal == nil {
+		f, err := os.OpenFile(filepath.Join(s.cfg.Dir, journalName), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			s.degrade()
+			return
+		}
+		s.journal = f
+	}
+	line, err := encodeJournalLine(rec)
+	if err != nil {
+		return
+	}
+	if _, err := s.journal.Write(line); err != nil {
+		s.degrade()
+		return
+	}
+	if err := s.journal.Sync(); err != nil {
+		s.degrade()
+		return
+	}
+	s.journalLen++
+	if s.journalLen >= journalCompactAfter {
+		if err := s.compactLocked(); err != nil {
+			s.degrade()
+		}
+	}
+}
+
+// compactLocked writes a checkpoint of the live index (LRU order,
+// oldest first) and restarts the journal. Caller holds s.mu (or is
+// Open, before the store is shared).
+func (s *Store) compactLocked() error {
+	recs := make([]journalRec, 0, len(s.entries))
+	for el := s.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		if e.mem != nil {
+			continue // memory-only entries die with the process by definition
+		}
+		recs = append(recs, journalRec{
+			Op: "put", ImageKey: e.imageKey, Variant: e.variant,
+			File: e.file, Bytes: e.bytes, ETag: e.etag, CreatedNS: e.createdNS,
+		})
+	}
+	if err := writeCheckpoint(s.cfg.Dir, recs); err != nil {
+		return err
+	}
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+	if err := os.Remove(filepath.Join(s.cfg.Dir, journalName)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	s.journalLen = 0
+	return nil
+}
+
+// evictLocked enforces the byte budget, least-recently-used first. The
+// newest entry is never evicted (budget admission already capped its
+// size). Caller holds s.mu.
+func (s *Store) evictLocked() {
+	for s.totalBytes > s.cfg.MaxBytes && s.lru.Len() > 1 {
+		el := s.lru.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*entry)
+		s.removeLocked(entryKey(e.imageKey, e.variant), e, true)
+		s.evictions.Add(1)
+	}
+}
+
+// removeLocked unlinks an entry and (optionally) deletes its blob and
+// journals the deletion. Caller holds s.mu.
+func (s *Store) removeLocked(k string, e *entry, deleteBlob bool) {
+	if cur, ok := s.entries[k]; !ok || cur != e {
+		return
+	}
+	delete(s.entries, k)
+	s.lru.Remove(e.elem)
+	s.totalBytes -= e.bytes
+	if e.mem == nil {
+		if deleteBlob {
+			os.Remove(filepath.Join(s.cfg.Dir, blobsDirName, e.file))
+		}
+		s.appendJournalLocked(journalRec{Op: "del", ImageKey: e.imageKey, Variant: e.variant, File: e.file})
+	}
+}
+
+// dropEntry removes an entry from the index after an out-of-lock read
+// found it unusable. The blob itself is handled by the caller
+// (quarantined or already gone).
+func (s *Store) dropEntry(k string, e *entry, journalDel bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.entries[k]; ok && cur == e {
+		delete(s.entries, k)
+		s.lru.Remove(e.elem)
+		s.totalBytes -= e.bytes
+		if journalDel && e.mem == nil {
+			s.appendJournalLocked(journalRec{Op: "del", ImageKey: e.imageKey, Variant: e.variant, File: e.file})
+		}
+	}
+}
+
+// quarantineBlob moves a corrupt blob into quarantine/ so it is never
+// served again but stays available for post-mortem; if the move fails
+// the blob is deleted outright.
+func (s *Store) quarantineBlob(name string) {
+	src := filepath.Join(s.cfg.Dir, blobsDirName, name)
+	dst := filepath.Join(s.cfg.Dir, quarantineName, name)
+	if err := os.Rename(src, dst); err != nil {
+		os.Remove(src)
+	}
+}
+
+// KeyInfo names one cached entry for warm-start consumers.
+type KeyInfo struct {
+	ImageKey string
+	Variant  string
+	ETag     string
+	Bytes    int64
+}
+
+// KeysMRU lists the live entries, most recently used first — the boot
+// warm-start uses it to seed pool affinity before the first request.
+func (s *Store) KeysMRU() []KeyInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]KeyInfo, 0, s.lru.Len())
+	for el := s.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		out = append(out, KeyInfo{ImageKey: e.imageKey, Variant: e.variant, ETag: e.etag, Bytes: e.bytes})
+	}
+	return out
+}
+
+// WriteSidecar atomically writes a small named state file (e.g. the
+// serving layer's breaker priors) next to the index. name must be a
+// bare filename.
+func (s *Store) WriteSidecar(name string, data []byte) error {
+	if strings.ContainsAny(name, `/\`) || name == "" {
+		return fmt.Errorf("cachestore: bad sidecar name %q", name)
+	}
+	return atomicWriteFile(filepath.Join(s.cfg.Dir, name), data)
+}
+
+// ReadSidecar reads a sidecar written by WriteSidecar; a missing file
+// returns (nil, false).
+func (s *Store) ReadSidecar(name string) ([]byte, bool) {
+	if strings.ContainsAny(name, `/\`) || name == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(s.cfg.Dir, name))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Close checkpoints the index and closes the journal. The store must
+// not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.compactLocked()
+	if s.journal != nil {
+		s.journal.Close()
+		s.journal = nil
+	}
+	return err
+}

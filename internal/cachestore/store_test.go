@@ -1,0 +1,585 @@
+package cachestore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/geom"
+	"repro/internal/img"
+)
+
+// testSnap builds a small deterministic snapshot; n varies the size so
+// tests can distinguish entries and exercise byte accounting.
+func testSnap(n int) *core.MeshSnapshot {
+	s := &core.MeshSnapshot{
+		Summary: core.RunSummary{Status: "complete", Elements: n},
+	}
+	for i := 0; i < n+4; i++ {
+		s.Verts = append(s.Verts, geom.Vec3{X: float64(i), Y: float64(i) * 0.5, Z: float64(n)})
+	}
+	for i := 0; i < n+1; i++ {
+		s.Cells = append(s.Cells, [4]int32{0, 1, 2, int32(3 + i%(len(s.Verts)-3))})
+		s.Labels = append(s.Labels, img.Label(i%3+1))
+	}
+	return s
+}
+
+func snapsEqual(a, b *core.MeshSnapshot) bool {
+	if len(a.Verts) != len(b.Verts) || len(a.Cells) != len(b.Cells) || len(a.Labels) != len(b.Labels) {
+		return false
+	}
+	for i := range a.Verts {
+		if a.Verts[i] != b.Verts[i] {
+			return false
+		}
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			return false
+		}
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			return false
+		}
+	}
+	return a.Summary.Elements == b.Summary.Elements
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	snap := testSnap(7)
+	meta := blobMeta{ImageKey: "abc", Variant: "delta=2.5", CreatedNS: 42, Summary: snap.Summary}
+	data, etag, err := encodeBlob(meta, snap)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if len(etag) != 16 {
+		t.Fatalf("etag %q is not 16 hex chars", etag)
+	}
+	gotMeta, got, gotTag, err := decodeBlob(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if gotTag != etag {
+		t.Fatalf("etag mismatch: %q vs %q", gotTag, etag)
+	}
+	if gotMeta.ImageKey != "abc" || gotMeta.Variant != "delta=2.5" || gotMeta.CreatedNS != 42 {
+		t.Fatalf("meta mismatch: %+v", gotMeta)
+	}
+	if !snapsEqual(snap, got) {
+		t.Fatal("snapshot did not round-trip")
+	}
+	// verifyBlobHeader must agree with the full decoder.
+	hMeta, hTag, err := verifyBlobHeader(data)
+	if err != nil {
+		t.Fatalf("verifyBlobHeader: %v", err)
+	}
+	if hTag != etag || hMeta.ImageKey != "abc" {
+		t.Fatalf("header verify disagrees: %q %+v", hTag, hMeta)
+	}
+}
+
+func TestBlobDecodeRejectsCorruption(t *testing.T) {
+	snap := testSnap(5)
+	data, _, err := encodeBlob(blobMeta{ImageKey: "k"}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     data[:10],
+		"truncated": data[:len(data)-3],
+		"badmagic":  append([]byte("XXXXXXXX"), data[8:]...),
+	}
+	flip := append([]byte(nil), data...)
+	flip[len(flip)/2] ^= 0x01
+	cases["bitflip"] = flip
+	for name, d := range cases {
+		if _, _, _, err := decodeBlob(d); err == nil {
+			t.Errorf("%s: decode accepted corrupt blob", name)
+		}
+		if _, _, err := verifyBlobHeader(d); err == nil {
+			t.Errorf("%s: verifyBlobHeader accepted corrupt blob", name)
+		}
+	}
+}
+
+func TestStorePutGetPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, rep, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if rep.Verified != 0 || rep.Quarantined != 0 {
+		t.Fatalf("fresh dir fsck found things: %+v", rep)
+	}
+	snap := testSnap(9)
+	etag, err := s.Put("img1", "delta=2.5", snap)
+	if err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, gotTag, ok := s.Get("img1", "delta=2.5")
+	if !ok || gotTag != etag || !snapsEqual(snap, got) {
+		t.Fatalf("get after put: ok=%v tag=%q", ok, gotTag)
+	}
+	if _, _, ok := s.Get("img1", ""); ok {
+		t.Fatal("different variant must miss")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	s2, rep2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if !rep2.CheckpointUsed || rep2.Verified != 1 {
+		t.Fatalf("reopen fsck: %+v", rep2)
+	}
+	got, gotTag, ok = s2.Get("img1", "delta=2.5")
+	if !ok || gotTag != etag || !snapsEqual(snap, got) {
+		t.Fatal("entry did not survive reopen")
+	}
+	if tag, ok := s2.ETag("img1", "delta=2.5"); !ok || tag != etag {
+		t.Fatalf("ETag lookup after reopen: %q %v", tag, ok)
+	}
+}
+
+func TestStoreLRUByBytesEviction(t *testing.T) {
+	dir := t.TempDir()
+	one, _, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ := encodeBlob(blobMeta{ImageKey: "size-probe"}, testSnap(10))
+	one.Close()
+	budget := int64(len(data))*2 + int64(len(data))/2 // room for 2 entries, not 3
+
+	s, _, err := Open(Config{Dir: dir, MaxBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, k := range []string{"k1", "k2"} {
+		if _, err := s.Put(k, "", testSnap(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k1 so k2 is the LRU victim.
+	if _, _, ok := s.Get("k1", ""); !ok {
+		t.Fatal("k1 missing before eviction")
+	}
+	if _, err := s.Put("k3", "", testSnap(10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get("k2", ""); ok {
+		t.Fatal("k2 should have been evicted (LRU)")
+	}
+	if _, _, ok := s.Get("k1", ""); !ok {
+		t.Fatal("recently used k1 must survive")
+	}
+	if _, _, ok := s.Get("k3", ""); !ok {
+		t.Fatal("newest k3 must survive")
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Bytes > budget {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+}
+
+func TestStoreOversizedEntryRefused(t *testing.T) {
+	s, _, err := Open(Config{Dir: t.TempDir(), MaxBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Put("big", "", testSnap(50)); err != nil {
+		t.Fatalf("oversized put must not error: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Fatal("oversized entry must not be admitted")
+	}
+}
+
+func TestStoreQuarantinesCorruptBlobOnRead(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Put("img1", "", testSnap(6)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the blob behind the store's back.
+	name := blobName("img1", "")
+	path := filepath.Join(dir, blobsDirName, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x80
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get("img1", ""); ok {
+		t.Fatal("corrupt blob was served")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+	}
+	if _, err := os.Stat(filepath.Join(dir, quarantineName, name)); err != nil {
+		t.Fatalf("corrupt blob not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt blob still visible in blobs/")
+	}
+	// The entry is gone from the index too.
+	if s.Contains("img1", "") {
+		t.Fatal("corrupt entry still indexed")
+	}
+}
+
+func TestFsckQuarantinesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodSnap := testSnap(8)
+	goodTag, err := s.Put("good", "", goodSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("bad", "", testSnap(5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Corrupt one blob, drop an orphan (valid blob the index has never
+	// heard of), leave a stray tmp file, and tear the journal.
+	badPath := filepath.Join(dir, blobsDirName, blobName("bad", ""))
+	raw, _ := os.ReadFile(badPath)
+	raw[len(raw)-1] ^= 0xFF
+	os.WriteFile(badPath, raw, 0o644)
+
+	orphanSnap := testSnap(11)
+	orphanData, orphanTag, _ := encodeBlob(blobMeta{ImageKey: "orphan", Variant: "v", CreatedNS: 1, Summary: orphanSnap.Summary}, orphanSnap)
+	os.WriteFile(filepath.Join(dir, blobsDirName, blobName("orphan", "v")), orphanData, 0o644)
+	os.WriteFile(filepath.Join(dir, blobsDirName, "stray.snap.tmp"), []byte("half"), 0o644)
+	os.WriteFile(filepath.Join(dir, journalName), []byte("{\"op\":\"put\" TORN"), 0o644)
+
+	s2, rep, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if rep.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1 (%+v)", rep.Quarantined, rep)
+	}
+	if rep.Recovered != 1 {
+		t.Fatalf("recovered = %d, want 1 (%+v)", rep.Recovered, rep)
+	}
+	if rep.TmpCleaned != 1 {
+		t.Fatalf("tmp cleaned = %d, want 1 (%+v)", rep.TmpCleaned, rep)
+	}
+	if got, tag, ok := s2.Get("good", ""); !ok || tag != goodTag || !snapsEqual(goodSnap, got) {
+		t.Fatal("good entry lost")
+	}
+	if got, tag, ok := s2.Get("orphan", "v"); !ok || tag != orphanTag || !snapsEqual(orphanSnap, got) {
+		t.Fatal("orphan not adopted")
+	}
+	if _, _, ok := s2.Get("bad", ""); ok {
+		t.Fatal("corrupt entry served after fsck")
+	}
+	st := s2.Stats()
+	if st.FsckQuarantined != 1 || st.FsckRecovered != 1 {
+		t.Fatalf("fsck counters: %+v", st)
+	}
+}
+
+func TestFsckRebuildsFromBlobsAlone(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{}
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("img%d", i)
+		tag, err := s.Put(k, "", testSnap(i + 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[k] = tag
+	}
+	s.Close()
+
+	// Destroy both index files: checkpoint garbage, journal gone.
+	os.WriteFile(filepath.Join(dir, checkpointName), []byte("not json at all"), 0o644)
+	os.Remove(filepath.Join(dir, journalName))
+
+	s2, rep, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if !rep.CheckpointDamaged {
+		t.Fatalf("checkpoint damage not reported: %+v", rep)
+	}
+	if rep.Recovered != len(want) {
+		t.Fatalf("recovered %d of %d entries: %+v", rep.Recovered, len(want), rep)
+	}
+	for k, tag := range want {
+		if gotTag, ok := s2.ETag(k, ""); !ok || gotTag != tag {
+			t.Fatalf("entry %s not rebuilt (tag %q ok=%v)", k, gotTag, ok)
+		}
+	}
+}
+
+func TestStoreDegradesOnENOSPCAndReprobes(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Config{Dir: dir, ReprobeInterval: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	in := faultinject.New(faultinject.Config{
+		Seed:     1,
+		Rates:    map[faultinject.Point]float64{faultinject.CacheENOSPC: 1},
+		MaxFires: map[faultinject.Point]int64{faultinject.CacheENOSPC: 1},
+	})
+	restore := faultinject.Enable(in)
+	defer restore()
+
+	snap := testSnap(6)
+	etag, err := s.Put("img1", "", snap)
+	if err != nil {
+		t.Fatalf("put under ENOSPC must not fail the caller: %v", err)
+	}
+	if !s.Degraded() {
+		t.Fatal("store not degraded after ENOSPC")
+	}
+	// The entry is served from memory even though the disk refused it.
+	got, gotTag, ok := s.Get("img1", "")
+	if !ok || gotTag != etag || !snapsEqual(snap, got) {
+		t.Fatal("memory read-through failed while degraded")
+	}
+	if _, err := os.Stat(filepath.Join(dir, blobsDirName, blobName("img1", ""))); !os.IsNotExist(err) {
+		t.Fatal("blob written despite injected ENOSPC")
+	}
+	// Within the re-probe window further puts stay memory-only.
+	if _, err := s.Put("img2", "", testSnap(4)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Degraded() {
+		t.Fatal("degraded flag cleared without a successful probe")
+	}
+	// After the interval the next put probes the (now healthy) disk and
+	// restores durable mode.
+	time.Sleep(60 * time.Millisecond)
+	if _, err := s.Put("img3", "", testSnap(5)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Degraded() {
+		t.Fatal("store still degraded after successful re-probe")
+	}
+	if _, err := os.Stat(filepath.Join(dir, blobsDirName, blobName("img3", ""))); err != nil {
+		t.Fatalf("post-recovery blob missing: %v", err)
+	}
+}
+
+func TestStoreTornWriteNeverServed(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := faultinject.New(faultinject.Config{
+		Seed:     2,
+		Rates:    map[faultinject.Point]float64{faultinject.CacheTornWrite: 1},
+		MaxFires: map[faultinject.Point]int64{faultinject.CacheTornWrite: 1},
+	})
+	restore := faultinject.Enable(in)
+	snap := testSnap(8)
+	if _, err := s.Put("torn", "", snap); err != nil {
+		t.Fatal(err)
+	}
+	restore()
+	// The torn blob is on disk and indexed, but the CRC check on read
+	// must refuse it.
+	if _, _, ok := s.Get("torn", ""); ok {
+		t.Fatal("torn blob was served")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt = %d, want 1", st.Corrupt)
+	}
+	s.Close()
+
+	// And fsck on the next boot must not resurrect it either: the blob
+	// was already quarantined by the read, so the index entry is dropped.
+	s2, rep, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, _, ok := s2.Get("torn", ""); ok {
+		t.Fatal("torn blob served after reopen")
+	}
+	_ = rep
+}
+
+// TestKillMidWriteFsckSoak is the dedicated crash soak: across several
+// seeds, a store takes writes while torn writes and bit flips are
+// injected, then the process "dies" (the store is abandoned without
+// Close, journal mid-life), the directory is reopened, and every
+// surviving read either misses or returns bytes that re-verify —
+// corrupt entries are never served.
+func TestKillMidWriteFsckSoak(t *testing.T) {
+	for _, seed := range []int64{101, 202, 303} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			s, _, err := Open(Config{Dir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := faultinject.New(faultinject.Config{
+				Seed: seed,
+				Rates: map[faultinject.Point]float64{
+					faultinject.CacheTornWrite: 0.25,
+					faultinject.CacheBitFlip:   0.25,
+					faultinject.CacheWriteFail: 0.10,
+				},
+			})
+			restore := faultinject.Enable(in)
+			want := map[string]*core.MeshSnapshot{}
+			for i := 0; i < 40; i++ {
+				k := fmt.Sprintf("img%d", i)
+				snap := testSnap(i%7 + 3)
+				if _, err := s.Put(k, "", snap); err != nil {
+					t.Fatalf("put %s: %v", k, err)
+				}
+				want[k] = snap
+			}
+			restore()
+			// kill -9: no Close, journal and checkpoint left mid-life.
+			// Simulate a torn journal tail too.
+			if f, err := os.OpenFile(filepath.Join(dir, journalName), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644); err == nil {
+				f.WriteString(`{"op":"put","k":"half`)
+				f.Close()
+			}
+
+			s2, rep, err := Open(Config{Dir: dir})
+			if err != nil {
+				t.Fatalf("reopen after crash: %v", err)
+			}
+			defer s2.Close()
+			served := 0
+			for k, snap := range want {
+				got, _, ok := s2.Get(k, "")
+				if !ok {
+					continue // lost to injected corruption — allowed
+				}
+				served++
+				if !snapsEqual(snap, got) {
+					t.Fatalf("served wrong bytes for %s", k)
+				}
+			}
+			t.Logf("seed %d: %d/%d survived, fsck %+v", seed, served, len(want), rep)
+			if served == 0 {
+				t.Fatal("soak lost every entry; fault rates are implausibly destructive")
+			}
+			// No corrupt blob may remain visible in blobs/.
+			des, _ := os.ReadDir(filepath.Join(dir, blobsDirName))
+			for _, de := range des {
+				data, err := os.ReadFile(filepath.Join(dir, blobsDirName, de.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, _, err := verifyBlobHeader(data); err != nil {
+					t.Fatalf("unverified blob %s visible after fsck: %v", de.Name(), err)
+				}
+			}
+		})
+	}
+}
+
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the same key enough times to cross the compaction
+	// threshold; the journal must restart instead of growing forever.
+	for i := 0; i < journalCompactAfter+10; i++ {
+		if _, err := s.Put("hot", "", testSnap(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, journalName)); err == nil {
+		if n := strings.Count(string(data), "\n"); n >= journalCompactAfter {
+			t.Fatalf("journal has %d lines after compaction threshold", n)
+		}
+	}
+	s.Close()
+	s2, rep, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !rep.CheckpointUsed || s2.Len() != 1 {
+		t.Fatalf("reopen after compaction: len=%d rep=%+v", s2.Len(), rep)
+	}
+}
+
+func TestSidecarRoundTrip(t *testing.T) {
+	s, _, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok := s.ReadSidecar("priors.json"); ok {
+		t.Fatal("missing sidecar read as present")
+	}
+	if err := s.WriteSidecar("priors.json", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := s.ReadSidecar("priors.json")
+	if !ok || !bytes.Equal(data, []byte(`{"a":1}`)) {
+		t.Fatalf("sidecar round trip: %q %v", data, ok)
+	}
+	if err := s.WriteSidecar("../escape", nil); err == nil {
+		t.Fatal("path-traversal sidecar name accepted")
+	}
+}
+
+func TestKeysMRUOrder(t *testing.T) {
+	s, _, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, k := range []string{"a", "b", "c"} {
+		if _, err := s.Put(k, "", testSnap(3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Get("a", "") // refresh a
+	keys := s.KeysMRU()
+	if len(keys) != 3 || keys[0].ImageKey != "a" || keys[1].ImageKey != "c" || keys[2].ImageKey != "b" {
+		t.Fatalf("MRU order wrong: %+v", keys)
+	}
+}

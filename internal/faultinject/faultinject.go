@@ -57,6 +57,21 @@ const (
 	// RebuildFail fails an asynchronous quarantined-session rebuild
 	// attempt, forcing the pool's rebuild loop to retry with backoff.
 	RebuildFail
+	// CacheWriteFail fails a cachestore blob write with an I/O error
+	// (EIO-like), exercising the store's degradation to memory-only
+	// mode.
+	CacheWriteFail
+	// CacheTornWrite truncates a cachestore blob mid-write before the
+	// rename, simulating a crash that left a torn-but-visible blob; the
+	// CRC trailer must catch it on the next read or fsck.
+	CacheTornWrite
+	// CacheBitFlip corrupts one byte of a cachestore blob after its CRC
+	// was computed, simulating silent media corruption; reads must
+	// detect and quarantine it, never serve it.
+	CacheBitFlip
+	// CacheENOSPC fails a cachestore blob write with ENOSPC,
+	// exercising the disk-full degradation ladder.
+	CacheENOSPC
 
 	// NumPoints is the number of injection points.
 	NumPoints int = iota
@@ -85,6 +100,14 @@ func (p Point) String() string {
 		return "lease-leak"
 	case RebuildFail:
 		return "rebuild-fail"
+	case CacheWriteFail:
+		return "cache-write-fail"
+	case CacheTornWrite:
+		return "cache-torn-write"
+	case CacheBitFlip:
+		return "cache-bit-flip"
+	case CacheENOSPC:
+		return "cache-enospc"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }

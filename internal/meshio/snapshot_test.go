@@ -29,6 +29,37 @@ func TestWriteVTKSnapshotParity(t *testing.T) {
 	}
 }
 
+// TestWriteOFFSnapshotParity: the OFF fan-out path must byte-match the
+// lease-bound encoder over the same run, mirroring the VTK parity test
+// — coalesced waiters and cache-served repeats receive snapshot-encoded
+// OFF bodies, so any drift between the two encoders would make a cache
+// hit observably different from a fresh mesh.
+func TestWriteOFFSnapshotParity(t *testing.T) {
+	res, im := smallMesh(t)
+
+	var direct bytes.Buffer
+	if err := WriteOFF(&direct, quality.BoundaryTriangles(res.Mesh, res.Final, im)); err != nil {
+		t.Fatal(err)
+	}
+	var fromSnap bytes.Buffer
+	if err := WriteOFFSnapshot(&fromSnap, res.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(direct.Bytes(), fromSnap.Bytes()) {
+		t.Fatalf("snapshot OFF differs from direct OFF (%d vs %d bytes)",
+			direct.Len(), fromSnap.Len())
+	}
+	// And the snapshot encoder is deterministic: the same snapshot must
+	// encode to the same bytes every time (cache hits re-encode).
+	var again bytes.Buffer
+	if err := WriteOFFSnapshot(&again, res.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromSnap.Bytes(), again.Bytes()) {
+		t.Fatal("WriteOFFSnapshot is not deterministic for the same snapshot")
+	}
+}
+
 // triKey reduces a triangle to an order-independent identity so the
 // two boundary extractions can be compared as multisets (they agree
 // on the facet set, not necessarily on emission order or winding

@@ -123,11 +123,17 @@ func TestImageKeyFullDigest(t *testing.T) {
 	}
 }
 
-// TestImageCacheFIFO pins decodeImage's eviction order: with capacity
-// 2, inserting a third image evicts the oldest, a cached image is
-// returned by pointer, and a re-decoded evictee parses fresh.
-func TestImageCacheFIFO(t *testing.T) {
-	srv := newBareServer(t, Config{PoolSize: 1, ImageCacheSize: 2})
+// TestImageCacheLRUBytes pins decodeImage's eviction policy: the cache
+// is LRU accounted in bytes (one byte per voxel), a hit refreshes the
+// entry's recency, and inserting past the byte budget evicts the least
+// recently used image — not the oldest insertion.
+func TestImageCacheLRUBytes(t *testing.T) {
+	n := func(scale int) int64 { return int64(img.SpherePhantom(scale).NumVoxels()) }
+	n1, n2, n3 := n(6), n(7), n(8)
+	// Budget fits the two largest images but not all three, so the third
+	// insert must evict exactly one entry — whichever is least recent.
+	srv := newBareServer(t, Config{PoolSize: 1, ImageCacheSize: 10, ImageCacheBytes: n2 + n3})
+
 	body := func(scale int) []byte {
 		var b bytes.Buffer
 		if err := img.WriteNRRD(&b, img.SpherePhantom(scale)); err != nil {
@@ -145,6 +151,8 @@ func TestImageCacheFIFO(t *testing.T) {
 	if _, err := srv.decodeImage(k2, b2); err != nil {
 		t.Fatal(err)
 	}
+	// Refresh k1: under LRU this makes k2 the eviction victim; under the
+	// old FIFO it would have been k1.
 	again, err := srv.decodeImage(k1, b1)
 	if err != nil {
 		t.Fatal(err)
@@ -156,23 +164,39 @@ func TestImageCacheFIFO(t *testing.T) {
 		t.Fatalf("cache hits = %d, want 1", hits)
 	}
 
-	// Third distinct image: FIFO evicts k1 (the oldest insertion, the
-	// repeat hit above does not refresh it), k2 survives.
+	// Third image overflows the byte budget: k2 (least recently used)
+	// goes, the refreshed k1 survives.
 	if _, err := srv.decodeImage(k3, b3); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.decodeImage(k2, b2); err != nil {
-		t.Fatal(err)
+	if got := srv.imgCache.bytes; got != n1+n3 || got > n2+n3 {
+		t.Fatalf("cache accounts %d bytes after eviction, want %d (within budget %d)", got, n1+n3, n2+n3)
 	}
-	if hits := srv.mImgCacheHit.Value(); hits != 2 {
-		t.Fatalf("k2 was evicted (hits = %d, want 2): eviction is not FIFO", hits)
+	if ev := srv.mImgCacheEvict.Value(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
 	}
 	re1, err := srv.decodeImage(k1, b1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if re1 == im1 {
-		t.Fatal("k1 still cached after FIFO eviction at capacity 2")
+	if re1 != im1 {
+		t.Fatal("recently used k1 was evicted; eviction is not LRU")
+	}
+	if _, err := srv.decodeImage(k2, b2); err != nil {
+		t.Fatal(err)
+	}
+	if hits := srv.mImgCacheHit.Value(); hits != 2 {
+		t.Fatalf("hits = %d, want 2: k2 should have re-parsed after its eviction", hits)
+	}
+
+	// An image larger than the whole budget is refused outright rather
+	// than evicting the entire cache.
+	tiny := newBareServer(t, Config{PoolSize: 1, ImageCacheSize: 10, ImageCacheBytes: 16})
+	if _, err := tiny.decodeImage(k1, b1); err != nil {
+		t.Fatal(err)
+	}
+	if tiny.imgCache.lru.Len() != 0 {
+		t.Fatal("over-budget image was admitted to the cache")
 	}
 }
 

@@ -55,6 +55,14 @@ func (s *Server) MeshSnapshot(ctx context.Context, key, variant string, image *i
 		s.mRejected.With("draining").Inc()
 		return nil, ErrDraining
 	}
+	// Persistent-cache short-circuit, before any admission machinery: a
+	// verified cached entry answers the job without a session lease, a
+	// queue slot, a breaker consultation, or a coalescing flight — so a
+	// cache hit can never be rejected for capacity and never trips or
+	// probes a breaker.
+	if sr, ok := s.cachedSnapshot(key, variant); ok {
+		return sr, nil
+	}
 	if faultinject.Fire(faultinject.QueueFull) {
 		s.mRejected.With("queue_full").Inc()
 		return nil, ErrQueueFull
@@ -79,7 +87,7 @@ func (s *Server) MeshSnapshot(ctx context.Context, key, variant string, image *i
 		if err := s.admitLeader(ckey, key); err != nil {
 			return nil, err
 		}
-		return s.leadRun(jctx, ckey, key, image, tune)
+		return s.leadRun(jctx, ckey, key, variant, image, tune)
 	}
 
 	s.flightMu.Lock()
@@ -105,7 +113,7 @@ func (s *Server) MeshSnapshot(ctx context.Context, key, variant string, image *i
 	s.flights[ckey] = f
 	s.flightMu.Unlock()
 
-	out, err := s.leadRun(jctx, ckey, key, image, tune)
+	out, err := s.leadRun(jctx, ckey, key, variant, image, tune)
 	f.out, f.err = out, err
 	s.flightMu.Lock()
 	if s.flights[ckey] == f {
@@ -141,8 +149,8 @@ func (s *Server) admitLeader(ckey, key string) error {
 // about whether the key itself is poisoned — but a half-open probe
 // that ends in one still returns its probe slot so the next arrival
 // can try.
-func (s *Server) leadRun(jctx context.Context, ckey, key string, image *img.Image, tune func(*core.Config)) (*SnapshotResult, error) {
-	out, err := s.runOnce(jctx, key, image, tune)
+func (s *Server) leadRun(jctx context.Context, ckey, key, variant string, image *img.Image, tune func(*core.Config)) (*SnapshotResult, error) {
+	out, err := s.runOnce(jctx, key, variant, image, tune)
 	if key == "" || !s.breakers.enabled() {
 		return out, err
 	}
@@ -192,6 +200,7 @@ func (s *Server) joinFlight(jctx context.Context, key string, f *flight) (*Snaps
 			Run:         f.out.Summary.Run,
 		},
 		Snapshot: f.out.Snapshot,
+		ETag:     f.out.ETag,
 	}
 	return sr, nil
 }

@@ -171,6 +171,49 @@ func (t *breakerTable) openCountLocked() int {
 	return n
 }
 
+// openKeysLocked lists the coalesce keys whose breakers are not closed
+// — what Drain persists as priors for the next boot. Caller holds
+// flightMu.
+func (t *breakerTable) openKeysLocked() []string {
+	if !t.enabled() {
+		return nil
+	}
+	var keys []string
+	for k, e := range t.entries {
+		if e.state != breakerClosed {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// seedLocked re-arms breakers for keys known bad at the last graceful
+// shutdown. Each is seeded open with an already-elapsed cooldown, so
+// the first arrival for the key is admitted as a half-open probe (one
+// session at risk) instead of a full-speed retry storm — and a key
+// that was actually fixed across the restart closes on that first
+// success. Caller holds flightMu.
+func (t *breakerTable) seedLocked(keys []string, now time.Time) {
+	if !t.enabled() {
+		return
+	}
+	for _, k := range keys {
+		if k == "" {
+			continue
+		}
+		if _, ok := t.entries[k]; ok {
+			continue
+		}
+		t.entries[k] = &breakerEntry{
+			state:     breakerOpen,
+			fails:     t.threshold,
+			openedAt:  now.Add(-t.cooldown),
+			lastTouch: now,
+		}
+	}
+	t.pruneLocked(now)
+}
+
 // pruneLocked evicts the least-recently-touched entries once the table
 // exceeds its bound. Caller holds flightMu.
 func (t *breakerTable) pruneLocked(now time.Time) {

@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/cachestore"
+	"repro/internal/faultinject"
+)
+
+// openTestCache opens a store in a temp dir and closes it with the test.
+func openTestCache(t *testing.T, dir string) *cachestore.Store {
+	t.Helper()
+	c, _, err := cachestore.Open(cachestore.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestCacheHitShortCircuitsAdmission: a repeated request is answered
+// from the persistent cache without consuming a pool session, a queue
+// slot, or a run — the short-circuit the restart economics depend on.
+func TestCacheHitShortCircuitsAdmission(t *testing.T) {
+	cache := openTestCache(t, t.TempDir())
+	srv, ts := newTestServer(t, Config{PoolSize: 1, Cache: cache})
+	client := ts.Client()
+	body := nrrdBody(t, 7)
+
+	first, err := client.Post(ts.URL+"/v1/mesh", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBytes, _ := io.ReadAll(first.Body)
+	first.Body.Close()
+	if first.StatusCode != http.StatusOK {
+		t.Fatalf("first request: %d", first.StatusCode)
+	}
+	if first.Header.Get("ETag") == "" {
+		t.Fatal("meshed response carries no ETag")
+	}
+	checkoutsBefore := srv.pool.Stats().Checkouts
+	runsBefore := srv.mRunSeconds.Count()
+
+	second, err := client.Post(ts.URL+"/v1/mesh", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondBytes, _ := io.ReadAll(second.Body)
+	second.Body.Close()
+	if second.StatusCode != http.StatusOK {
+		t.Fatalf("repeat request: %d", second.StatusCode)
+	}
+	if !bytes.Equal(firstBytes, secondBytes) {
+		t.Fatal("cache-served body differs from the meshed one")
+	}
+	if got := second.Header.Get("ETag"); got != first.Header.Get("ETag") {
+		t.Fatalf("ETag changed across the cache hit: %q vs %q", got, first.Header.Get("ETag"))
+	}
+	if n := srv.pool.Stats().Checkouts; n != checkoutsBefore {
+		t.Fatalf("cache hit consumed a session lease (checkouts %d -> %d)", checkoutsBefore, n)
+	}
+	if n := srv.mRunSeconds.Count(); n != runsBefore {
+		t.Fatal("cache hit triggered a meshing run")
+	}
+	if srv.mCacheServed.Value() != 1 {
+		t.Fatalf("cache-served counter = %d, want 1", srv.mCacheServed.Value())
+	}
+	// The invariant the chaos soak asserts, in miniature.
+	if srv.mAccepted.Value() != srv.mCompleted.Value() {
+		t.Fatalf("accepted %d != completed %d", srv.mAccepted.Value(), srv.mCompleted.Value())
+	}
+	// Variants are distinct cache identities: a different quality knob
+	// must mesh, not hit.
+	third, err := client.Post(ts.URL+"/v1/mesh?max_elements=500", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	third.Body.Close()
+	if third.StatusCode != http.StatusOK {
+		t.Fatalf("variant request: %d", third.StatusCode)
+	}
+	if srv.mCacheServed.Value() != 1 {
+		t.Fatal("a different variant was served from the wrong cache entry")
+	}
+}
+
+// TestCacheSurvivesRestart: a new Server over the same cache directory
+// answers a repeated request from disk — no session lease, byte-equal
+// body — which is the warm-start the e2e restart test asserts over a
+// real kill -9.
+func TestCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := nrrdBody(t, 7)
+
+	cache1, _, err := cachestore.Open(cachestore.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, ts1 := newTestServer(t, Config{PoolSize: 1, Cache: cache1})
+	resp, err := ts1.Client().Post(ts1.URL+"/v1/mesh", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != http.StatusOK || etag == "" {
+		t.Fatalf("first life: %d etag=%q", resp.StatusCode, etag)
+	}
+	_ = srv1
+	ts1.Close()
+	// An unclean end: the store is abandoned without Close, like kill -9
+	// (the blob and its journal record are already fsynced by Put).
+
+	cache2, rep, err := cachestore.Open(cachestore.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cache2.Close() })
+	if cache2.Len() == 0 {
+		t.Fatalf("no entries survived the restart (fsck %+v)", rep)
+	}
+	srv2, ts2 := newTestServer(t, Config{PoolSize: 1, Cache: cache2})
+	again, err := ts2.Client().Post(ts2.URL+"/v1/mesh", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(again.Body)
+	again.Body.Close()
+	if again.StatusCode != http.StatusOK {
+		t.Fatalf("second life: %d", again.StatusCode)
+	}
+	if !bytes.Equal(meshed, served) {
+		t.Fatal("restarted server served different bytes for the same request")
+	}
+	if got := again.Header.Get("ETag"); got != etag {
+		t.Fatalf("ETag changed across restart: %q vs %q", got, etag)
+	}
+	if n := srv2.pool.Stats().Checkouts; n != 0 {
+		t.Fatalf("restart warm request consumed %d session leases, want 0", n)
+	}
+	// Warm start seeded the pool's affinity from the recovered index.
+	key := ImageKey(body)
+	found := false
+	for _, e := range srv2.pool.entries {
+		if e.key == key {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pool affinity not seeded from the recovered cache index")
+	}
+}
+
+// TestConditionalGet: a request carrying the previous response's ETag
+// in If-None-Match is answered 304 from the index alone.
+func TestConditionalGet(t *testing.T) {
+	cache := openTestCache(t, t.TempDir())
+	srv, ts := newTestServer(t, Config{PoolSize: 1, Cache: cache})
+	client := ts.Client()
+	body := nrrdBody(t, 7)
+
+	resp, err := client.Post(ts.URL+"/v1/mesh", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag to validate against")
+	}
+
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/mesh", bytes.NewReader(body))
+	req.Header.Set("If-None-Match", etag)
+	cond, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	condBody, _ := io.ReadAll(cond.Body)
+	cond.Body.Close()
+	if cond.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional request: %d, want 304", cond.StatusCode)
+	}
+	if len(condBody) != 0 {
+		t.Fatalf("304 carried a %d-byte body", len(condBody))
+	}
+	if got := cond.Header.Get("ETag"); got != etag {
+		t.Fatalf("304 ETag %q, want %q", got, etag)
+	}
+	// The 304 came from the index: no lease, no run, no blob read.
+	if n := srv.mRunSeconds.Count(); n != 1 {
+		t.Fatalf("runs = %d after the 304, want 1", n)
+	}
+
+	// A stale validator re-serves the full body (200, from cache).
+	req2, _ := http.NewRequest("POST", ts.URL+"/v1/mesh", bytes.NewReader(body))
+	req2.Header.Set("If-None-Match", `"0000000000000000-vtk"`)
+	full, err := client.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, full.Body)
+	full.Body.Close()
+	if full.StatusCode != http.StatusOK {
+		t.Fatalf("stale validator: %d, want 200", full.StatusCode)
+	}
+
+	// The format is part of the entity: the VTK tag must not validate an
+	// OFF response.
+	req3, _ := http.NewRequest("POST", ts.URL+"/v1/mesh?format=off", bytes.NewReader(body))
+	req3.Header.Set("If-None-Match", etag)
+	off, err := client.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, off.Body)
+	off.Body.Close()
+	if off.StatusCode != http.StatusOK {
+		t.Fatalf("cross-format validator answered %d, want 200", off.StatusCode)
+	}
+}
+
+// TestEtagMatch pins the If-None-Match comparison rules.
+func TestEtagMatch(t *testing.T) {
+	e := entityTag("00c0ffee00c0ffee", "vtk")
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{e, true},
+		{"*", true},
+		{`W/` + e, true},
+		{`"other"` + ", " + e, true},
+		{`"other"`, false},
+		{entityTag("00c0ffee00c0ffee", "off"), false},
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := etagMatch(c.header, e); got != c.want {
+			t.Errorf("etagMatch(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}
+
+// TestCacheDegradedServesEveryRequest: with the disk refusing writes
+// (injected ENOSPC), requests keep succeeding, the degraded gauge
+// reads 1, and repeated requests are still answered from the store's
+// memory read-through — zero failures attributable to the cache.
+func TestCacheDegradedServesEveryRequest(t *testing.T) {
+	cache, _, err := cachestore.Open(cachestore.Config{
+		Dir:             t.TempDir(),
+		ReprobeInterval: time.Hour, // stay degraded for the whole test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cache.Close() })
+	srv, ts := newTestServer(t, Config{PoolSize: 1, Cache: cache})
+	client := ts.Client()
+
+	in := faultinject.New(faultinject.Config{
+		Seed:  7,
+		Rates: map[faultinject.Point]float64{faultinject.CacheENOSPC: 1},
+	})
+	restore := faultinject.Enable(in)
+	defer restore()
+
+	body := nrrdBody(t, 7)
+	for i := 0; i < 3; i++ {
+		resp, err := client.Post(ts.URL+"/v1/mesh", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d under ENOSPC: %d", i, resp.StatusCode)
+		}
+	}
+	if !cache.Degraded() {
+		t.Fatal("store not degraded under permanent ENOSPC")
+	}
+	// Requests 2 and 3 were memory read-through hits, not re-meshes.
+	if n := srv.mRunSeconds.Count(); n != 1 {
+		t.Fatalf("runs = %d, want 1 (degraded cache must still serve hits)", n)
+	}
+	// The degraded gauge is exposed.
+	rec := httptest.NewRecorder()
+	ts.Config.Handler.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !bytes.Contains(rec.Body.Bytes(), []byte("pi2md_cache_degraded 1")) {
+		t.Fatal("metrics do not report pi2md_cache_degraded 1")
+	}
+}
+
+// TestBreakerPriorsRoundTrip: a drain persists open breaker keys next
+// to the index; the next boot re-arms them open with an elapsed
+// cooldown, so the first arrival is a single half-open probe.
+func TestBreakerPriorsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cache1 := openTestCache(t, dir)
+	srv1 := newBareServer(t, Config{PoolSize: 1, BreakerThreshold: 3, Cache: cache1})
+	now := time.Now()
+	srv1.flightMu.Lock()
+	for i := 0; i < 3; i++ {
+		srv1.breakers.reportLocked("poisoned-key", false, now)
+	}
+	open := srv1.breakers.openCountLocked()
+	srv1.flightMu.Unlock()
+	if open != 1 {
+		t.Fatalf("breakers open before drain = %d, want 1", open)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv1.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+
+	cache2 := openTestCache(t, dir)
+	srv2 := newBareServer(t, Config{PoolSize: 1, BreakerThreshold: 3, Cache: cache2})
+	srv2.flightMu.Lock()
+	ok, _ := srv2.breakers.admitLocked("poisoned-key", time.Now())
+	openAfter := srv2.breakers.openCountLocked()
+	srv2.flightMu.Unlock()
+	if openAfter != 1 {
+		t.Fatalf("breakers open after warm start = %d, want 1", openAfter)
+	}
+	if !ok {
+		t.Fatal("seeded breaker refused its first probe: the elapsed cooldown must admit one")
+	}
+	srv2.flightMu.Lock()
+	ok2, _ := srv2.breakers.admitLocked("poisoned-key", time.Now())
+	srv2.flightMu.Unlock()
+	if ok2 {
+		t.Fatal("seeded breaker admitted a second concurrent probe")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cachestore"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/img"
@@ -50,13 +51,21 @@ type chaosOutcome struct {
 //   - the pool returns to PoolSize healthy sessions without operator
 //     action, and every breaker closes after recovery probes;
 //   - the metrics stay consistent: accepted == completed + failed,
-//     runs == accepted − coalesced − watchdog-abandoned, and one HTTP
-//     200 per completed job.
+//     runs == accepted − coalesced − watchdog-abandoned − cache-served,
+//     and one HTTP 200 per completed job;
+//   - the persistent cache, under injected torn writes, bit flips, and
+//     disk-full errors, never fails a request (corrupt entries are
+//     quarantined and re-meshed, write failures degrade to memory-only).
 //
 // A JSON invariant report is written to $PI2MD_CHAOS_REPORT if set.
 func TestChaosSoak(t *testing.T) {
 	seed := chaosSeed(t)
 	const poolSize = 2
+	cache, _, err := cachestore.Open(cachestore.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cache.Close() })
 	srv, ts := newTestServer(t, Config{
 		PoolSize:         poolSize,
 		QueueDepth:       8,
@@ -67,6 +76,7 @@ func TestChaosSoak(t *testing.T) {
 		BreakerCooldown:  150 * time.Millisecond,
 		WatchdogFactor:   1,
 		WatchdogGrace:    50 * time.Millisecond,
+		Cache:            cache,
 	})
 	client := ts.Client()
 
@@ -78,11 +88,15 @@ func TestChaosSoak(t *testing.T) {
 	storm := faultinject.New(faultinject.Config{
 		Seed: seed,
 		Rates: map[faultinject.Point]float64{
-			faultinject.WorkerPanic: 0.01,
-			faultinject.SlowSession: 0.05,
-			faultinject.QueueFull:   0.03,
-			faultinject.RunPoisoned: 0.05,
-			faultinject.RebuildFail: 1,
+			faultinject.WorkerPanic:    0.01,
+			faultinject.SlowSession:    0.05,
+			faultinject.QueueFull:      0.03,
+			faultinject.RunPoisoned:    0.05,
+			faultinject.RebuildFail:    1,
+			faultinject.CacheWriteFail: 0.05,
+			faultinject.CacheTornWrite: 0.05,
+			faultinject.CacheBitFlip:   0.05,
+			faultinject.CacheENOSPC:    0.03,
 		},
 		MaxFires: map[faultinject.Point]int64{
 			faultinject.RunPoisoned: 6,
@@ -162,8 +176,10 @@ func TestChaosSoak(t *testing.T) {
 		Delay:    600 * time.Millisecond,
 	})
 	restoreWedge := faultinject.Enable(wedge)
+	// A fresh body the storm never posted: a cached one would be served
+	// from the result cache and short-circuit the run the wedge needs.
 	resp, err := client.Post(ts.URL+"/v1/mesh?timeout=100ms", "application/octet-stream",
-		bytes.NewReader(bodies[0]))
+		bytes.NewReader(nrrdBody(t, 9)))
 	if err != nil {
 		t.Fatalf("wedge request: %v", err)
 	}
@@ -241,13 +257,14 @@ func TestChaosSoak(t *testing.T) {
 	failed := srv.mFailed.Value()
 	coalesced := srv.mCoalesced.Value()
 	abandoned := srv.mWatchdogAbandons.Value()
+	cacheServed := srv.mCacheServed.Value()
 	runs := srv.mRunSeconds.Count()
 	if accepted != completed+failed {
 		t.Errorf("accepted %d != completed %d + failed %d", accepted, completed, failed)
 	}
-	if runs != accepted-coalesced-abandoned {
-		t.Errorf("runs %d != accepted %d - coalesced %d - abandoned %d",
-			runs, accepted, coalesced, abandoned)
+	if runs != accepted-coalesced-abandoned-cacheServed {
+		t.Errorf("runs %d != accepted %d - coalesced %d - abandoned %d - cache-served %d",
+			runs, accepted, coalesced, abandoned, cacheServed)
 	}
 	if ok200 := srv.mRequests.Value("200"); ok200 != completed {
 		t.Errorf("HTTP 200s %d != completed jobs %d", ok200, completed)
@@ -261,6 +278,14 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if completed < 1 {
 		t.Error("no job completed during the soak")
+	}
+	// Cache invariants: corrupt blobs were detected (counted), never
+	// served — a served corrupt blob would have broken a 200 body, and
+	// the store-level soak covers byte-exactness — and no request failed
+	// because the disk did (write faults only ever degrade the store).
+	cs := cache.Stats()
+	if cs.Hits+cs.Misses == 0 {
+		t.Error("the soak never exercised the result cache")
 	}
 
 	// ---- Invariant report (CI artifact). --------------------------
@@ -287,6 +312,16 @@ func TestChaosSoak(t *testing.T) {
 			"rejected_breaker":   srv.mRejected.Value("breaker_open"),
 			"pool_healed":        healed,
 			"breakers_closed":    breakersClosed,
+			"cache_served":       cacheServed,
+			"cache_hits":         cs.Hits,
+			"cache_misses":       cs.Misses,
+			"cache_writes":       cs.Writes,
+			"cache_evictions":    cs.Evictions,
+			"cache_corrupt":      cs.Corrupt,
+			"cache_bytes":        cs.Bytes,
+			"cache_degraded":     cs.Degraded,
+			"fsck_recovered":     cs.FsckRecovered,
+			"fsck_quarantined":   cs.FsckQuarantined,
 		}
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -164,24 +165,14 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := ImageKey(body)
-	image, err := s.decodeImage(key, body)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "decoding image: %v", err)
-		return
-	}
-
-	ctx := r.Context()
-	if params.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, params.timeout)
-		defer cancel()
-	}
 
 	// Per-request quality knobs ride on top of the pool's session
 	// template via the tuned-run hook; the common path (no overrides)
 	// runs the template verbatim. The variant string canonicalizes the
-	// same knobs for the coalescing key, so only jobs requesting the
-	// same mesh share a run (the format is per-waiter and excluded).
+	// same knobs for the coalescing key and the result cache, so only
+	// jobs requesting the same mesh share a run or a cached entry (the
+	// format is per-waiter and excluded from the variant — it is part of
+	// the entity tag instead, since VTK and OFF bodies differ).
 	var tune func(*core.Config)
 	var variant string
 	if params.delta > 0 || params.maxElements > 0 || params.maxRadiusEdge > 0 || params.minFacetAngle > 0 {
@@ -201,6 +192,33 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 				cfg.MinFacetAngle = params.minFacetAngle
 			}
 		}
+	}
+
+	// Conditional GET: If-None-Match is answered from the cache index
+	// alone — no image decode, no blob read, no session. 304 carries the
+	// entity tag back so the client can keep validating with it.
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		if tag, ok := s.CacheETag(key, variant); ok {
+			entity := entityTag(tag, params.format)
+			if etagMatch(inm, entity) {
+				w.Header().Set("ETag", entity)
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+	}
+
+	image, err := s.decodeImage(key, body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding image: %v", err)
+		return
+	}
+
+	ctx := r.Context()
+	if params.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, params.timeout)
+		defer cancel()
 	}
 
 	sr, err := s.MeshSnapshot(ctx, key, variant, image, tune)
@@ -246,6 +264,9 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 
 	// Encode off-lease from the snapshot: the session that produced
 	// this mesh is already serving the next job.
+	if sr.ETag != "" {
+		w.Header().Set("ETag", entityTag(sr.ETag, params.format))
+	}
 	switch params.format {
 	case "off":
 		w.Header().Set("Content-Type", "model/off")
@@ -254,6 +275,34 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/vtk")
 		meshio.WriteVTKSnapshot(w, sr.Snapshot)
 	}
+}
+
+// entityTag builds the quoted HTTP entity tag for a cached snapshot in
+// one response format. The format is folded in because the same
+// snapshot encodes to different bytes as VTK and OFF — one blob, two
+// entities.
+func entityTag(etag, format string) string {
+	return `"` + etag + "-" + format + `"`
+}
+
+// etagMatch implements If-None-Match: a literal "*" matches anything,
+// otherwise the comma-separated candidate list is compared tag by tag.
+// Weak validators (W/ prefix) compare by their opaque part — weak
+// comparison is permitted for If-None-Match.
+func etagMatch(header, entity string) bool {
+	opaque := func(t string) string {
+		t = strings.TrimSpace(t)
+		t = strings.TrimPrefix(t, "W/")
+		return t
+	}
+	want := opaque(entity)
+	for _, cand := range strings.Split(header, ",") {
+		c := opaque(cand)
+		if c == "*" || c == want {
+			return true
+		}
+	}
+	return false
 }
 
 // setRetryAfter stamps the latency-derived Retry-After hint on a

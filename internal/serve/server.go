@@ -2,9 +2,11 @@ package serve
 
 import (
 	"bytes"
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -13,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cachestore"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/img"
@@ -67,6 +70,18 @@ type Config struct {
 	// *img.Image pointer and can hit the session's distance-transform
 	// cache (default 8, 0 keeps the default; negative disables).
 	ImageCacheSize int
+	// ImageCacheBytes is the byte budget for the parsed-image cache —
+	// the same LRU-by-bytes discipline as the persistent result cache,
+	// accounting one byte per voxel. Eviction frees the least recently
+	// used image first (default 256 MiB, 0 keeps the default; negative
+	// disables the cache).
+	ImageCacheBytes int64
+	// Cache is the optional persistent result cache. When set, a
+	// (image, variant) pair already stored is served from disk without
+	// consuming a pool session or consulting breakers, every completed
+	// leader run is persisted off-lease, and boot warm-starts pool
+	// affinity and breaker priors from the recovered index.
+	Cache *cachestore.Store
 	// CoalesceMax caps how many jobs may share one meshing run via
 	// single-flight coalescing, including the leader. A job whose
 	// coalesce key (image key + tuning variant) matches a job already
@@ -119,6 +134,9 @@ func (c Config) withDefaults() Config {
 	if c.ImageCacheSize == 0 {
 		c.ImageCacheSize = 8
 	}
+	if c.ImageCacheBytes == 0 {
+		c.ImageCacheBytes = 256 << 20
+	}
 	if c.CoalesceMax == 0 {
 		c.CoalesceMax = 32
 	}
@@ -152,6 +170,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	pool  *Pool
+	cache *cachestore.Store
 	start time.Time
 
 	waiting  atomic.Int64 // admitted jobs blocked in Checkout
@@ -172,10 +191,15 @@ type Server struct {
 	// deterministic tests.
 	retryJitter func() float64
 
+	// imgCache retains parsed input images under an LRU-by-bytes
+	// discipline (one byte per voxel), bounded by both ImageCacheSize
+	// (entries) and ImageCacheBytes (budget). lru holds *imgCacheEnt
+	// values, front = most recently used; m indexes its elements.
 	imgCache struct {
 		sync.Mutex
-		m     map[string]*img.Image
-		order []string // FIFO eviction
+		m     map[string]*list.Element
+		lru   *list.List
+		bytes int64
 	}
 
 	// Metrics (the catalogue documented in DESIGN.md "Serving layer").
@@ -205,6 +229,8 @@ type Server struct {
 	mWatchdogKills    *Counter
 	mWatchdogAbandons *Counter
 	mBreakerTrips     *Counter
+	mCacheServed      *Counter
+	mImgCacheEvict    *Counter
 
 	// lastRuns is a ring of recent run summaries for /v1/stats.
 	lastMu   sync.Mutex
@@ -218,6 +244,7 @@ type JobSummary struct {
 	EDTCacheHit bool            `json:"edt_cache_hit"`
 	WarmRun     bool            `json:"warm_run"`
 	Coalesced   bool            `json:"coalesced,omitempty"`
+	CacheHit    bool            `json:"cache_hit,omitempty"`
 	Run         core.RunSummary `json:"run"`
 }
 
@@ -230,11 +257,13 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	pool.SetHealth(HealthConfig{SuspectThreshold: cfg.SuspectThreshold})
-	s := &Server{cfg: cfg, pool: pool, start: time.Now(), reg: NewRegistry()}
-	s.imgCache.m = make(map[string]*img.Image)
+	s := &Server{cfg: cfg, pool: pool, cache: cfg.Cache, start: time.Now(), reg: NewRegistry()}
+	s.imgCache.m = make(map[string]*list.Element)
+	s.imgCache.lru = list.New()
 	s.flights = make(map[string]*flight)
 	s.breakers = newBreakerTable(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	s.retryJitter = rand.Float64
+	s.warmStart()
 
 	r := s.reg
 	s.mRequests = r.CounterVec("pi2md_http_requests_total",
@@ -317,7 +346,88 @@ func NewServer(cfg Config) (*Server, error) {
 	r.GaugeFunc("pi2md_pool_healthy_sessions",
 		"Pool slots holding a healthy (non-quarantined) session.",
 		func() float64 { return float64(s.pool.Healthy()) })
+	s.mCacheServed = r.Counter("pi2md_cache_served_jobs_total",
+		"Mesh jobs answered from the persistent result cache without consuming a session.")
+	s.mImgCacheEvict = r.Counter("pi2md_image_cache_evictions_total",
+		"Parsed images evicted from the image cache by the LRU byte budget.")
+	cacheStat := func(pick func(cachestore.Stats) float64) func() float64 {
+		return func() float64 {
+			if s.cache == nil {
+				return 0
+			}
+			return pick(s.cache.Stats())
+		}
+	}
+	r.CounterFunc("pi2md_cache_hits_total",
+		"Persistent-cache lookups answered from a verified entry (index-only ETag lookups included).",
+		cacheStat(func(st cachestore.Stats) float64 { return float64(st.Hits) }))
+	r.CounterFunc("pi2md_cache_misses_total",
+		"Persistent-cache lookups that found no servable entry (corrupt entries count here, never as hits).",
+		cacheStat(func(st cachestore.Stats) float64 { return float64(st.Misses) }))
+	r.CounterFunc("pi2md_cache_writes_total",
+		"Snapshots persisted into the result cache (memory-only writes while degraded included).",
+		cacheStat(func(st cachestore.Stats) float64 { return float64(st.Writes) }))
+	r.CounterFunc("pi2md_cache_evictions_total",
+		"Result-cache entries evicted by the LRU byte budget.",
+		cacheStat(func(st cachestore.Stats) float64 { return float64(st.Evictions) }))
+	r.CounterFunc("pi2md_cache_corrupt_total",
+		"Cached blobs that failed checksum verification on read and were quarantined.",
+		cacheStat(func(st cachestore.Stats) float64 { return float64(st.Corrupt) }))
+	r.GaugeFunc("pi2md_cache_bytes",
+		"Bytes accounted to live result-cache entries.",
+		cacheStat(func(st cachestore.Stats) float64 { return float64(st.Bytes) }))
+	r.GaugeFunc("pi2md_cache_degraded",
+		"1 while the result cache is in memory-only degraded mode after a disk write failure, else 0.",
+		cacheStat(func(st cachestore.Stats) float64 {
+			if st.Degraded {
+				return 1
+			}
+			return 0
+		}))
+	r.CounterFunc("pi2md_fsck_recovered_total",
+		"Verified orphan blobs the boot fsck adopted back into the cache index.",
+		cacheStat(func(st cachestore.Stats) float64 { return float64(st.FsckRecovered) }))
+	r.CounterFunc("pi2md_fsck_quarantined_total",
+		"Blobs the boot fsck moved to quarantine for failing verification.",
+		cacheStat(func(st cachestore.Stats) float64 { return float64(st.FsckQuarantined) }))
 	return s, nil
+}
+
+// breakerPriorsSidecar is the sidecar file Drain persists next to the
+// cache index so a graceful restart re-arms known-bad keys. A kill -9
+// loses it by design — the priors are an optimization, the index is
+// the durable artifact.
+const breakerPriorsSidecar = "breaker_priors.json"
+
+type breakerPriors struct {
+	OpenKeys []string `json:"open_keys"`
+}
+
+// warmStart pre-populates state from the recovered cache index: pool
+// image affinity from the most-recently-used cached keys, and breaker
+// priors from the last graceful drain's sidecar (seeded open with an
+// elapsed cooldown, so the first arrival probes instead of fast-failing).
+func (s *Server) warmStart() {
+	if s.cache == nil {
+		return
+	}
+	seen := make(map[string]bool)
+	var keys []string
+	for _, ki := range s.cache.KeysMRU() {
+		if !seen[ki.ImageKey] {
+			seen[ki.ImageKey] = true
+			keys = append(keys, ki.ImageKey)
+		}
+	}
+	s.pool.SeedAffinity(keys)
+	if data, ok := s.cache.ReadSidecar(breakerPriorsSidecar); ok {
+		var priors breakerPriors
+		if json.Unmarshal(data, &priors) == nil && len(priors.OpenKeys) > 0 {
+			s.flightMu.Lock()
+			s.breakers.seedLocked(priors.OpenKeys, time.Now())
+			s.flightMu.Unlock()
+		}
+	}
 }
 
 // Registry exposes the metrics registry (for /metrics and tests).
@@ -350,37 +460,61 @@ func ImageKey(body []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// imgCacheEnt is one parsed-image cache entry; bytes is the image's
+// voxel count (one byte per voxel), the unit the LRU budget accounts.
+type imgCacheEnt struct {
+	key   string
+	im    *img.Image
+	bytes int64
+}
+
+// imgCacheEnabled reports whether the parsed-image cache is active:
+// both the entry cap and the byte budget must be non-negative.
+func (s *Server) imgCacheEnabled() bool {
+	return s.cfg.ImageCacheSize > 0 && s.cfg.ImageCacheBytes > 0
+}
+
 // decodeImage parses body as NRRD through the cache: a repeated
 // identical body returns the previously parsed *img.Image, giving the
 // leased session a chance to reuse its cached distance transform
-// (which is keyed by image pointer identity).
+// (which is keyed by image pointer identity). The cache is LRU
+// accounted in bytes — a hit refreshes recency, and inserting past
+// either the entry cap or the byte budget evicts the least recently
+// used images first.
 func (s *Server) decodeImage(key string, body []byte) (*img.Image, error) {
-	if s.cfg.ImageCacheSize > 0 {
+	if s.imgCacheEnabled() {
 		s.imgCache.Lock()
-		im, ok := s.imgCache.m[key]
-		s.imgCache.Unlock()
-		if ok {
+		if el, ok := s.imgCache.m[key]; ok {
+			s.imgCache.lru.MoveToFront(el)
+			im := el.Value.(*imgCacheEnt).im
+			s.imgCache.Unlock()
 			s.mImgCacheHit.Inc()
 			return im, nil
 		}
+		s.imgCache.Unlock()
 	}
 	s.mImgCacheMiss.Inc()
 	im, err := img.ReadNRRD(bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
-	if s.cfg.ImageCacheSize > 0 {
+	if s.imgCacheEnabled() {
 		s.imgCache.Lock()
-		if _, dup := s.imgCache.m[key]; !dup {
-			for len(s.imgCache.order) >= s.cfg.ImageCacheSize {
-				oldest := s.imgCache.order[0]
-				s.imgCache.order = s.imgCache.order[1:]
-				delete(s.imgCache.m, oldest)
+		if el, dup := s.imgCache.m[key]; dup {
+			im = el.Value.(*imgCacheEnt).im // lost a parse race; converge on one pointer
+		} else if n := int64(im.NumVoxels()); n <= s.cfg.ImageCacheBytes {
+			ent := &imgCacheEnt{key: key, im: im, bytes: n}
+			s.imgCache.m[key] = s.imgCache.lru.PushFront(ent)
+			s.imgCache.bytes += n
+			for (s.imgCache.bytes > s.cfg.ImageCacheBytes ||
+				s.imgCache.lru.Len() > s.cfg.ImageCacheSize) && s.imgCache.lru.Len() > 1 {
+				back := s.imgCache.lru.Back()
+				old := back.Value.(*imgCacheEnt)
+				s.imgCache.lru.Remove(back)
+				delete(s.imgCache.m, old.key)
+				s.imgCache.bytes -= old.bytes
+				s.mImgCacheEvict.Inc()
 			}
-			s.imgCache.m[key] = im
-			s.imgCache.order = append(s.imgCache.order, key)
-		} else {
-			im = s.imgCache.m[key] // lost a parse race; converge on one pointer
 		}
 		s.imgCache.Unlock()
 	}
@@ -395,6 +529,53 @@ func (s *Server) decodeImage(key string, body []byte) (*img.Image, error) {
 type SnapshotResult struct {
 	Summary  JobSummary
 	Snapshot *core.MeshSnapshot
+	// ETag is the persistent cache's entity identity for this snapshot
+	// (hex CRC64 of the stored blob); empty when no cache is wired.
+	ETag string
+}
+
+// cachedSnapshot answers a job from the persistent result cache, if it
+// can: the blob is re-verified on read, the job never touches the pool,
+// the queue, or the key's breaker. A cache-served job counts as
+// accepted + completed (the caller got a mesh) plus cacheServed, so the
+// run-count invariant stays runs == accepted − coalesced − abandoned −
+// cacheServed.
+func (s *Server) cachedSnapshot(key, variant string) (*SnapshotResult, bool) {
+	if s.cache == nil || key == "" {
+		return nil, false
+	}
+	snap, etag, ok := s.cache.Get(key, variant)
+	if !ok {
+		return nil, false
+	}
+	s.mAccepted.Inc()
+	s.mCompleted.Inc()
+	s.mCacheServed.Inc()
+	sr := &SnapshotResult{
+		Summary: JobSummary{
+			ImageKey: key,
+			CacheHit: true,
+			Run:      snap.Summary,
+		},
+		Snapshot: snap,
+		ETag:     etag,
+	}
+	s.lastMu.Lock()
+	s.lastRuns = append(s.lastRuns, sr.Summary)
+	if len(s.lastRuns) > 16 {
+		s.lastRuns = s.lastRuns[len(s.lastRuns)-16:]
+	}
+	s.lastMu.Unlock()
+	return sr, true
+}
+
+// CacheETag answers a conditional GET from the cache index alone — no
+// blob I/O, no session. ok is false without a cache or a cached entry.
+func (s *Server) CacheETag(key, variant string) (string, bool) {
+	if s.cache == nil || key == "" {
+		return "", false
+	}
+	return s.cache.ETag(key, variant)
 }
 
 // rejectForCtx classifies a context failure while waiting for a
@@ -413,10 +594,11 @@ func (s *Server) rejectForCtx(err error) error {
 
 // runOnce executes one actual meshing run under admission control: a
 // non-blocking checkout (free sessions bypass the queue entirely), a
-// bounded wait otherwise, the run itself under the job deadline, and
-// the snapshot copy-out that ends the lease before any encoding.
-// Coalesced followers never reach this function.
-func (s *Server) runOnce(jctx context.Context, key string, image *img.Image, tune func(*core.Config)) (*SnapshotResult, error) {
+// bounded wait otherwise, the run itself under the job deadline, the
+// snapshot copy-out that ends the lease before any encoding, and the
+// off-lease persist into the result cache. Coalesced followers never
+// reach this function.
+func (s *Server) runOnce(jctx context.Context, key, variant string, image *img.Image, tune func(*core.Config)) (*SnapshotResult, error) {
 	// Admission: a job only counts against QueueDepth while it is
 	// actually waiting. A burst that fits the free sessions is
 	// admitted without touching the wait counter, so QueueDepth
@@ -540,7 +722,16 @@ func (s *Server) runOnce(jctx context.Context, key string, image *img.Image, tun
 	s.mCells.Add(int64(sum.Elements))
 	s.mCellsPerSec.Set(int64(sum.CellsPerSec))
 
+	// Persist off-lease: the session already serves the next job, and
+	// Put absorbs disk failures (degrading the store) rather than
+	// surfacing them — a full disk must never fail a finished mesh.
+	var etag string
+	if s.cache != nil && key != "" {
+		etag, _ = s.cache.Put(key, variant, snap)
+	}
+
 	sr := &SnapshotResult{
+		ETag: etag,
 		Summary: JobSummary{
 			ImageKey:    key,
 			QueueWaitMs: float64(wait) / 1e6,
@@ -713,7 +904,9 @@ type Stats struct {
 	WatchdogAband int64        `json:"watchdog_abandoned"`
 	BreakersOpen  int          `json:"breakers_open"`
 	BreakerTrips  int64        `json:"breaker_trips"`
+	CacheServed   int64        `json:"jobs_cache_served"`
 	Pool          PoolStats    `json:"pool"`
+	Cache         *cachestore.Stats `json:"cache,omitempty"`
 	RecentRuns    []JobSummary `json:"recent_runs"`
 }
 
@@ -725,6 +918,11 @@ func (s *Server) Stats() Stats {
 	s.flightMu.Lock()
 	breakersOpen := s.breakers.openCountLocked()
 	s.flightMu.Unlock()
+	var cacheStats *cachestore.Stats
+	if s.cache != nil {
+		st := s.cache.Stats()
+		cacheStats = &st
+	}
 	return Stats{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Draining:      s.draining.Load(),
@@ -742,7 +940,9 @@ func (s *Server) Stats() Stats {
 		WatchdogAband: s.mWatchdogAbandons.Value(),
 		BreakersOpen:  breakersOpen,
 		BreakerTrips:  s.mBreakerTrips.Value(),
+		CacheServed:   s.mCacheServed.Value(),
 		Pool:          s.pool.Stats(),
+		Cache:         cacheStats,
 		RecentRuns:    recent,
 	}
 }
@@ -752,8 +952,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Drain gracefully shuts the server down: new jobs are rejected with
 // ErrDraining, in-flight jobs (coalesced followers included) run to
-// completion (bounded by ctx), and the pool is closed. It returns
-// ctx.Err() if the wait was cut short (the pool is closed regardless).
+// completion (bounded by ctx), breaker priors are persisted next to
+// the cache index for the next boot's warm start, and the pool is
+// closed. It returns ctx.Err() if the wait was cut short (the pool is
+// closed regardless). The caller owns closing the cache store itself.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan struct{})
@@ -769,6 +971,14 @@ func (s *Server) Drain(ctx context.Context) error {
 		case <-done:
 		case <-ctx.Done():
 			err = ctx.Err()
+		}
+	}
+	if s.cache != nil {
+		s.flightMu.Lock()
+		open := s.breakers.openKeysLocked()
+		s.flightMu.Unlock()
+		if data, merr := json.Marshal(breakerPriors{OpenKeys: open}); merr == nil {
+			s.cache.WriteSidecar(breakerPriorsSidecar, data)
 		}
 	}
 	s.pool.Close()
