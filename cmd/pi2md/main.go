@@ -61,6 +61,7 @@ func main() {
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker fast-fail window before a half-open probe")
 		wdFactor     = flag.Float64("watchdog-factor", 4, "runaway-run watchdog limit as a multiple of the job deadline (<0 disables)")
 		wdGrace      = flag.Duration("watchdog-grace", 2*time.Second, "grace after watchdog cancel before the session is abandoned")
+		solveTimeout = flag.Duration("solve-timeout", 30*time.Second, "ceiling on the FEM solve stage of /v1/simulate (caps per-request asks)")
 	)
 	flag.Parse()
 
@@ -92,6 +93,7 @@ func main() {
 		BreakerCooldown:  *brkCooldown,
 		WatchdogFactor:   *wdFactor,
 		WatchdogGrace:    *wdGrace,
+		SolveTimeout:     *solveTimeout,
 		Session: core.Config{
 			Workers:         *workers,
 			Delta:           *delta,

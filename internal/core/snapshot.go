@@ -89,6 +89,86 @@ func (s *MeshSnapshot) label(i int32) img.Label {
 // oriented cell.
 var snapFaces = [4][3]int{{1, 3, 2}, {0, 2, 3}, {0, 3, 1}, {0, 1, 2}}
 
+// ExteriorVertices returns the vertices on the snapshot's exterior
+// surface — vertices of facets owned by exactly one cell (the domain
+// boundary ∂O; tissue-interface facets between two cells are interior
+// and excluded) — along with, for each such vertex, the set of tissue
+// labels of the boundary cells it touches. verts is sorted ascending
+// and duplicate-free; labels[v] lists each label at most once, in
+// first-seen order.
+//
+// This is the selection surface for boundary conditions: a Dirichlet
+// clause constrains exterior vertices, optionally filtered by the
+// tissue they bound or by a geometric predicate on their position.
+func (s *MeshSnapshot) ExteriorVertices() (verts []int32, labels map[int32][]img.Label) {
+	type fkey [3]int32
+	canon := func(a, b, c int32) fkey {
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b, c = c, b
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return fkey{a, b, c}
+	}
+	// Count face owners; faces seen once are exterior.
+	owners := make(map[fkey]int32, 2*len(s.Cells))
+	for ci, c := range s.Cells {
+		for f := 0; f < 4; f++ {
+			k := canon(c[snapFaces[f][0]], c[snapFaces[f][1]], c[snapFaces[f][2]])
+			if _, ok := owners[k]; ok {
+				owners[k] = -1 // shared: interior
+			} else {
+				owners[k] = int32(ci)
+			}
+		}
+	}
+	labels = make(map[int32][]img.Label)
+	seen := make(map[int32]bool)
+	for ci, c := range s.Cells {
+		for f := 0; f < 4; f++ {
+			k := canon(c[snapFaces[f][0]], c[snapFaces[f][1]], c[snapFaces[f][2]])
+			if owners[k] != int32(ci) {
+				continue
+			}
+			l := s.label(int32(ci))
+			for _, j := range snapFaces[f] {
+				v := c[j]
+				if !seen[v] {
+					seen[v] = true
+					verts = append(verts, v)
+				}
+				if !containsLabel(labels[v], l) {
+					labels[v] = append(labels[v], l)
+				}
+			}
+		}
+	}
+	sortInt32s(verts)
+	return verts, labels
+}
+
+func containsLabel(ls []img.Label, l img.Label) bool {
+	for _, x := range ls {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+func sortInt32s(v []int32) {
+	// Insertion-free stdlib sort without pulling in a generics dep here.
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
 // BoundaryTriangles extracts the boundary facets of the snapshot: a
 // facet belonging to exactly one cell, or shared by two cells of
 // different tissues. It is the off-lease equivalent of

@@ -1,6 +1,7 @@
 package fem
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -44,9 +45,20 @@ func (m *CSR) Diag() []float64 {
 	return d
 }
 
+// cgCheckEvery is how many CG iterations run between context checks
+// and progress reports: cheap enough to be negligible against the two
+// SpMVs per iteration, frequent enough that cancellation lands within
+// milliseconds on any realistic system.
+const cgCheckEvery = 16
+
 // cgJacobi runs Jacobi-preconditioned conjugate gradients on A x = b,
 // overwriting x. Returns iterations and the final relative residual.
-func (m *CSR) cgJacobi(x, b []float64, tol float64, maxIter int) (int, float64, error) {
+// ctx is checked every cgCheckEvery iterations — a canceled solve
+// returns ctx's error (wrapped, so errors.Is sees context.Canceled /
+// DeadlineExceeded) with x holding the best iterate so far. progress,
+// when non-nil, is called on the same cadence with the iteration count
+// and current relative residual.
+func (m *CSR) cgJacobi(ctx context.Context, x, b []float64, tol float64, maxIter int, progress func(iter int, rel float64)) (int, float64, error) {
 	n := m.n
 	d := m.Diag()
 	for i, v := range d {
@@ -83,6 +95,22 @@ func (m *CSR) cgJacobi(x, b []float64, tol float64, maxIter int) (int, float64, 
 	}
 
 	for it := 1; it <= maxIter; it++ {
+		if it%cgCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				var rnorm float64
+				for i := range r {
+					rnorm += r[i] * r[i]
+				}
+				return it, math.Sqrt(rnorm) / bnorm, fmt.Errorf("fem: solve interrupted after %d iterations: %w", it, err)
+			}
+			if progress != nil {
+				var rnorm float64
+				for i := range r {
+					rnorm += r[i] * r[i]
+				}
+				progress(it, math.Sqrt(rnorm)/bnorm)
+			}
+		}
 		m.MulVec(p, ap)
 		var pap float64
 		for i := range p {

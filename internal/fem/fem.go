@@ -11,6 +11,7 @@
 package fem
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -146,11 +147,45 @@ type Solution struct {
 
 // Solve runs preconditioned CG to the given relative tolerance.
 func (s *System) Solve(tol float64, maxIter int) (*Solution, error) {
-	if maxIter <= 0 {
-		maxIter = 10 * s.N
+	return s.SolveCtx(context.Background(), SolveOptions{Tol: tol, MaxIter: maxIter})
+}
+
+// SolveOptions parameterizes SolveCtx.
+type SolveOptions struct {
+	// Tol is the relative residual target (default 1e-8).
+	Tol float64
+	// MaxIter caps CG iterations (default 10 × unknowns).
+	MaxIter int
+	// Progress, when non-nil, is called periodically from the solving
+	// goroutine with the iteration count and current relative residual
+	// — the hook a serving layer's supervision uses as a liveness
+	// signal. It must be fast; it runs on the solve's critical path.
+	Progress func(iter int, relResidual float64)
+}
+
+// SolveCtx runs preconditioned CG under a context: cancellation (or
+// deadline expiry) is observed every few iterations and surfaces as an
+// error wrapping ctx.Err(), so a server can bound a hostile or
+// runaway solve without abandoning the goroutine. A canceled solve
+// returns no Solution — the partial iterate is not a usable field.
+func (s *System) SolveCtx(ctx context.Context, opt SolveOptions) (*Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// An already-dead context never starts iterating: CG only observes
+	// ctx every few iterations, and a small system can converge before
+	// the first check — a canceled caller must not receive a field.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("fem: solve not started: %w", err)
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10 * s.N
 	}
 	x := make([]float64, s.N)
-	iters, res, err := s.K.cgJacobi(x, s.B, tol, maxIter)
+	iters, res, err := s.K.cgJacobi(ctx, x, s.B, opt.Tol, opt.MaxIter, opt.Progress)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package fem
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -270,7 +271,7 @@ func TestCGSolvesSPD(t *testing.T) {
 		rhs[i] = 1
 	}
 	x := make([]float64, n)
-	iters, res, err := m.cgJacobi(x, rhs, 1e-12, 1000)
+	iters, res, err := m.cgJacobi(context.Background(), x, rhs, 1e-12, 1000, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,7 +294,7 @@ func TestCGRejectsNonSPD(t *testing.T) {
 	b.add(1, 1, 1)
 	m := b.build()
 	x := make([]float64, 2)
-	if _, _, err := m.cgJacobi(x, []float64{1, 1}, 1e-10, 10); err == nil {
+	if _, _, err := m.cgJacobi(context.Background(), x, []float64{1, 1}, 1e-10, 10, nil); err == nil {
 		t.Fatal("negative diagonal accepted")
 	}
 }

@@ -44,6 +44,44 @@ func WriteVTKSnapshot(w io.Writer, s *core.MeshSnapshot) error {
 	return bw.Flush()
 }
 
+// RawFromSnapshot adapts a MeshSnapshot to the RawMesh shape the fem
+// package consumes. Verts and Cells are shared, not copied — the
+// snapshot is immutable and fem only reads them — so building a
+// simulation problem from a cached snapshot costs one small labels
+// slice, not a geometry copy.
+func RawFromSnapshot(s *core.MeshSnapshot) *RawMesh {
+	m := &RawMesh{Verts: s.Verts, Cells: s.Cells}
+	if s.Labels != nil {
+		m.Labels = make([]int, len(s.Labels))
+		for i, l := range s.Labels {
+			m.Labels[i] = int(l)
+		}
+	}
+	return m
+}
+
+// WriteVTKSnapshotField writes the snapshot as VTK exactly like
+// WriteVTKSnapshot, then appends a POINT_DATA section carrying one
+// scalar field u (one value per snapshot vertex, in vertex order) —
+// the encoding a simulation endpoint returns so the solved field can
+// be visualized on the mesh it was computed on.
+func WriteVTKSnapshotField(w io.Writer, s *core.MeshSnapshot, name string, u []float64) error {
+	if len(u) != len(s.Verts) {
+		return fmt.Errorf("meshio: field %q has %d values for %d vertices", name, len(u), len(s.Verts))
+	}
+	bw := bufio.NewWriter(w)
+	if err := WriteVTKSnapshot(bw, s); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "POINT_DATA %d\n", len(s.Verts))
+	fmt.Fprintf(bw, "SCALARS %s double 1\n", name)
+	fmt.Fprintln(bw, "LOOKUP_TABLE default")
+	for _, v := range u {
+		fmt.Fprintf(bw, "%g\n", v)
+	}
+	return bw.Flush()
+}
+
 // WriteOFFSnapshot writes the snapshot's boundary triangulation as an
 // OFF surface mesh, extracting the boundary from the copied geometry
 // (MeshSnapshot.BoundaryTriangles) — no mesh or lease required.

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"os"
@@ -84,6 +85,30 @@ func TestChaosSoak(t *testing.T) {
 	variants := []string{"", "delta=2.5", "max_elements=500"}
 	formats := []string{"vtk", "off"}
 
+	// Simulate traffic rides the same storm: a well-posed problem, an
+	// unmatchable boundary condition (post-mesh 400), and a malformed
+	// spec (pre-mesh 400). Bodies are prebuilt — multipartBody may
+	// t.Fatal, which worker goroutines must not.
+	simSpecs := []string{
+		`{"dirichlet": [{"plane": {"axis": "z", "side": "min"}, "value": 0}], "source": {"uniform": 1}}`,
+		`{"dirichlet": [{"sphere": {"center": [9999, 9999, 9999], "r": 1}, "value": 0}]}`,
+		`{"dirichlet": []}`,
+	}
+	type simReq struct {
+		body  []byte
+		ctype string
+	}
+	simBodies := make([][]simReq, len(bodies))
+	for i, b := range bodies {
+		for _, spec := range simSpecs {
+			body, ctype := multipartBody(t, map[string][]byte{
+				"spec":  []byte(spec),
+				"image": b,
+			})
+			simBodies[i] = append(simBodies[i], simReq{body, ctype})
+		}
+	}
+
 	// ---- Phase A: the storm. -------------------------------------
 	storm := faultinject.New(faultinject.Config{
 		Seed: seed,
@@ -122,24 +147,29 @@ func TestChaosSoak(t *testing.T) {
 				if v := variants[rng.Intn(len(variants))]; v != "" {
 					url += "&" + v
 				}
-				body := bodies[rng.Intn(len(bodies))]
+				bi := rng.Intn(len(bodies))
+				body, ctype := bodies[bi], "application/octet-stream"
 				switch roll := rng.Intn(100); {
 				case roll < 5:
 					body = []byte("this is not an NRRD image")
 				case roll < 12:
 					url += "&timeout=1ms" // doomed: deadline pressure
+				case roll < 32:
+					// Simulate traffic: mesh + solve through the same pool.
+					sim := simBodies[bi][rng.Intn(len(simSpecs))]
+					url = ts.URL + "/v1/simulate"
+					body, ctype = sim.body, sim.ctype
 				}
-				resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(body))
+				resp, err := client.Post(url, ctype, bytes.NewReader(body))
 				if err != nil {
 					t.Errorf("worker %d request %d: transport error: %v", w, i, err)
 					continue
 				}
-				buf := make([]byte, 512)
-				n, _ := resp.Body.Read(buf)
+				buf, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 				resp.Body.Close()
 				outcomes <- chaosOutcome{
 					code:       resp.StatusCode,
-					body:       string(buf[:n]),
+					body:       string(buf),
 					retryAfter: resp.Header.Get("Retry-After"),
 				}
 			}
@@ -236,16 +266,19 @@ func TestChaosSoak(t *testing.T) {
 		switch {
 		case o.code >= 500 || o.code == StatusClientClosedRequest:
 			fiveXX++
-			if o.body == "" {
-				t.Errorf("status %d carried no reason body", o.code)
-			}
 		case o.code >= 400:
 			fourXX++
-			if o.body == "" {
-				t.Errorf("status %d carried no reason body", o.code)
-			}
 		default:
 			twoXX++
+		}
+		if o.code >= 400 {
+			// Every rejection is machine-readable: the structured JSON
+			// envelope with a code and a human reason, no bare strings.
+			var env errorEnvelope
+			if err := json.Unmarshal([]byte(o.body), &env); err != nil ||
+				env.Error.Code == "" || env.Error.Reason == "" {
+				t.Errorf("status %d body is not the error envelope: %q", o.code, o.body)
+			}
 		}
 		if (o.code == http.StatusTooManyRequests || o.code == http.StatusServiceUnavailable) && o.retryAfter == "" {
 			t.Errorf("status %d missing Retry-After", o.code)
@@ -266,8 +299,23 @@ func TestChaosSoak(t *testing.T) {
 		t.Errorf("runs %d != accepted %d - coalesced %d - abandoned %d - cache-served %d",
 			runs, accepted, coalesced, abandoned, cacheServed)
 	}
-	if ok200 := srv.mRequests.Value("200"); ok200 != completed {
-		t.Errorf("HTTP 200s %d != completed jobs %d", ok200, completed)
+	// A simulate request whose mesh stage completed but whose solve then
+	// failed counts as a completed mesh job without a 200 — so the 200
+	// ledger balances against completed minus post-mesh solve failures
+	// (pre-mesh rejections and mesh_failed never incremented completed).
+	postMeshSimFail := int64(0)
+	for _, o := range []string{"bad_bc", "solve_failed", "canceled", "deadline", "watchdog"} {
+		postMeshSimFail += srv.mSimJobs.Value(o)
+	}
+	if ok200 := srv.mRequests.Value("200"); ok200 != completed-postMeshSimFail {
+		t.Errorf("HTTP 200s %d != completed jobs %d - post-mesh simulate failures %d",
+			ok200, completed, postMeshSimFail)
+	}
+	if srv.mSimJobs.Value("ok") < 1 {
+		t.Error("no simulate job completed during the soak")
+	}
+	if srv.mSimJobs.Value("bad_bc") < 1 {
+		t.Error("the unmatchable-BC simulate traffic never produced a bad_bc outcome")
 	}
 	ps := srv.pool.Stats()
 	if ps.Quarantines != ps.HealthRebuilds {
@@ -313,6 +361,8 @@ func TestChaosSoak(t *testing.T) {
 			"pool_healed":        healed,
 			"breakers_closed":    breakersClosed,
 			"cache_served":       cacheServed,
+			"simulate_ok":        srv.mSimJobs.Value("ok"),
+			"simulate_failed":    postMeshSimFail,
 			"cache_hits":         cs.Hits,
 			"cache_misses":       cs.Misses,
 			"cache_writes":       cs.Writes,

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Error codes of the structured error envelope. Every 4xx/5xx the
+// server emits carries one; clients branch on the code, humans read
+// the reason.
+const (
+	CodeBadRequest  = "bad_request"   // malformed image, spec, or parameters
+	CodeBadBC       = "bad_bc"        // a boundary-condition spec constrained no vertex
+	CodeTooLarge    = "too_large"     // request body over MaxRequestBytes
+	CodeQueueFull   = "queue_full"    // admission queue at capacity
+	CodeDeadline    = "deadline"      // job or solve deadline expired
+	CodeBreakerOpen = "breaker_open"  // the key's circuit breaker is open
+	CodeWatchdog    = "watchdog"      // run/solve abandoned by the watchdog
+	CodeCanceled    = "canceled"      // the client went away (499)
+	CodeDraining    = "draining"      // server shutting down
+	CodeUnavailable = "unavailable"   // pool closed / no session
+	CodeSolveFailed = "solve_failed"  // assembly or CG failure
+	CodeInternal    = "internal"      // anything else
+)
+
+// errorEnvelope is the JSON error document every non-2xx response
+// carries:
+//
+//	{"error": {"code": "queue_full", "reason": "...", "retry_after_s": 2}}
+//
+// retry_after_s mirrors the Retry-After header when one is set, so a
+// JSON-only client never has to read headers to back off correctly.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+type errorBody struct {
+	Code        string `json:"code"`
+	Reason      string `json:"reason"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+// httpError writes the structured JSON error envelope with the given
+// status and machine-readable code. It reads any Retry-After header
+// already stamped on the response, so capacity call sites keep their
+// existing set-header-then-error shape.
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	var retry int
+	if ra := w.Header().Get("Retry-After"); ra != "" {
+		retry, _ = strconv.Atoi(ra)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorEnvelope{Error: errorBody{
+		Code:        code,
+		Reason:      fmt.Sprintf(format, args...),
+		RetryAfterS: retry,
+	}})
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -18,18 +17,23 @@ import (
 
 // Handler returns the server's HTTP surface:
 //
-//	POST /v1/mesh    NRRD body (raw or gzip encoding) → VTK/OFF mesh
-//	GET  /healthz    liveness (always "ok" while the process is alive)
-//	GET  /readyz     readiness (503 while draining or with no healthy sessions)
-//	GET  /v1/stats   JSON serving statistics
-//	GET  /metrics    Prometheus text exposition
+//	POST /v1/mesh      NRRD body (raw or gzip encoding) → VTK/OFF mesh
+//	POST /v1/simulate  multipart spec+image → solved FEM field on the mesh
+//	GET  /healthz      liveness (always "ok" while the process is alive)
+//	GET  /readyz       readiness (503 while draining or with no healthy sessions)
+//	GET  /v1/stats     JSON serving statistics
+//	GET  /metrics      Prometheus text exposition
 //
-// /v1/mesh query parameters: format=vtk|off (default vtk),
-// delta=<world units>, max_elements=<n>, max_radius_edge=<r>,
-// min_facet_angle=<deg>, timeout=<duration, e.g. 30s>.
+// /v1/mesh accepts its knobs two ways, parsed into the same MeshSpec:
+// query parameters (format=vtk|off, delta, max_elements,
+// max_radius_edge, min_facet_angle, timeout) exactly as before, or a
+// multipart/form-data body with a JSON "spec" part and an "image"
+// part. When a spec part is present it wins wholesale over the query
+// string. Every 4xx/5xx carries the JSON error envelope.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mesh", s.handleMesh)
+	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
@@ -65,102 +69,95 @@ func (w *codeWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
-// httpError writes a plain-text error with the given status.
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(code)
-	fmt.Fprintf(w, format+"\n", args...)
-}
-
-// meshParams are the per-request knobs parsed from the query string;
-// zero values defer to the session template.
-type meshParams struct {
-	format        string
-	delta         float64
-	maxElements   int
-	maxRadiusEdge float64
-	minFacetAngle float64
-	timeout       time.Duration
-}
-
-func parseMeshParams(r *http.Request) (meshParams, error) {
-	q := r.URL.Query()
-	p := meshParams{format: "vtk"}
-	if f := q.Get("format"); f != "" {
-		if f != "vtk" && f != "off" {
-			return p, fmt.Errorf("unknown format %q (want vtk or off)", f)
-		}
-		p.format = f
-	}
-	parseF := func(name string, dst *float64) error {
-		v := q.Get(name)
-		if v == "" {
-			return nil
-		}
-		x, err := strconv.ParseFloat(v, 64)
-		// ParseFloat accepts "NaN" and "Inf" — and NaN <= 0 is false, so
-		// without the explicit checks a delta=NaN request would reach
-		// the engine as a NaN-configured run.
-		if err != nil || math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
-			return fmt.Errorf("bad %s=%q (want a positive finite number)", name, v)
-		}
-		*dst = x
-		return nil
-	}
-	if err := parseF("delta", &p.delta); err != nil {
-		return p, err
-	}
-	if err := parseF("max_radius_edge", &p.maxRadiusEdge); err != nil {
-		return p, err
-	}
-	if p.maxRadiusEdge != 0 && p.maxRadiusEdge < 2 {
-		// Below the paper's provable bound the refinement rules are not
-		// guaranteed to terminate; a server must not accept a request
-		// that can spin until the livelock watchdog.
-		return p, fmt.Errorf("max_radius_edge=%g below the provable bound 2", p.maxRadiusEdge)
-	}
-	if err := parseF("min_facet_angle", &p.minFacetAngle); err != nil {
-		return p, err
-	}
-	if v := q.Get("max_elements"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			return p, fmt.Errorf("bad max_elements=%q", v)
-		}
-		p.maxElements = n
-	}
-	if v := q.Get("timeout"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil || d <= 0 {
-			return p, fmt.Errorf("bad timeout=%q (want a positive duration like 30s)", v)
-		}
-		p.timeout = d
-	}
-	return p, nil
-}
-
-// handleMesh is POST /v1/mesh: read and cap the body, admit, run,
-// stream the mesh back.
-func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
-	params, err := parseMeshParams(r)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad request: %v", err)
-		return
-	}
-
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes))
+// readMeshRequest resolves a request into its MeshSpec and image
+// payload, honoring body-over-params precedence: a multipart "spec"
+// part replaces the query string wholesale, a spec-less request parses
+// the query exactly as the server always has.
+func (s *Server) readMeshRequest(w http.ResponseWriter, r *http.Request) (MeshSpec, []byte, bool) {
+	specJSON, image, err := readSpecRequest(w, r, s.cfg.MaxRequestBytes)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
+			httpError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
 				"request body exceeds the %d byte cap", s.cfg.MaxRequestBytes)
-			return
+			return MeshSpec{}, nil, false
 		}
-		httpError(w, http.StatusBadRequest, "reading body: %v", err)
-		return
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
+		return MeshSpec{}, nil, false
 	}
-	if len(body) == 0 {
-		httpError(w, http.StatusBadRequest, "empty body: expected an NRRD label image")
+	if len(image) == 0 {
+		httpError(w, http.StatusBadRequest, CodeBadRequest,
+			"empty body: expected an NRRD label image")
+		return MeshSpec{}, nil, false
+	}
+	var spec MeshSpec
+	if specJSON != nil {
+		spec, err = ParseMeshSpec(specJSON)
+	} else {
+		spec, err = meshSpecFromQuery(r.URL.Query())
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "bad request: %v", err)
+		return MeshSpec{}, nil, false
+	}
+	return spec, image, true
+}
+
+// writeMeshError maps a MeshSnapshot failure to its HTTP response and
+// returns the envelope code it chose — the simulate handler records it
+// as the job outcome. Shared by /v1/mesh and /v1/simulate so the two
+// endpoints can never disagree on what a rejection looks like.
+func (s *Server) writeMeshError(w http.ResponseWriter, err error) string {
+	var brkOpen *BreakerOpenError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.setRetryAfter(w)
+		httpError(w, http.StatusTooManyRequests, CodeQueueFull, "%v", err)
+		return CodeQueueFull
+	case errors.Is(err, ErrDeadline):
+		// Capacity signal: the job's deadline expired before a
+		// session freed up (or mid-run). Worth retrying shortly.
+		s.setRetryAfter(w)
+		httpError(w, http.StatusServiceUnavailable, CodeDeadline, "%v", err)
+		return CodeDeadline
+	case errors.As(err, &brkOpen):
+		// The breaker knows exactly when it will admit a probe;
+		// its own hint beats the latency-derived one.
+		secs := int(math.Ceil(brkOpen.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		httpError(w, http.StatusServiceUnavailable, CodeBreakerOpen, "%v", err)
+		return CodeBreakerOpen
+	case errors.Is(err, ErrWatchdog):
+		// The run was abandoned and its session quarantined; by the
+		// time a retry lands the pool has likely backfilled.
+		s.setRetryAfter(w)
+		httpError(w, http.StatusServiceUnavailable, CodeWatchdog, "%v", err)
+		return CodeWatchdog
+	case errors.Is(err, ErrCanceled):
+		// The client gave up; nobody is listening, but the status
+		// still lands in logs and metrics (nginx's 499).
+		httpError(w, StatusClientClosedRequest, CodeCanceled, "%v", err)
+		return CodeCanceled
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, CodeDraining, "%v", err)
+		return CodeDraining
+	case errors.Is(err, ErrPoolClosed), errors.Is(err, core.ErrSessionBusy):
+		httpError(w, http.StatusServiceUnavailable, CodeUnavailable, "%v", err)
+		return CodeUnavailable
+	default:
+		httpError(w, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return CodeInternal
+	}
+}
+
+// handleMesh is POST /v1/mesh: resolve the spec, read and cap the
+// body, admit, run, stream the mesh back.
+func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
+	spec, body, ok := s.readMeshRequest(w, r)
+	if !ok {
 		return
 	}
 
@@ -173,33 +170,15 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 	// jobs requesting the same mesh share a run or a cached entry (the
 	// format is per-waiter and excluded from the variant — it is part of
 	// the entity tag instead, since VTK and OFF bodies differ).
-	var tune func(*core.Config)
-	var variant string
-	if params.delta > 0 || params.maxElements > 0 || params.maxRadiusEdge > 0 || params.minFacetAngle > 0 {
-		variant = fmt.Sprintf("d=%g,n=%d,re=%g,fa=%g",
-			params.delta, params.maxElements, params.maxRadiusEdge, params.minFacetAngle)
-		tune = func(cfg *core.Config) {
-			if params.delta > 0 {
-				cfg.Delta = params.delta
-			}
-			if params.maxElements > 0 {
-				cfg.MaxElements = params.maxElements
-			}
-			if params.maxRadiusEdge > 0 {
-				cfg.MaxRadiusEdge = params.maxRadiusEdge
-			}
-			if params.minFacetAngle > 0 {
-				cfg.MinFacetAngle = params.minFacetAngle
-			}
-		}
-	}
+	variant := spec.variant()
+	tune := spec.tune()
 
 	// Conditional GET: If-None-Match is answered from the cache index
 	// alone — no image decode, no blob read, no session. 304 carries the
 	// entity tag back so the client can keep validating with it.
 	if inm := r.Header.Get("If-None-Match"); inm != "" {
 		if tag, ok := s.CacheETag(key, variant); ok {
-			entity := entityTag(tag, params.format)
+			entity := entityTag(tag, spec.Format)
 			if etagMatch(inm, entity) {
 				w.Header().Set("ETag", entity)
 				w.WriteHeader(http.StatusNotModified)
@@ -210,64 +189,29 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 
 	image, err := s.decodeImage(key, body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "decoding image: %v", err)
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "decoding image: %v", err)
 		return
 	}
 
 	ctx := r.Context()
-	if params.timeout > 0 {
+	if spec.Timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, params.timeout)
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.Timeout))
 		defer cancel()
 	}
 
 	sr, err := s.MeshSnapshot(ctx, key, variant, image, tune)
 	if err != nil {
-		var brkOpen *BreakerOpenError
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			s.setRetryAfter(w)
-			httpError(w, http.StatusTooManyRequests, "%v", err)
-		case errors.Is(err, ErrDeadline):
-			// Capacity signal: the job's deadline expired before a
-			// session freed up (or mid-run). Worth retrying shortly.
-			s.setRetryAfter(w)
-			httpError(w, http.StatusServiceUnavailable, "%v", err)
-		case errors.As(err, &brkOpen):
-			// The breaker knows exactly when it will admit a probe;
-			// its own hint beats the latency-derived one.
-			secs := int(math.Ceil(brkOpen.RetryAfter.Seconds()))
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			httpError(w, http.StatusServiceUnavailable, "%v", err)
-		case errors.Is(err, ErrWatchdog):
-			// The run was abandoned and its session quarantined; by the
-			// time a retry lands the pool has likely backfilled.
-			s.setRetryAfter(w)
-			httpError(w, http.StatusServiceUnavailable, "%v", err)
-		case errors.Is(err, ErrCanceled):
-			// The client gave up; nobody is listening, but the status
-			// still lands in logs and metrics (nginx's 499).
-			httpError(w, StatusClientClosedRequest, "%v", err)
-		case errors.Is(err, ErrDraining), errors.Is(err, ErrPoolClosed):
-			httpError(w, http.StatusServiceUnavailable, "%v", err)
-		case errors.Is(err, core.ErrSessionBusy):
-			// Unreachable through the pool; surfaced for completeness.
-			httpError(w, http.StatusServiceUnavailable, "%v", err)
-		default:
-			httpError(w, http.StatusInternalServerError, "%v", err)
-		}
+		s.writeMeshError(w, err)
 		return
 	}
 
 	// Encode off-lease from the snapshot: the session that produced
 	// this mesh is already serving the next job.
 	if sr.ETag != "" {
-		w.Header().Set("ETag", entityTag(sr.ETag, params.format))
+		w.Header().Set("ETag", entityTag(sr.ETag, spec.Format))
 	}
-	switch params.format {
+	switch spec.Format {
 	case "off":
 		w.Header().Set("Content-Type", "model/off")
 		meshio.WriteOFFSnapshot(w, sr.Snapshot)
@@ -324,11 +268,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // 503 while draining or while every pool session is quarantined.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
+		httpError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
 		return
 	}
 	if s.pool.Healthy() == 0 {
-		httpError(w, http.StatusServiceUnavailable, "no healthy sessions (all quarantined)")
+		httpError(w, http.StatusServiceUnavailable, CodeUnavailable,
+			"no healthy sessions (all quarantined)")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -2,8 +2,6 @@ package serve
 
 import (
 	"math"
-	"net/http"
-	"net/http/httptest"
 	"net/url"
 	"testing"
 	"time"
@@ -53,7 +51,7 @@ func TestRetryAfterTracksLatency(t *testing.T) {
 	}
 }
 
-// hostileParams is the shared oracle: parseMeshParams must reject
+// hostileParams is the shared oracle: the query surface must reject
 // these outright (no panic, no NaN/Inf/non-positive knob reaching the
 // engine).
 var hostileParams = []string{
@@ -81,35 +79,75 @@ var hostileParams = []string{
 	"format=vtk%00",
 }
 
-// TestParseMeshParamsHostile: every hostile/boundary knob yields a
-// parse error (the HTTP layer turns it into a 400), never a
-// NaN-configured run. delta=NaN previously slipped through because
-// ParseFloat accepts "NaN" and NaN <= 0 is false.
-func TestParseMeshParamsHostile(t *testing.T) {
+func queryValues(qs string) url.Values {
+	u, err := url.Parse("/v1/mesh?" + qs)
+	if err != nil {
+		return url.Values{}
+	}
+	return u.Query()
+}
+
+// TestParseMeshSpecHostile: every hostile/boundary knob yields a parse
+// error from the shared query→MeshSpec path (the HTTP layer turns it
+// into a 400), never a NaN-configured run. delta=NaN previously
+// slipped through because ParseFloat accepts "NaN" and NaN <= 0 is
+// false.
+func TestParseMeshSpecHostile(t *testing.T) {
 	for _, qs := range hostileParams {
-		r := httptest.NewRequest(http.MethodPost, "/v1/mesh?"+qs, nil)
-		if _, err := parseMeshParams(r); err == nil {
+		if _, err := meshSpecFromQuery(queryValues(qs)); err == nil {
 			t.Errorf("query %q accepted, want an error", qs)
 		}
 	}
 	// Sanity: the legitimate knobs still parse.
-	r := httptest.NewRequest(http.MethodPost,
-		"/v1/mesh?format=off&delta=0.5&max_elements=1000&max_radius_edge=2.2&min_facet_angle=25&timeout=30s", nil)
-	p, err := parseMeshParams(r)
+	spec, err := meshSpecFromQuery(queryValues(
+		"format=off&delta=0.5&max_elements=1000&max_radius_edge=2.2&min_facet_angle=25&timeout=30s"))
 	if err != nil {
 		t.Fatalf("legitimate query rejected: %v", err)
 	}
-	if p.format != "off" || p.delta != 0.5 || p.maxElements != 1000 ||
-		p.maxRadiusEdge != 2.2 || p.minFacetAngle != 25 || p.timeout != 30*time.Second {
-		t.Errorf("parsed params %+v do not match the query", p)
+	if spec.Format != "off" || spec.Delta != 0.5 || spec.MaxElements != 1000 ||
+		spec.MaxRadiusEdge != 2.2 || spec.MinFacetAngle != 25 ||
+		time.Duration(spec.Timeout) != 30*time.Second {
+		t.Errorf("parsed spec %+v does not match the query", spec)
+	}
+}
+
+// checkSaneMeshSpec is the fuzz oracle shared by the query and JSON
+// surfaces: anything either parser accepts must be a sane engine
+// configuration.
+func checkSaneMeshSpec(t *testing.T, m MeshSpec, input string) {
+	t.Helper()
+	for name, v := range map[string]float64{
+		"delta":           m.Delta,
+		"max_radius_edge": m.MaxRadiusEdge,
+		"min_facet_angle": m.MinFacetAngle,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("accepted %s=%v from %q (NaN/Inf/negative would reach the engine)", name, v, input)
+		}
+	}
+	if m.MaxRadiusEdge != 0 && m.MaxRadiusEdge < 2 {
+		t.Fatalf("accepted max_radius_edge=%v below the provable bound from %q", m.MaxRadiusEdge, input)
+	}
+	if m.MaxElements < 0 {
+		t.Fatalf("accepted max_elements=%d from %q", m.MaxElements, input)
+	}
+	if m.Timeout < 0 {
+		t.Fatalf("accepted timeout=%v from %q", time.Duration(m.Timeout), input)
+	}
+	if m.Format != "vtk" && m.Format != "off" {
+		t.Fatalf("accepted format=%q from %q", m.Format, input)
+	}
+	if m.Size != nil {
+		if err := m.Size.validate(); err != nil {
+			t.Fatalf("accepted invalid size spec from %q: %v", input, err)
+		}
 	}
 }
 
 // FuzzParseMeshParams: arbitrary query strings must never panic the
-// parser, and anything it accepts must be a sane engine
-// configuration — finite positive floats, non-negative element
-// budget, radius-edge at or above the provable bound, positive
-// timeout.
+// parser, and anything it accepts must be a sane engine configuration
+// — finite positive floats, non-negative element budget, radius-edge
+// at or above the provable bound, positive timeout.
 func FuzzParseMeshParams(f *testing.F) {
 	for _, qs := range hostileParams {
 		f.Add(qs)
@@ -121,34 +159,87 @@ func FuzzParseMeshParams(f *testing.F) {
 	f.Add("timeout=9999999999999999999ns")
 	f.Add("delta=%GG&max_elements=+0")
 	f.Fuzz(func(t *testing.T, qs string) {
-		r := httptest.NewRequest(http.MethodPost, "/v1/mesh", nil)
+		q := url.Values{}
 		if u, err := url.Parse("/v1/mesh?" + qs); err == nil {
-			r.URL = u
+			q = u.Query()
 		}
-		p, err := parseMeshParams(r)
+		m, err := meshSpecFromQuery(q)
 		if err != nil {
 			return
 		}
-		for name, v := range map[string]float64{
-			"delta":           p.delta,
-			"max_radius_edge": p.maxRadiusEdge,
-			"min_facet_angle": p.minFacetAngle,
-		} {
-			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-				t.Fatalf("accepted %s=%v from %q (NaN/Inf/negative would reach the engine)", name, v, qs)
+		checkSaneMeshSpec(t, m, qs)
+	})
+}
+
+// FuzzParseMeshSpec: the JSON body surface holds to the same oracle as
+// the query surface — one shared validation path means one shared
+// fuzz contract.
+func FuzzParseMeshSpec(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"delta": 0.5, "format": "off"}`)
+	f.Add(`{"delta": null}`)
+	f.Add(`{"delta": 1e309}`)
+	f.Add(`{"max_radius_edge": 1.99}`)
+	f.Add(`{"timeout": "30s"}`)
+	f.Add(`{"timeout": 30}`)
+	f.Add(`{"timeout": "-5s"}`)
+	f.Add(`{"version": 99}`)
+	f.Add(`{"unknown_knob": 1}`)
+	f.Add(`{"size": {"per_label": {"1": 2}, "balls": [{"center": [8,8,8], "r": 4, "h": 0.5}]}}`)
+	f.Add(`{"size": {"per_label": {"evil": 2}}}`)
+	f.Add(`{"size": {"balls": [{"center": [0,0,0], "r": -1, "h": 1}]}}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		m, err := ParseMeshSpec([]byte(body))
+		if err != nil {
+			return
+		}
+		checkSaneMeshSpec(t, m, body)
+	})
+}
+
+// FuzzParseSimSpec: arbitrary JSON must never panic the simulation
+// spec parser, and anything it accepts must be fully sane — validated
+// mesh knobs, positive finite conductivities, well-formed predicates,
+// at least one Dirichlet clause, non-negative solver bounds.
+func FuzzParseSimSpec(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"dirichlet": [{"value": 0}]}`)
+	f.Add(`{"dirichlet": [{"label": 1, "value": 0}], "conductivity": {"per_label": {"1": 2.5}}}`)
+	f.Add(`{"dirichlet": [{"plane": {"axis": "z", "side": "min"}, "value": 1}], "source": {"uniform": 1}}`)
+	f.Add(`{"dirichlet": [{"sphere": {"center": [8,8,8], "r": 3}, "value": 2}]}`)
+	f.Add(`{"dirichlet": [{"value": "NaN"}]}`)
+	f.Add(`{"dirichlet": [{"plane": {"axis": "w", "side": "min"}, "value": 0}]}`)
+	f.Add(`{"dirichlet": [{"value": 0}], "solve": {"tol": -1}}`)
+	f.Add(`{"dirichlet": [{"value": 0}], "solve": {"timeout": "1h"}}`)
+	f.Add(`{"dirichlet": [{"value": 0}], "mesh": {"delta": 0}}`)
+	f.Add(`{"dirichlet": [{"value": 0}], "conductivity": {"per_label": {"1": -1}}}`)
+	f.Add(`{"version": 2, "dirichlet": [{"value": 0}]}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		sp, err := ParseSimSpec([]byte(body))
+		if err != nil {
+			return
+		}
+		checkSaneMeshSpec(t, sp.Mesh, body)
+		if sp.Format != "vtk" && sp.Format != "summary" {
+			t.Fatalf("accepted format=%q from %q", sp.Format, body)
+		}
+		if len(sp.Dirichlet) == 0 {
+			t.Fatalf("accepted a spec with no dirichlet clauses from %q", body)
+		}
+		for _, bc := range sp.Dirichlet {
+			if math.IsNaN(bc.Value) || math.IsInf(bc.Value, 0) {
+				t.Fatalf("accepted non-finite dirichlet value from %q", body)
 			}
 		}
-		if p.maxRadiusEdge != 0 && p.maxRadiusEdge < 2 {
-			t.Fatalf("accepted max_radius_edge=%v below the provable bound from %q", p.maxRadiusEdge, qs)
+		if c := sp.Conductivity; c != nil {
+			for k, v := range c.PerLabel {
+				if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("accepted conductivity %s=%v from %q", k, v, body)
+				}
+			}
 		}
-		if p.maxElements < 0 {
-			t.Fatalf("accepted max_elements=%d from %q", p.maxElements, qs)
-		}
-		if p.timeout < 0 {
-			t.Fatalf("accepted timeout=%v from %q", p.timeout, qs)
-		}
-		if p.format != "vtk" && p.format != "off" {
-			t.Fatalf("accepted format=%q from %q", p.format, qs)
+		if sp.Solve.Tol < 0 || sp.Solve.MaxIter < 0 || sp.Solve.Timeout < 0 {
+			t.Fatalf("accepted negative solver bounds from %q", body)
 		}
 	})
 }

@@ -113,6 +113,11 @@ type Config struct {
 	// WatchdogGrace is how long a watchdog-canceled run may keep
 	// running before its session is abandoned (default 2s).
 	WatchdogGrace time.Duration
+	// SolveTimeout caps the solve stage of a /v1/simulate job — the
+	// ceiling a request's own solve budget is clamped to (default 30s).
+	// The solve runs off-lease, so this bounds goroutine and CPU time,
+	// not session occupancy.
+	SolveTimeout time.Duration
 	// Session is the configuration template every pool session runs
 	// with. Its Image and Context fields are ignored.
 	Session core.Config
@@ -159,6 +164,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WatchdogGrace <= 0 {
 		c.WatchdogGrace = 2 * time.Second
+	}
+	if c.SolveTimeout <= 0 {
+		c.SolveTimeout = 30 * time.Second
 	}
 	return c
 }
@@ -231,6 +239,9 @@ type Server struct {
 	mBreakerTrips     *Counter
 	mCacheServed      *Counter
 	mImgCacheEvict    *Counter
+	mSolveSeconds     *Histogram  // pi2md_solve_seconds
+	mSolveIters       *Histogram  // pi2md_solve_iterations
+	mSimJobs          *CounterVec // pi2md_simulate_jobs_total{outcome}
 
 	// lastRuns is a ring of recent run summaries for /v1/stats.
 	lastMu   sync.Mutex
@@ -350,6 +361,14 @@ func NewServer(cfg Config) (*Server, error) {
 		"Mesh jobs answered from the persistent result cache without consuming a session.")
 	s.mImgCacheEvict = r.Counter("pi2md_image_cache_evictions_total",
 		"Parsed images evicted from the image cache by the LRU byte budget.")
+	s.mSolveSeconds = r.Histogram("pi2md_solve_seconds",
+		"Wall time of the FEM solve stage of /v1/simulate (assembly + CG), off-lease.",
+		[]float64{0.001, 0.01, 0.05, 0.2, 1, 5, 15, 30})
+	s.mSolveIters = r.Histogram("pi2md_solve_iterations",
+		"CG iterations of completed /v1/simulate solves.",
+		[]float64{10, 30, 100, 300, 1000, 3000, 10000})
+	s.mSimJobs = r.CounterVec("pi2md_simulate_jobs_total",
+		"Simulation jobs by outcome: ok, bad_request (pre-mesh), mesh_failed, and the post-mesh failures (bad_bc, solve_failed, canceled, deadline, watchdog).", "outcome")
 	cacheStat := func(pick func(cachestore.Stats) float64) func() float64 {
 		return func() float64 {
 			if s.cache == nil {

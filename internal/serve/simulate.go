@@ -1,0 +1,582 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fem"
+	"repro/internal/geom"
+	"repro/internal/img"
+	"repro/internal/meshio"
+)
+
+// SimSpec is the versioned request spec of /v1/simulate: the meshing
+// knobs (a full MeshSpec — the mesh stage shares /v1/mesh's admission,
+// coalescing, and cache path, keyed by the same variant), the material
+// model, the boundary conditions, an optional source term, and the
+// solver budget. The image travels beside it as the multipart "image"
+// part.
+type SimSpec struct {
+	// Version is the spec revision; 0 (absent) and SpecVersion are
+	// accepted.
+	Version int `json:"version,omitempty"`
+	// Mesh tunes the meshing stage; its Format and Timeout fields keep
+	// their /v1/mesh meaning (Timeout bounds the mesh stage only — the
+	// solve has its own budget under Solve.Timeout).
+	Mesh MeshSpec `json:"mesh,omitempty"`
+	// Format selects the response: "vtk" (default) returns the mesh
+	// with the solved field as POINT_DATA plus an X-Simulate-Summary
+	// header; "summary" returns the JSON summary alone.
+	Format string `json:"format,omitempty"`
+	// Conductivity is the per-tissue material model (nil = unit
+	// conductivity everywhere).
+	Conductivity *ConductivitySpec `json:"conductivity,omitempty"`
+	// Dirichlet selects constrained exterior-surface vertices; at
+	// least one clause is required, and together they must constrain at
+	// least one vertex of the actual mesh (else 400 bad_bc).
+	Dirichlet []BCSpec `json:"dirichlet"`
+	// Source is the optional volumetric source term f (nil = 0).
+	Source *SourceSpec `json:"source,omitempty"`
+	// Solve bounds the solver.
+	Solve SolveSpec `json:"solve,omitempty"`
+}
+
+// ConductivitySpec maps tissue labels to conductivities; labels
+// without an entry get Default (0 = 1).
+type ConductivitySpec struct {
+	PerLabel map[string]float64 `json:"per_label,omitempty"`
+	Default  float64            `json:"default,omitempty"`
+}
+
+// BCSpec is one Dirichlet clause: it constrains every exterior-surface
+// vertex matching ALL of its predicates (absent predicates match
+// everything, so an empty clause constrains the whole exterior
+// boundary) to Value. Later clauses override earlier ones where they
+// overlap.
+type BCSpec struct {
+	// Label matches vertices bounding a cell of this tissue label.
+	Label *int `json:"label,omitempty"`
+	// Plane matches vertices within Tol of the mesh's axis-aligned
+	// bounding-box face.
+	Plane *PlaneSpec `json:"plane,omitempty"`
+	// Sphere matches vertices inside the ball.
+	Sphere *SphereSpec `json:"sphere,omitempty"`
+	// Value is the prescribed field value u = g.
+	Value float64 `json:"value"`
+}
+
+// PlaneSpec selects an axis-aligned boundary slab: the vertices within
+// Tol (default 0.5 world units) of the exterior surface's min or max
+// coordinate along Axis.
+type PlaneSpec struct {
+	Axis string  `json:"axis"`          // "x", "y", or "z"
+	Side string  `json:"side"`          // "min" or "max"
+	Tol  float64 `json:"tol,omitempty"` // slab thickness (0 = 0.5)
+}
+
+// SphereSpec selects the boundary vertices inside a ball.
+type SphereSpec struct {
+	Center [3]float64 `json:"center"`
+	R      float64    `json:"r"`
+}
+
+// SourceSpec is the volumetric source term f of -∇·(k∇u) = f:
+// a uniform background plus an optional ball of different strength.
+type SourceSpec struct {
+	Uniform float64     `json:"uniform,omitempty"`
+	Ball    *SourceBall `json:"ball,omitempty"`
+}
+
+// SourceBall overrides the source strength inside a ball.
+type SourceBall struct {
+	Center [3]float64 `json:"center"`
+	R      float64    `json:"r"`
+	Value  float64    `json:"value"`
+}
+
+// SolveSpec bounds the CG solve.
+type SolveSpec struct {
+	// Tol is the relative residual target (0 = 1e-8).
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIter caps CG iterations (0 = 10 × unknowns).
+	MaxIter int `json:"max_iter,omitempty"`
+	// Timeout bounds the solve stage's wall time; it is capped by the
+	// server's SolveTimeout (0 = the server's SolveTimeout).
+	Timeout Duration `json:"timeout,omitempty"`
+}
+
+// ParseSimSpec decodes a JSON SimSpec strictly (unknown fields are
+// errors) and validates every knob a 400 can catch before the mesh
+// exists; mesh-dependent checks (does any vertex match the BCs?)
+// happen after meshing and surface as bad_bc.
+func ParseSimSpec(data []byte) (SimSpec, error) {
+	var sp SimSpec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return sp, fmt.Errorf("decoding simulation spec: %v", err)
+	}
+	if err := sp.validate(); err != nil {
+		return sp, err
+	}
+	return sp, nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func (sp *SimSpec) validate() error {
+	if err := checkVersion(sp.Version); err != nil {
+		return err
+	}
+	if err := sp.Mesh.validate(); err != nil {
+		return fmt.Errorf("mesh: %v", err)
+	}
+	if sp.Format == "" {
+		sp.Format = "vtk"
+	}
+	if sp.Format != "vtk" && sp.Format != "summary" {
+		return fmt.Errorf("unknown format %q (want vtk or summary)", sp.Format)
+	}
+	if c := sp.Conductivity; c != nil {
+		for k, v := range c.PerLabel {
+			l, err := strconv.Atoi(k)
+			if err != nil || l < 0 || l > 255 {
+				return fmt.Errorf("bad conductivity label %q (want a decimal label 0-255)", k)
+			}
+			if v <= 0 || !finite(v) {
+				return fmt.Errorf("bad conductivity for label %s: %g (want a positive finite number)", k, v)
+			}
+		}
+		if c.Default < 0 || !finite(c.Default) {
+			return fmt.Errorf("bad conductivity default %g", c.Default)
+		}
+	}
+	if len(sp.Dirichlet) == 0 {
+		return fmt.Errorf("no dirichlet clauses: a well-posed problem needs at least one boundary condition")
+	}
+	for i, bc := range sp.Dirichlet {
+		if !finite(bc.Value) {
+			return fmt.Errorf("dirichlet %d: non-finite value", i)
+		}
+		if bc.Label != nil && (*bc.Label < 0 || *bc.Label > 255) {
+			return fmt.Errorf("dirichlet %d: bad label %d", i, *bc.Label)
+		}
+		if p := bc.Plane; p != nil {
+			if p.Axis != "x" && p.Axis != "y" && p.Axis != "z" {
+				return fmt.Errorf("dirichlet %d: bad plane axis %q (want x, y, or z)", i, p.Axis)
+			}
+			if p.Side != "min" && p.Side != "max" {
+				return fmt.Errorf("dirichlet %d: bad plane side %q (want min or max)", i, p.Side)
+			}
+			if p.Tol < 0 || !finite(p.Tol) {
+				return fmt.Errorf("dirichlet %d: bad plane tol %g", i, p.Tol)
+			}
+		}
+		if sph := bc.Sphere; sph != nil {
+			if sph.R <= 0 || !finite(sph.R) {
+				return fmt.Errorf("dirichlet %d: bad sphere r=%g", i, sph.R)
+			}
+			for _, c := range sph.Center {
+				if !finite(c) {
+					return fmt.Errorf("dirichlet %d: non-finite sphere center", i)
+				}
+			}
+		}
+	}
+	if src := sp.Source; src != nil {
+		if !finite(src.Uniform) {
+			return fmt.Errorf("bad source uniform %g", src.Uniform)
+		}
+		if b := src.Ball; b != nil {
+			if b.R <= 0 || !finite(b.R) || !finite(b.Value) {
+				return fmt.Errorf("bad source ball (r=%g, value=%g)", b.R, b.Value)
+			}
+			for _, c := range b.Center {
+				if !finite(c) {
+					return fmt.Errorf("non-finite source ball center")
+				}
+			}
+		}
+	}
+	if sp.Solve.Tol < 0 || !finite(sp.Solve.Tol) {
+		return fmt.Errorf("bad solve tol %g", sp.Solve.Tol)
+	}
+	if sp.Solve.MaxIter < 0 {
+		return fmt.Errorf("bad solve max_iter %d", sp.Solve.MaxIter)
+	}
+	if sp.Solve.Timeout < 0 {
+		return fmt.Errorf("bad solve timeout %v", time.Duration(sp.Solve.Timeout))
+	}
+	return nil
+}
+
+// SimSummary is the JSON summary a simulation answers with — in the
+// body for format=summary, in the X-Simulate-Summary header beside the
+// VTK field otherwise.
+type SimSummary struct {
+	ImageKey            string      `json:"image_key"`
+	Variant             string      `json:"variant,omitempty"`
+	CacheHit            bool        `json:"cache_hit,omitempty"`
+	Coalesced           bool        `json:"coalesced,omitempty"`
+	Vertices            int         `json:"vertices"`
+	Cells               int         `json:"cells"`
+	ConstrainedVertices int         `json:"constrained_vertices"`
+	Iterations          int         `json:"iterations"`
+	Residual            float64     `json:"residual"`
+	FieldMin            float64     `json:"field_min"`
+	FieldMax            float64     `json:"field_max"`
+	SolveSeconds        float64     `json:"solve_seconds"`
+	Quality             MeshQuality `json:"quality"`
+}
+
+// MeshQuality digests the snapshot's element quality: the worst
+// radius-edge ratio (rule R4 bounds it at 2 on non-degraded runs) and
+// the smallest dihedral angle.
+type MeshQuality struct {
+	MaxRadiusEdge  float64 `json:"max_radius_edge"`
+	MinDihedralDeg float64 `json:"min_dihedral_deg"`
+}
+
+// snapshotQuality measures the mesh the field was solved on; it runs
+// off-lease over the immutable snapshot.
+func snapshotQuality(s *core.MeshSnapshot) MeshQuality {
+	q := MeshQuality{MinDihedralDeg: 180}
+	for _, c := range s.Cells {
+		a, b, cc, d := s.Verts[c[0]], s.Verts[c[1]], s.Verts[c[2]], s.Verts[c[3]]
+		if re := geom.RadiusEdgeRatio(a, b, cc, d); re > q.MaxRadiusEdge {
+			q.MaxRadiusEdge = re
+		}
+		for _, ang := range geom.DihedralAngles(a, b, cc, d) {
+			if ang < q.MinDihedralDeg {
+				q.MinDihedralDeg = ang
+			}
+		}
+	}
+	return q
+}
+
+// specError is a mesh-dependent spec failure discovered after the mesh
+// stage (e.g. boundary conditions that constrain nothing): still the
+// client's fault, answered 400 with a specific code.
+type specError struct {
+	code string
+	msg  string
+}
+
+func (e *specError) Error() string { return e.msg }
+
+// dirichletFromSpec resolves the spec's clauses against the snapshot's
+// exterior surface. Later clauses override earlier ones; the result
+// must constrain at least one vertex.
+func dirichletFromSpec(snap *core.MeshSnapshot, bcs []BCSpec) (map[int32]float64, error) {
+	verts, labels := snap.ExteriorVertices()
+	if len(verts) == 0 {
+		return nil, &specError{code: CodeBadBC, msg: "mesh has no exterior surface"}
+	}
+	// Bounding box of the exterior surface, for plane predicates.
+	lo := snap.Verts[verts[0]]
+	hi := lo
+	for _, v := range verts[1:] {
+		p := snap.Verts[v]
+		lo.X, lo.Y, lo.Z = math.Min(lo.X, p.X), math.Min(lo.Y, p.Y), math.Min(lo.Z, p.Z)
+		hi.X, hi.Y, hi.Z = math.Max(hi.X, p.X), math.Max(hi.Y, p.Y), math.Max(hi.Z, p.Z)
+	}
+	axis := func(p geom.Vec3, name string) float64 {
+		switch name {
+		case "x":
+			return p.X
+		case "y":
+			return p.Y
+		default:
+			return p.Z
+		}
+	}
+	out := make(map[int32]float64)
+	for _, bc := range bcs {
+		for _, v := range verts {
+			p := snap.Verts[v]
+			if bc.Label != nil {
+				if !containsIntLabel(labels[v], img.Label(*bc.Label)) {
+					continue
+				}
+			}
+			if pl := bc.Plane; pl != nil {
+				tol := pl.Tol
+				if tol == 0 {
+					tol = 0.5
+				}
+				c := axis(p, pl.Axis)
+				if pl.Side == "min" {
+					if c > axis(lo, pl.Axis)+tol {
+						continue
+					}
+				} else if c < axis(hi, pl.Axis)-tol {
+					continue
+				}
+			}
+			if sph := bc.Sphere; sph != nil {
+				center := geom.Vec3{X: sph.Center[0], Y: sph.Center[1], Z: sph.Center[2]}
+				if p.Dist(center) > sph.R {
+					continue
+				}
+			}
+			out[v] = bc.Value
+		}
+	}
+	if len(out) == 0 {
+		return nil, &specError{code: CodeBadBC,
+			msg: "dirichlet clauses constrain no vertex of the meshed surface"}
+	}
+	return out, nil
+}
+
+func containsIntLabel(ls []img.Label, l img.Label) bool {
+	for _, x := range ls {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// sourceFunc compiles the spec's source term; nil means f = 0.
+func (src *SourceSpec) sourceFunc() func(geom.Vec3) float64 {
+	if src == nil || (src.Uniform == 0 && src.Ball == nil) {
+		return nil
+	}
+	uniform := src.Uniform
+	ball := src.Ball
+	return func(p geom.Vec3) float64 {
+		if ball != nil {
+			center := geom.Vec3{X: ball.Center[0], Y: ball.Center[1], Z: ball.Center[2]}
+			if p.Dist(center) <= ball.R {
+				return ball.Value
+			}
+		}
+		return uniform
+	}
+}
+
+// solveBudget derives the solve stage's wall-time budget: the spec's
+// ask, capped by the server's SolveTimeout (a hostile spec must not
+// reserve unbounded solver time).
+func (s *Server) solveBudget(spec *SimSpec) time.Duration {
+	budget := time.Duration(spec.Solve.Timeout)
+	if budget <= 0 || budget > s.cfg.SolveTimeout {
+		budget = s.cfg.SolveTimeout
+	}
+	return budget
+}
+
+// runSolve assembles and solves the spec's problem on the snapshot,
+// supervised like a meshing run: the solve runs under a deadline
+// (budget), CG observes it cooperatively every few iterations, and a
+// solve that somehow ignores cancellation past WatchdogGrace is
+// abandoned to its goroutine with ErrWatchdog rather than wedging the
+// request forever. Everything runs off-lease — the mesh session was
+// released before this function is called.
+func (s *Server) runSolve(ctx context.Context, snap *core.MeshSnapshot, spec *SimSpec) (*fem.Solution, map[int32]float64, error) {
+	dirichlet, err := dirichletFromSpec(snap, spec.Dirichlet)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw := meshio.RawFromSnapshot(snap)
+	var byLabel map[int]float64
+	def := 0.0
+	if c := spec.Conductivity; c != nil {
+		def = c.Default
+		byLabel = make(map[int]float64, len(c.PerLabel))
+		for k, v := range c.PerLabel {
+			l, _ := strconv.Atoi(k)
+			byLabel[l] = v
+		}
+	}
+	conductivity, err := fem.ConductivityFromLabels(raw, byLabel, def)
+	if err != nil {
+		return nil, nil, &specError{code: CodeBadRequest, msg: err.Error()}
+	}
+
+	budget := s.solveBudget(spec)
+	solveCtx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+
+	type outcome struct {
+		sol *fem.Solution
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		sys, err := fem.Assemble(&fem.Problem{
+			Mesh:         raw,
+			Conductivity: conductivity,
+			Source:       spec.Source.sourceFunc(),
+			Dirichlet:    dirichlet,
+		})
+		if err != nil {
+			done <- outcome{nil, err}
+			return
+		}
+		sol, err := sys.SolveCtx(solveCtx, fem.SolveOptions{
+			Tol:     spec.Solve.Tol,
+			MaxIter: spec.Solve.MaxIter,
+		})
+		done <- outcome{sol, err}
+	}()
+
+	grace := s.cfg.WatchdogGrace
+	timer := time.NewTimer(budget + grace)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		if o.err != nil {
+			return nil, nil, o.err
+		}
+		// A solve that converged right at the deadline still answers:
+		// the field is complete and the caller is still listening.
+		return o.sol, dirichlet, nil
+	case <-timer.C:
+		// The solve ignored its deadline past the grace window —
+		// assembly wedged or the context checks stopped firing. Abandon
+		// the goroutine (it holds only heap memory, no session) and
+		// fail the request like a watchdogged run.
+		return nil, nil, fmt.Errorf("%w: solve exceeded %v and ignored cancellation for %v",
+			ErrWatchdog, budget, grace)
+	}
+}
+
+// handleSimulate is POST /v1/simulate: a multipart request ("spec"
+// JSON + "image" NRRD) is meshed through the exact pipeline /v1/mesh
+// uses — same admission, coalescing, persistent cache, and supervision;
+// a cached or coalesced mesh skips straight to the solve — then the
+// FEM problem is assembled and solved off-lease under its own budget,
+// and the field returns as VTK POINT_DATA with a JSON summary.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	outcome := func(o string) { s.mSimJobs.With(o).Inc() }
+
+	specJSON, body, err := readSpecRequest(w, r, s.cfg.MaxRequestBytes)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			outcome("bad_request")
+			httpError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				"request body exceeds the %d byte cap", s.cfg.MaxRequestBytes)
+			return
+		}
+		outcome("bad_request")
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
+		return
+	}
+	if specJSON == nil {
+		outcome("bad_request")
+		httpError(w, http.StatusBadRequest, CodeBadRequest,
+			"missing %q part: POST /v1/simulate takes multipart/form-data with a JSON spec and an NRRD image", "spec")
+		return
+	}
+	if len(body) == 0 {
+		outcome("bad_request")
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "empty %q part: expected an NRRD label image", "image")
+		return
+	}
+	spec, err := ParseSimSpec(specJSON)
+	if err != nil {
+		outcome("bad_request")
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "bad simulation spec: %v", err)
+		return
+	}
+
+	key := ImageKey(body)
+	variant := spec.Mesh.variant()
+	image, err := s.decodeImage(key, body)
+	if err != nil {
+		outcome("bad_request")
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "decoding image: %v", err)
+		return
+	}
+
+	// Mesh stage: identical to /v1/mesh, including the per-stage
+	// timeout. A concurrent simulate (or mesh) request for the same
+	// (image, variant) shares the run; a cached mesh skips it entirely.
+	meshCtx := r.Context()
+	if spec.Mesh.Timeout > 0 {
+		var cancel context.CancelFunc
+		meshCtx, cancel = context.WithTimeout(meshCtx, time.Duration(spec.Mesh.Timeout))
+		defer cancel()
+	}
+	sr, err := s.MeshSnapshot(meshCtx, key, variant, image, spec.Mesh.tune())
+	if err != nil {
+		outcome("mesh_failed")
+		s.writeMeshError(w, err)
+		return
+	}
+
+	// Solve stage, off-lease and supervised under its own budget.
+	solveStart := time.Now()
+	sol, dirichlet, err := s.runSolve(r.Context(), sr.Snapshot, &spec)
+	solveSecs := time.Since(solveStart).Seconds()
+	if err != nil {
+		var se *specError
+		switch {
+		case errors.As(err, &se):
+			outcome("bad_bc")
+			httpError(w, http.StatusBadRequest, se.code, "%v", se)
+		case errors.Is(err, ErrWatchdog):
+			outcome("watchdog")
+			s.setRetryAfter(w)
+			httpError(w, http.StatusServiceUnavailable, CodeWatchdog, "%v", err)
+		case errors.Is(err, context.Canceled):
+			outcome("canceled")
+			httpError(w, StatusClientClosedRequest, CodeCanceled, "solve canceled: %v", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			outcome("deadline")
+			s.setRetryAfter(w)
+			httpError(w, http.StatusServiceUnavailable, CodeDeadline,
+				"solve exceeded its %v budget: %v", s.solveBudget(&spec), err)
+		default:
+			outcome("solve_failed")
+			httpError(w, http.StatusInternalServerError, CodeSolveFailed, "solve failed: %v", err)
+		}
+		return
+	}
+	outcome("ok")
+	s.mSolveSeconds.Observe(solveSecs)
+	s.mSolveIters.Observe(float64(sol.Iterations))
+
+	summary := SimSummary{
+		ImageKey:            key,
+		Variant:             variant,
+		CacheHit:            sr.Summary.CacheHit,
+		Coalesced:           sr.Summary.Coalesced,
+		Vertices:            len(sr.Snapshot.Verts),
+		Cells:               len(sr.Snapshot.Cells),
+		ConstrainedVertices: len(dirichlet),
+		Iterations:          sol.Iterations,
+		Residual:            sol.Residual,
+		SolveSeconds:        solveSecs,
+		Quality:             snapshotQuality(sr.Snapshot),
+	}
+	summary.FieldMin, summary.FieldMax = math.Inf(1), math.Inf(-1)
+	for _, u := range sol.U {
+		summary.FieldMin = math.Min(summary.FieldMin, u)
+		summary.FieldMax = math.Max(summary.FieldMax, u)
+	}
+
+	if spec.Format == "summary" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(summary)
+		return
+	}
+	compact, _ := json.Marshal(summary)
+	w.Header().Set("X-Simulate-Summary", string(compact))
+	w.Header().Set("Content-Type", "text/vtk")
+	meshio.WriteVTKSnapshotField(w, sr.Snapshot, "u", sol.U)
+}

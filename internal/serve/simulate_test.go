@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cachestore"
+	"repro/internal/faultinject"
+)
+
+// newSimServer is newTestServer plus a persistent result cache, so
+// repeat simulate requests exercise the cache-hit → solve path.
+func newSimServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cache, _, err := cachestore.Open(cachestore.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cache = cache
+	return newTestServer(t, cfg)
+}
+
+// postSimulate sends a multipart simulate request and returns the
+// response.
+func postSimulate(t *testing.T, client *http.Client, url string, spec string, image []byte) (*http.Response, []byte) {
+	t.Helper()
+	body, ctype := multipartBody(t, map[string][]byte{
+		"spec":  []byte(spec),
+		"image": image,
+	})
+	resp, err := client.Post(url+"/v1/simulate", ctype, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestSimulateEndToEnd solves -Δu = 1 with u = 0 on the meshed sphere
+// boundary through the full serving stack and checks the discrete
+// field against the analytic solution u(r) = (R² - r²)/6: the maximum
+// sits near R²/6. Also asserts the response carries the field as VTK
+// POINT_DATA plus the JSON summary, and that format=summary returns
+// the summary alone.
+func TestSimulateEndToEnd(t *testing.T) {
+	srv, ts := newSimServer(t, Config{PoolSize: 1})
+	client := ts.Client()
+	const scale = 32
+	image := nrrdBody(t, scale)
+
+	spec := `{
+		"dirichlet": [{"value": 0}],
+		"source": {"uniform": 1},
+		"solve": {"tol": 1e-9}
+	}`
+	resp, body := postSimulate(t, client, ts.URL, spec, image)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/vtk" {
+		t.Errorf("Content-Type = %q, want text/vtk", ct)
+	}
+	text := string(body)
+	if !strings.Contains(text, "POINT_DATA") || !strings.Contains(text, "SCALARS u double 1") {
+		t.Error("VTK response missing the POINT_DATA field section")
+	}
+	var summary SimSummary
+	if err := json.Unmarshal([]byte(resp.Header.Get("X-Simulate-Summary")), &summary); err != nil {
+		t.Fatalf("X-Simulate-Summary is not JSON: %v", err)
+	}
+
+	// Analytic: u_max = R²/6 with R = 0.35·scale (the phantom's
+	// radius). The serving mesh is the raw refinement snapshot (no
+	// surface smoothing), so the tolerance is looser than the fem
+	// package's own analytic test.
+	R := 0.35 * float64(scale)
+	wantMax := R * R / 6
+	if summary.FieldMax < wantMax*0.75 || summary.FieldMax > wantMax*1.25 {
+		t.Errorf("field max = %g, want within 25%% of analytic %g", summary.FieldMax, wantMax)
+	}
+	if summary.FieldMin < -wantMax*0.05 {
+		t.Errorf("field min = %g, want ~0 (boundary value)", summary.FieldMin)
+	}
+	if summary.Iterations < 1 || summary.Residual > 1e-8 {
+		t.Errorf("solver summary: %d iterations, residual %g", summary.Iterations, summary.Residual)
+	}
+	if summary.ConstrainedVertices < 1 || summary.Cells < 1 || summary.Vertices < 1 {
+		t.Errorf("summary sizes: %+v", summary)
+	}
+	if summary.Quality.MaxRadiusEdge <= 0 || summary.Quality.MinDihedralDeg <= 0 {
+		t.Errorf("quality digest empty: %+v", summary.Quality)
+	}
+	if v := srv.mSimJobs.Value("ok"); v != 1 {
+		t.Errorf("simulate_jobs_total{ok} = %d, want 1", v)
+	}
+	if srv.mSolveSeconds.Count() != 1 || srv.mSolveIters.Count() != 1 {
+		t.Errorf("solve metrics: %d seconds obs, %d iter obs, want 1 each",
+			srv.mSolveSeconds.Count(), srv.mSolveIters.Count())
+	}
+
+	// format=summary answers with the JSON document alone — and the
+	// mesh comes from the cache this time (same image, same variant).
+	resp, body = postSimulate(t, client, ts.URL,
+		`{"format": "summary", "dirichlet": [{"value": 0}], "source": {"uniform": 1}, "solve": {"tol": 1e-9}}`,
+		image)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("summary simulate: %d: %s", resp.StatusCode, body)
+	}
+	var summary2 SimSummary
+	if err := json.Unmarshal(body, &summary2); err != nil {
+		t.Fatalf("summary body is not JSON: %v: %s", err, body)
+	}
+	if !summary2.CacheHit {
+		t.Error("second simulate over the same (image, variant) did not reuse the cached mesh")
+	}
+	if summary2.FieldMax != summary.FieldMax {
+		t.Errorf("same problem, different fields: %g vs %g", summary2.FieldMax, summary.FieldMax)
+	}
+	if runs := srv.mRunSeconds.Count(); runs != 1 {
+		t.Errorf("meshing runs = %d, want 1 (second simulate must reuse the snapshot)", runs)
+	}
+}
+
+// TestSimulateSolveCanceled: a request whose client has already gone
+// away by the time the solve starts answers 499 with the canceled
+// envelope — the mesh stage was served from cache, so the failure is
+// attributable to the solve alone.
+func TestSimulateSolveCanceled(t *testing.T) {
+	srv, ts := newSimServer(t, Config{PoolSize: 1})
+	client := ts.Client()
+	image := nrrdBody(t, 16)
+
+	// Prime the mesh cache so the canceled request's mesh stage is a
+	// cache hit (cache reads don't consult the context).
+	if code, out := post(t, client, ts.URL+"/v1/mesh", image); code != http.StatusOK {
+		t.Fatalf("prime mesh: %d: %s", code, out)
+	}
+
+	body, ctype := multipartBody(t, map[string][]byte{
+		"spec":  []byte(`{"dirichlet": [{"value": 0}], "source": {"uniform": 1}}`),
+		"image": image,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is gone before the handler runs
+	r := httptest.NewRequest(http.MethodPost, "/v1/simulate", bytes.NewReader(body)).WithContext(ctx)
+	r.Header.Set("Content-Type", ctype)
+	w := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(w, r)
+
+	if w.Code != StatusClientClosedRequest {
+		t.Fatalf("canceled solve answered %d, want %d: %s", w.Code, StatusClientClosedRequest, w.Body.String())
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatalf("499 body is not the JSON envelope: %q", w.Body.String())
+	}
+	if env.Error.Code != CodeCanceled {
+		t.Errorf("envelope code = %q, want %q", env.Error.Code, CodeCanceled)
+	}
+	if v := srv.mSimJobs.Value("canceled"); v != 1 {
+		t.Errorf("simulate_jobs_total{canceled} = %d, want 1", v)
+	}
+}
+
+// TestSimulateBadBC: boundary conditions that constrain no vertex of
+// the actual mesh are the client's fault — 400 with code bad_bc, after
+// the mesh stage (the mesh itself is fine and stays cached).
+func TestSimulateBadBC(t *testing.T) {
+	srv, ts := newTestServer(t, Config{PoolSize: 1})
+	client := ts.Client()
+	image := nrrdBody(t, 16)
+
+	// A sphere predicate nowhere near the mesh selects nothing.
+	resp, body := postSimulate(t, client, ts.URL,
+		`{"dirichlet": [{"sphere": {"center": [1000, 1000, 1000], "r": 1}, "value": 0}]}`,
+		image)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unmatchable BC answered %d, want 400: %s", resp.StatusCode, body)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("bad_bc body is not the JSON envelope: %q", body)
+	}
+	if env.Error.Code != CodeBadBC {
+		t.Errorf("envelope code = %q, want %q", env.Error.Code, CodeBadBC)
+	}
+	if v := srv.mSimJobs.Value("bad_bc"); v != 1 {
+		t.Errorf("simulate_jobs_total{bad_bc} = %d, want 1", v)
+	}
+
+	// Malformed spec: rejected before any meshing.
+	resp, body = postSimulate(t, client, ts.URL, `{"dirichlet": []}`, image)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty dirichlet answered %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != CodeBadRequest {
+		t.Errorf("pre-mesh rejection envelope: %q", body)
+	}
+}
+
+// TestSimulateSharedMeshTwoSolves: two simulate requests agreeing on
+// (image, mesh variant) but differing in boundary conditions share ONE
+// meshing run — via single-flight coalescing when they overlap, via
+// the result cache otherwise — and still receive their own distinct
+// fields.
+func TestSimulateSharedMeshTwoSolves(t *testing.T) {
+	srv, ts := newTestServer(t, Config{PoolSize: 1, CoalesceMax: 4})
+	client := ts.Client()
+	image := nrrdBody(t, 16)
+
+	// Slow the (single) session down so overlapping requests coalesce.
+	restore := faultinject.Enable(faultinject.New(faultinject.Config{
+		Seed:     1,
+		Rates:    map[faultinject.Point]float64{faultinject.SlowSession: 1},
+		MaxFires: map[faultinject.Point]int64{faultinject.SlowSession: 1},
+		Delay:    300 * time.Millisecond,
+	}))
+	defer restore()
+
+	specFor := func(value float64) string {
+		// No source: the solution of Laplace's equation with u = value on
+		// the whole boundary is the constant field u ≡ value.
+		return fmt.Sprintf(`{"format": "summary", "dirichlet": [{"value": %g}]}`, value)
+	}
+	var wg sync.WaitGroup
+	summaries := make([]SimSummary, 2)
+	errs := make([]error, 2)
+	for i, value := range []float64{1, 2} {
+		wg.Add(1)
+		go func(i int, value float64) {
+			defer wg.Done()
+			resp, body := postSimulate(t, client, ts.URL, specFor(value), image)
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("simulate %d: %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			errs[i] = json.Unmarshal(body, &summaries[i])
+		}(i, value)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if runs := srv.mRunSeconds.Count(); runs != 1 {
+		t.Errorf("meshing runs = %d, want 1 (the mesh must be shared)", runs)
+	}
+	if shared := srv.mCoalesced.Value() + srv.mCacheServed.Value(); shared < 1 {
+		t.Error("neither coalescing nor the cache served the second mesh")
+	}
+	for i, want := range []float64{1, 2} {
+		s := summaries[i]
+		if s.FieldMin < want-1e-6 || s.FieldMax > want+1e-6 {
+			t.Errorf("solve %d: field in [%g, %g], want the constant %g", i, s.FieldMin, s.FieldMax, want)
+		}
+	}
+	if summaries[0].Cells != summaries[1].Cells || summaries[0].Vertices != summaries[1].Vertices {
+		t.Errorf("the two solves ran on different meshes: %+v vs %+v", summaries[0], summaries[1])
+	}
+}

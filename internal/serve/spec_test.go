@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// multipartBody builds a multipart/form-data request body with the
+// given parts; the returned content type carries the boundary.
+func multipartBody(t *testing.T, parts map[string][]byte) ([]byte, string) {
+	t.Helper()
+	var b bytes.Buffer
+	mw := multipart.NewWriter(&b)
+	// Deterministic order: image last, like a streaming client would.
+	order := []string{"spec", "image"}
+	for _, name := range order {
+		data, ok := parts[name]
+		if !ok {
+			continue
+		}
+		fw, err := mw.CreateFormFile(name, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw.Write(data)
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes(), mw.FormDataContentType()
+}
+
+// TestVariantGolden pins the tuning-variant encoding: the pre-spec
+// knob segment is a compatibility contract (persisted cache entries
+// and breaker priors resolve through it), and the size segment must be
+// canonical — same spec, same string, regardless of JSON key order.
+func TestVariantGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		spec MeshSpec
+		want string
+	}{
+		{"empty", MeshSpec{}, ""},
+		{"format only", MeshSpec{Format: "off", Timeout: Duration(time.Second)}, ""},
+		{"all knobs", MeshSpec{Delta: 0.5, MaxElements: 1000, MaxRadiusEdge: 2.2, MinFacetAngle: 25},
+			"d=0.5,n=1000,re=2.2,fa=25"},
+		{"delta only", MeshSpec{Delta: 2.5}, "d=2.5,n=0,re=0,fa=0"},
+		{"size only", MeshSpec{Size: &SizeSpec{PerLabel: map[string]float64{"1": 2}}},
+			"sz=pl{1:2}"},
+		{"knobs and size", MeshSpec{Delta: 2.5, Size: &SizeSpec{
+			PerLabel: map[string]float64{"2": 0.5, "1": 2}, Default: 3,
+			Balls:    []BallSpec{{Center: [3]float64{8, 8, 8}, R: 4, H: 0.5}},
+		}}, "d=2.5,n=0,re=0,fa=0,sz=pl{1:2;2:0.5}def=3b(8,8,8;4;0.5;0)"},
+	}
+	for _, c := range cases {
+		if got := c.spec.variant(); got != c.want {
+			t.Errorf("%s: variant = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// TestMeshSpecJSONQueryAgree: the same knobs through the JSON body and
+// the query string parse to the same spec — one validation path, no
+// drift.
+func TestMeshSpecJSONQueryAgree(t *testing.T) {
+	fromJSON, err := ParseMeshSpec([]byte(
+		`{"format": "off", "delta": 0.5, "max_elements": 1000, "max_radius_edge": 2.2, "min_facet_angle": 25, "timeout": "30s"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromQuery, err := meshSpecFromQuery(queryValues(
+		"format=off&delta=0.5&max_elements=1000&max_radius_edge=2.2&min_facet_angle=25&timeout=30s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON != fromQuery {
+		t.Errorf("JSON spec %+v != query spec %+v", fromJSON, fromQuery)
+	}
+	if fromJSON.variant() != fromQuery.variant() {
+		t.Errorf("variant mismatch: %q vs %q", fromJSON.variant(), fromQuery.variant())
+	}
+}
+
+// TestBodySpecPrecedence: a multipart "spec" part replaces the query
+// string wholesale — a query knob absent from the body spec does NOT
+// leak through.
+func TestBodySpecPrecedence(t *testing.T) {
+	srv := newBareServer(t, Config{PoolSize: 1})
+	body, ctype := multipartBody(t, map[string][]byte{
+		"spec":  []byte(`{"delta": 2.5}`),
+		"image": []byte("fake-image"),
+	})
+	r := httptest.NewRequest(http.MethodPost,
+		"/v1/mesh?delta=9&max_elements=777&format=off", bytes.NewReader(body))
+	r.Header.Set("Content-Type", ctype)
+	w := httptest.NewRecorder()
+	spec, image, ok := srv.readMeshRequest(w, r)
+	if !ok {
+		t.Fatalf("readMeshRequest failed: %s", w.Body.String())
+	}
+	if string(image) != "fake-image" {
+		t.Errorf("image part = %q", image)
+	}
+	if spec.Delta != 2.5 {
+		t.Errorf("delta = %g, want the body's 2.5", spec.Delta)
+	}
+	if spec.MaxElements != 0 {
+		t.Errorf("max_elements = %d leaked from the query string, want 0", spec.MaxElements)
+	}
+	if spec.Format != "vtk" {
+		t.Errorf("format = %q leaked from the query string, want the default", spec.Format)
+	}
+
+	// Spec-less multipart: the query string applies as always.
+	body, ctype = multipartBody(t, map[string][]byte{"image": []byte("fake-image")})
+	r = httptest.NewRequest(http.MethodPost, "/v1/mesh?delta=9", bytes.NewReader(body))
+	r.Header.Set("Content-Type", ctype)
+	w = httptest.NewRecorder()
+	spec, _, ok = srv.readMeshRequest(w, r)
+	if !ok {
+		t.Fatalf("spec-less multipart rejected: %s", w.Body.String())
+	}
+	if spec.Delta != 9 {
+		t.Errorf("delta = %g, want the query's 9", spec.Delta)
+	}
+}
+
+// TestQuerySurfaceByteIdentical: the historical raw-body-plus-query
+// surface returns byte-identical meshes before and after the spec
+// redesign — asserted by meshing the same image through the query
+// surface and the equivalent JSON body spec and comparing the VTK
+// bytes (both resolve to the same variant, so the second request is
+// served from the same cached snapshot).
+func TestQuerySurfaceByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 1})
+	client := ts.Client()
+	image := nrrdBody(t, 8)
+
+	code, viaQuery := post(t, client, ts.URL+"/v1/mesh?delta=2.5", image)
+	if code != http.StatusOK {
+		t.Fatalf("query-surface request: %d: %s", code, viaQuery)
+	}
+	if !bytes.HasPrefix(viaQuery, []byte("# vtk DataFile Version 3.0")) {
+		t.Fatalf("query surface no longer returns legacy VTK: %q", viaQuery[:40])
+	}
+
+	body, ctype := multipartBody(t, map[string][]byte{
+		"spec":  []byte(`{"delta": 2.5}`),
+		"image": image,
+	})
+	resp, err := client.Post(ts.URL+"/v1/mesh", ctype, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("body-spec request: %d: %s", resp.StatusCode, viaBody)
+	}
+	if !bytes.Equal(viaQuery, viaBody) {
+		t.Error("query-surface and body-spec responses differ for identical knobs")
+	}
+}
+
+// TestErrorEnvelope: every 4xx/5xx carries the structured JSON
+// envelope, and capacity rejections mirror Retry-After into it.
+func TestErrorEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{PoolSize: 1})
+	client := ts.Client()
+
+	code, body := post(t, client, ts.URL+"/v1/mesh?delta=NaN", []byte("x"))
+	if code != http.StatusBadRequest {
+		t.Fatalf("hostile query: %d", code)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("4xx body is not the JSON envelope: %q", body)
+	}
+	if env.Error.Code != CodeBadRequest || env.Error.Reason == "" {
+		t.Errorf("envelope = %+v, want code %q and a reason", env, CodeBadRequest)
+	}
+
+	// Retry-After mirroring.
+	w := httptest.NewRecorder()
+	w.Header().Set("Retry-After", "7")
+	httpError(w, http.StatusTooManyRequests, CodeQueueFull, "queue full")
+	env = errorEnvelope{}
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.RetryAfterS != 7 {
+		t.Errorf("retry_after_s = %d, want 7 (mirrors the header)", env.Error.RetryAfterS)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("error Content-Type = %q", ct)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/delaunay"
+	"repro/internal/fem"
 	"repro/internal/geom"
 	"repro/internal/img"
 	"repro/internal/meshio"
@@ -90,6 +91,18 @@ type (
 	SmoothMesh = smooth.Mesh
 	// RawMesh is the indexed interchange mesh for I/O and FEM.
 	RawMesh = meshio.RawMesh
+
+	// FEMProblem is a Poisson problem -∇·(k∇u) = f on a RawMesh with
+	// Dirichlet constraints — the simulation the paper's meshes exist
+	// for. See internal/fem.
+	FEMProblem = fem.Problem
+	// FEMSystem is an assembled, constraint-eliminated linear system.
+	FEMSystem = fem.System
+	// FEMSolution is a solved field with solver diagnostics.
+	FEMSolution = fem.Solution
+	// FEMSolveOptions parameterizes FEMSystem.SolveCtx (tolerance,
+	// iteration cap, progress hook for supervision).
+	FEMSolveOptions = fem.SolveOptions
 )
 
 // Statuses of a Result (see internal/core): a degraded run still holds
@@ -214,6 +227,28 @@ func WriteVTKRawFile(path string, m *RawMesh) error { return meshio.WriteVTKRawF
 // smoothing or FE assembly.
 func Extract(m *Mesh, final []CellHandle, im *Image) *SmoothMesh {
 	return smooth.Extract(m, final, im)
+}
+
+// RawFromSnapshot adapts a MeshSnapshot to the RawMesh the FEM layer
+// consumes — vertex and cell storage is shared, so treat the snapshot
+// as read-only while the RawMesh is in use.
+func RawFromSnapshot(s *MeshSnapshot) *RawMesh { return meshio.RawFromSnapshot(s) }
+
+// FEMAssemble builds the stiffness matrix and load vector of a
+// Poisson problem; solve the returned system with Solve or SolveCtx.
+func FEMAssemble(p *FEMProblem) (*FEMSystem, error) { return fem.Assemble(p) }
+
+// ConductivityFromLabels expands per-tissue-label conductivities into
+// the per-cell coefficient array FEMProblem.Conductivity takes.
+func ConductivityFromLabels(m *RawMesh, byLabel map[int]float64, def float64) ([]float64, error) {
+	return fem.ConductivityFromLabels(m, byLabel, def)
+}
+
+// WriteVTKSnapshotField exports a MeshSnapshot with a solved per-vertex
+// scalar field attached as VTK POINT_DATA — the /v1/simulate response
+// encoding, usable directly by ParaView.
+func WriteVTKSnapshotField(w io.Writer, s *MeshSnapshot, name string, u []float64) error {
+	return meshio.WriteVTKSnapshotField(w, s, name, u)
 }
 
 // Size-function constructors (rule R5); see internal/sizing.
