@@ -72,6 +72,14 @@ const (
 	// CacheENOSPC fails a cachestore blob write with ENOSPC,
 	// exercising the disk-full degradation ladder.
 	CacheENOSPC
+	// ProxyDialFail fails a router→backend proxied request at the
+	// transport, as if the network partitioned that backend away
+	// mid-traffic; the router must fall back to the next ring replica.
+	ProxyDialFail
+	// ProbeFail drops a router health probe (the probe observes a dead
+	// network even though the backend may be fine), driving the
+	// fail-open ejection and rejoin machinery.
+	ProbeFail
 
 	// NumPoints is the number of injection points.
 	NumPoints int = iota
@@ -108,6 +116,10 @@ func (p Point) String() string {
 		return "cache-bit-flip"
 	case CacheENOSPC:
 		return "cache-enospc"
+	case ProxyDialFail:
+		return "proxy-dial-fail"
+	case ProbeFail:
+		return "probe-fail"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }

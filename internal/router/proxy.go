@@ -1,0 +1,350 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+)
+
+// Handler returns the router's HTTP surface:
+//
+//	POST /v1/mesh      proxied to the key's owning backend
+//	POST /v1/simulate  proxied to the key's owning backend
+//	GET  /healthz      router liveness
+//	GET  /readyz       503 until at least one backend is healthy
+//	GET  /v1/stats     JSON routing statistics
+//	GET  /metrics      the router's own Prometheus registry
+//
+// Every router-originated 4xx/5xx carries the same JSON error
+// envelope the backends emit; relayed backend responses pass through
+// verbatim, including their X-Pi2md-Node header, so the client always
+// learns which node actually served it.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/mesh", r.handleProxy)
+	mux.HandleFunc("POST /v1/simulate", r.handleProxy)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", r.handleReadyz)
+	mux.HandleFunc("GET /v1/stats", r.handleStats)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.reg.WritePrometheus(w)
+	})
+	return mux
+}
+
+// routePlan is a resolved proxy decision: the route key, the bytes to
+// send (nil means stream req.Body through once, no replay), and
+// whether fallback replay is possible.
+type routePlan struct {
+	routeKey string
+	raw      []byte // buffered body; nil on the streaming path
+	stream   io.Reader
+}
+
+// handleProxy is the whole proxy path: derive the route key, join or
+// start the key's cross-node flight, walk the candidate ladder
+// (pinned backend, then ring replicas), stream the first response
+// back, or answer 503 with the shared Retry-After policy when every
+// candidate is unreachable.
+func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
+	started := time.Now()
+	r.mJobs.Inc()
+	plan, ok := r.planRoute(w, req)
+	if !ok {
+		r.mFailed.Inc()
+		return
+	}
+
+	pinned, joined := r.joinFlight(plan.routeKey)
+	defer r.leaveFlight(plan.routeKey)
+	if joined {
+		r.mFlightJoins.Inc()
+	}
+
+	// Candidate ladder: the flight's pinned backend first — even if
+	// membership changed under it, the in-flight run and its coalescing
+	// flight live there — then the ring replicas in ownership order.
+	cands := make([]string, 0, r.cfg.Replicas+1)
+	if pinned != "" {
+		cands = append(cands, pinned)
+	}
+	for _, c := range r.candidates(plan.routeKey) {
+		if c != pinned {
+			cands = append(cands, c)
+		}
+	}
+
+	for i, cand := range cands {
+		var body io.Reader
+		switch {
+		case plan.raw != nil:
+			body = bytes.NewReader(plan.raw)
+		case i == 0:
+			body = plan.stream
+		default:
+			// Streaming path: the body is gone after the first attempt;
+			// no replay is possible.
+			r.answer503(w, "backend %s unreachable and request body is not replayable (streamed via %s)",
+				cands[0], ImageKeyHeader)
+			return
+		}
+		r.setPin(plan.routeKey, cand)
+		resp, err := r.forward(req, cand, body, plan)
+		if err != nil {
+			if req.Context().Err() != nil {
+				// The client went away or its deadline expired mid-attempt;
+				// nobody is listening, so stop walking the ladder.
+				r.mProxied.With(cand, outcomeTransportErr).Inc()
+				r.answer503(w, "client gone during proxy to %s: %v", cand, err)
+				return
+			}
+			r.mProxied.With(cand, outcomeTransportErr).Inc()
+			r.noteTransportFailure(cand)
+			continue
+		}
+		r.relay(w, resp, cand)
+		r.mCompleted.Inc()
+		r.mProxySeconds.Observe(time.Since(started).Seconds())
+		return
+	}
+	r.answer503(w, "no reachable backend for key %s (tried %d)", plan.routeKey, len(cands))
+}
+
+// planRoute derives the (image key, variant) route key and the bytes
+// to forward. On a local rejection (oversize, empty, unreadable body)
+// it writes the error envelope and returns ok=false; the caller
+// accounts the failure.
+func (r *Router) planRoute(w http.ResponseWriter, req *http.Request) (routePlan, bool) {
+	if hk := req.Header.Get(ImageKeyHeader); hk != "" {
+		// Streaming path: the client vouched for the key, the router
+		// never touches the body. The variant comes from the query
+		// string (the only spec a body-less router can see); a spec
+		// part in the body that disagrees only costs routing locality,
+		// never correctness — the backend re-derives everything.
+		variant := ""
+		if spec, err := serve.MeshSpecFromQuery(req.URL.Query()); err == nil {
+			variant = spec.Variant()
+		}
+		return routePlan{routeKey: hk + "|" + variant, stream: req.Body}, true
+	}
+
+	raw, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.cfg.MaxRequestBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			serve.WriteError(w, http.StatusRequestEntityTooLarge, serve.CodeTooLarge,
+				"request body exceeds the %d byte cap", r.cfg.MaxRequestBytes)
+			return routePlan{}, false
+		}
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest, "reading body: %v", err)
+		return routePlan{}, false
+	}
+	specJSON, image, err := serve.SplitSpecImage(req.Header.Get("Content-Type"), bytes.NewReader(raw))
+	if err != nil {
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest, "reading body: %v", err)
+		return routePlan{}, false
+	}
+	if len(image) == 0 {
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest,
+			"empty body: expected an NRRD label image")
+		return routePlan{}, false
+	}
+
+	// The variant mirrors the backend's coalescing/cache identity. A
+	// malformed spec routes under the empty variant and travels on to
+	// the backend, whose own parser owns the precise 400.
+	variant := ""
+	if req.URL.Path == "/v1/simulate" {
+		if specJSON != nil {
+			if sp, err := serve.ParseSimSpec(specJSON); err == nil {
+				variant = sp.Mesh.Variant()
+			}
+		}
+	} else {
+		switch {
+		case specJSON != nil:
+			if sp, err := serve.ParseMeshSpec(specJSON); err == nil {
+				variant = sp.Variant()
+			}
+		default:
+			if sp, err := serve.MeshSpecFromQuery(req.URL.Query()); err == nil {
+				variant = sp.Variant()
+			}
+		}
+	}
+	return routePlan{routeKey: serve.ImageKey(image) + "|" + variant, raw: raw}, true
+}
+
+// forward sends one proxy attempt. The original request's context —
+// and with it the client's deadline and disconnect — governs the
+// round trip, so a backend never works for a caller that already gave
+// up, and the backend's own deadline-based admission sees the true
+// budget.
+func (r *Router) forward(orig *http.Request, backend string, body io.Reader, plan routePlan) (*http.Response, error) {
+	if faultinject.Fire(faultinject.ProxyDialFail) {
+		return nil, errInjectedDial
+	}
+	req, err := http.NewRequestWithContext(orig.Context(), orig.Method,
+		backend+orig.URL.RequestURI(), body)
+	if err != nil {
+		return nil, err
+	}
+	copyHeaders(req.Header, orig.Header)
+	if plan.raw != nil {
+		req.ContentLength = int64(len(plan.raw))
+	} else {
+		req.ContentLength = orig.ContentLength
+	}
+	return r.cfg.Transport.RoundTrip(req)
+}
+
+var errInjectedDial = errors.New("injected dial failure")
+
+// relay streams a backend response to the client verbatim: status,
+// headers (including X-Pi2md-Node, ETag, Retry-After), body.
+func (r *Router) relay(w http.ResponseWriter, resp *http.Response, backend string) {
+	defer resp.Body.Close()
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	switch {
+	case resp.StatusCode >= 500:
+		r.mProxied.With(backend, outcomeUpstream5xx).Inc()
+	case resp.StatusCode >= 400:
+		r.mProxied.With(backend, outcomeUpstream4xx).Inc()
+	default:
+		r.mProxied.With(backend, outcomeOK).Inc()
+	}
+}
+
+// noteTransportFailure feeds a proxy-side connection failure into the
+// same consecutive-failure ledger the prober uses, so a node that
+// dies under traffic is ejected by the requests that discover it.
+func (r *Router) noteTransportFailure(backend string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if b := r.backends[backend]; b != nil {
+		b.lastErr = "proxy transport failure"
+		r.failLocked(b)
+	}
+}
+
+// answer503 writes the router-originated unavailability envelope with
+// the shared Retry-After policy: the estimate is the time the health
+// loop needs to eject-and-detect (FailThreshold probe periods),
+// jittered and clamped to [1,30]s exactly as the backends do.
+func (r *Router) answer503(w http.ResponseWriter, format string, args ...any) {
+	est := float64(r.cfg.FailThreshold) * r.cfg.ProbeInterval.Seconds()
+	w.Header().Set("Retry-After",
+		strconv.Itoa(serve.ClampRetryAfter(est, r.cfg.Jitter)))
+	serve.WriteError(w, http.StatusServiceUnavailable, serve.CodeUnavailable, format, args...)
+	r.mFailed.Inc()
+}
+
+// handleReadyz: the router is ready when it can route — at least one
+// backend in the ring.
+func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	n := r.ring.Size()
+	r.mu.Unlock()
+	if n == 0 {
+		est := float64(r.cfg.FailThreshold) * r.cfg.ProbeInterval.Seconds()
+		w.Header().Set("Retry-After",
+			strconv.Itoa(serve.ClampRetryAfter(est, r.cfg.Jitter)))
+		serve.WriteError(w, http.StatusServiceUnavailable, serve.CodeUnavailable,
+			"no healthy backends")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ready\n")
+}
+
+// Stats is the /v1/stats document.
+type Stats struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Backends      []BackendStats `json:"backends"`
+	RingMembers   []string       `json:"ring_members"`
+	Rebalances    int64          `json:"ring_rebalances"`
+	ProxiedJobs   int64          `json:"proxied_jobs"`
+	CompletedJobs int64          `json:"completed_jobs"`
+	FailedJobs    int64          `json:"failed_jobs"`
+	FlightJoins   int64          `json:"flight_joins"`
+	InflightKeys  []string       `json:"inflight_keys,omitempty"`
+}
+
+// BackendStats is one backend's health ledger snapshot.
+type BackendStats struct {
+	Name             string `json:"name"`
+	Healthy          bool   `json:"healthy"`
+	ConsecutiveFails int    `json:"consecutive_fails"`
+	Probes           int64  `json:"probes"`
+	LastError        string `json:"last_error,omitempty"`
+}
+
+// Stats snapshots the router's routing state.
+func (r *Router) Stats() Stats {
+	r.mu.Lock()
+	st := Stats{
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		RingMembers:   r.ring.Members(),
+		Rebalances:    r.mRebalances.Value(),
+		ProxiedJobs:   r.mJobs.Value(),
+		CompletedJobs: r.mCompleted.Value(),
+		FailedJobs:    r.mFailed.Value(),
+		FlightJoins:   r.mFlightJoins.Value(),
+	}
+	for _, name := range r.order {
+		b := r.backends[name]
+		st.Backends = append(st.Backends, BackendStats{
+			Name:             b.name,
+			Healthy:          b.healthy,
+			ConsecutiveFails: b.fails,
+			Probes:           b.probes,
+			LastError:        b.lastErr,
+		})
+	}
+	r.mu.Unlock()
+	st.InflightKeys = r.InflightKeys()
+	return st
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(r.Stats())
+}
+
+// hopByHop are the connection-scoped headers a proxy must not relay.
+var hopByHop = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		if hopByHop[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}

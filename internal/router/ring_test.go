@@ -1,0 +1,165 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real route keys: hex image hash + variant.
+		keys[i] = fmt.Sprintf("%064x|d=2.0;me=0", i*2654435761)
+	}
+	return keys
+}
+
+// TestRingDistributionSkew bounds load skew: for fleets of 3..16
+// backends, every member's share of a large key population must stay
+// within [0.5, 1.6]× the fair share. This is the property the vnode
+// count and the mixed hash exist to provide; FNV-1a without the
+// finalizer fails it badly on "host#i"-shaped vnode labels.
+func TestRingDistributionSkew(t *testing.T) {
+	keys := ringKeys(20000)
+	for n := 3; n <= 16; n++ {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+		}
+		r := NewRing(members, 128)
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			counts[r.Owner(k)]++
+		}
+		fair := float64(len(keys)) / float64(n)
+		for _, m := range members {
+			share := float64(counts[m])
+			if share < 0.5*fair || share > 1.6*fair {
+				t.Errorf("n=%d: member %s owns %.0f keys, fair share %.0f (skew %.2fx)",
+					n, m, share, fair, share/fair)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovementOnJoin bounds key movement when a member
+// joins: going from n to n+1 members, at most (1/(n+1) + ε) of keys
+// may change owner — the joiner's fair share plus slack. A modulo
+// hash would move ~n/(n+1) of them; consistent hashing is the whole
+// point of this ring.
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	const eps = 0.08
+	keys := ringKeys(20000)
+	for n := 3; n <= 16; n++ {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+		}
+		before := NewRing(members, 128)
+		after := NewRing(append(members, "http://10.0.1.99:8080"), 128)
+		moved := 0
+		for _, k := range keys {
+			if before.Owner(k) != after.Owner(k) {
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		bound := 1.0/float64(n+1) + eps
+		if frac > bound {
+			t.Errorf("n=%d→%d: %.3f of keys moved, bound %.3f", n, n+1, frac, bound)
+		}
+		// Every moved key must have moved TO the joiner; movement between
+		// surviving members would be gratuitous churn.
+		for _, k := range keys {
+			if b, a := before.Owner(k), after.Owner(k); b != a && a != "http://10.0.1.99:8080" {
+				t.Fatalf("n=%d: key moved %s→%s, neither the joiner", n, b, a)
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovementOnLeave is the ejection direction: removing
+// one of n members must move exactly that member's keys (≈1/n) and
+// leave every other key's owner untouched — the property that lets a
+// node kill re-home only the dead node's traffic.
+func TestRingMinimalMovementOnLeave(t *testing.T) {
+	const eps = 0.08
+	keys := ringKeys(20000)
+	for n := 4; n <= 16; n++ {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+		}
+		gone := members[n/2]
+		before := NewRing(members, 128)
+		after := NewRing(append(append([]string{}, members[:n/2]...), members[n/2+1:]...), 128)
+		moved := 0
+		for _, k := range keys {
+			b, a := before.Owner(k), after.Owner(k)
+			if b != a {
+				moved++
+				if b != gone {
+					t.Fatalf("n=%d: key owned by surviving %s moved to %s", n, b, a)
+				}
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		if bound := 1.0/float64(n) + eps; frac > bound {
+			t.Errorf("n=%d leave: %.3f of keys moved, bound %.3f", n, frac, bound)
+		}
+	}
+}
+
+// TestRingDeterministicOwnership: ownership is a pure function of the
+// member SET — input order, duplicates, and rebuild count must not
+// change it, or two routers in front of one fleet would disagree.
+func TestRingDeterministicOwnership(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1", "http://e:1"}
+	ref := NewRing(members, 64)
+	keys := ringKeys(2000)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if trial%2 == 1 {
+			shuffled = append(shuffled, shuffled[0]) // duplicate must not double-weight
+		}
+		r := NewRing(shuffled, 64)
+		for _, k := range keys {
+			if got, want := r.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("trial %d: key %s owned by %s, reference says %s", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingReplicas pins the fallback-ladder contract: owner first,
+// distinct members, clamped to the member count, stable.
+func TestRingReplicas(t *testing.T) {
+	members := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(members, 64)
+	for _, k := range ringKeys(500) {
+		reps := r.Replicas(k, 5)
+		if len(reps) != 3 {
+			t.Fatalf("want all 3 members in ladder, got %v", reps)
+		}
+		if reps[0] != r.Owner(k) {
+			t.Fatalf("ladder head %s is not the owner %s", reps[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, m := range reps {
+			if seen[m] {
+				t.Fatalf("duplicate member %s in ladder %v", m, reps)
+			}
+			seen[m] = true
+		}
+	}
+	if got := r.Replicas("k", 0); got != nil {
+		t.Fatalf("n=0 ladder: %v", got)
+	}
+	empty := NewRing(nil, 64)
+	if got := empty.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner: %q", got)
+	}
+}

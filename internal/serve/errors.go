@@ -42,6 +42,15 @@ type errorBody struct {
 	RetryAfterS int    `json:"retry_after_s,omitempty"`
 }
 
+// WriteError writes the structured JSON error envelope with the given
+// status and machine-readable code — the one rejection shape every
+// tier speaks. The router uses it for its own 503s so a client can
+// never tell a router-originated rejection from a backend one by
+// format.
+func WriteError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	httpError(w, status, code, format, args...)
+}
+
 // httpError writes the structured JSON error envelope with the given
 // status and machine-readable code. It reads any Retry-After header
 // already stamped on the response, so capacity call sites keep their

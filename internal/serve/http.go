@@ -41,14 +41,22 @@ func (s *Server) Handler() http.Handler {
 	return s.countRequests(mux)
 }
 
-// countRequests wraps the mux to record every response's status code.
+// countRequests wraps the mux to record every response's status code
+// and stamp the node identity: every response — success or rejection —
+// carries X-Pi2md-Node, so a router test can assert which backend a
+// request landed on without parsing bodies.
 func (s *Server) countRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(NodeHeader, s.nodeID)
 		cw := &codeWriter{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(cw, r)
 		s.mRequests.With(strconv.Itoa(cw.code)).Inc()
 	})
 }
+
+// NodeHeader is the response header carrying the serving backend's
+// boot-stable node identity.
+const NodeHeader = "X-Pi2md-Node"
 
 type codeWriter struct {
 	http.ResponseWriter

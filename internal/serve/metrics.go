@@ -184,6 +184,96 @@ func (cv *CounterVec) Total() int64 {
 	return t
 }
 
+// CounterVec2 is a family of counters split by two labels' values
+// (e.g. proxied_jobs_total{backend="a",outcome="ok"}). Unknown value
+// pairs materialize their series on first use.
+type CounterVec2 struct {
+	label1, label2 string
+	mu             sync.Mutex
+	vals           map[[2]string]*Counter
+}
+
+// With returns the counter for the given label-value pair.
+func (cv *CounterVec2) With(v1, v2 string) *Counter {
+	k := [2]string{v1, v2}
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	c, ok := cv.vals[k]
+	if !ok {
+		c = &Counter{}
+		cv.vals[k] = c
+	}
+	return c
+}
+
+// Value returns the count for the given label-value pair (0 if the
+// series does not exist yet).
+func (cv *CounterVec2) Value(v1, v2 string) int64 {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	if c, ok := cv.vals[[2]string{v1, v2}]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Total sums the counter across all label-value pairs.
+func (cv *CounterVec2) Total() int64 {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	var t int64
+	for _, c := range cv.vals {
+		t += c.Value()
+	}
+	return t
+}
+
+// TotalLabel2 sums the counter across series whose second label value
+// matches (e.g. every backend's outcome="ok").
+func (cv *CounterVec2) TotalLabel2(v2 string) int64 {
+	cv.mu.Lock()
+	defer cv.mu.Unlock()
+	var t int64
+	for k, c := range cv.vals {
+		if k[1] == v2 {
+			t += c.Value()
+		}
+	}
+	return t
+}
+
+// GaugeVec is a family of gauges split by one label's values (e.g.
+// backend_healthy{backend="a"}). Unknown values materialize their
+// series on first use.
+type GaugeVec struct {
+	label string
+	mu    sync.Mutex
+	vals  map[string]*Gauge
+}
+
+// With returns the gauge for the given label value.
+func (gv *GaugeVec) With(value string) *Gauge {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	g, ok := gv.vals[value]
+	if !ok {
+		g = &Gauge{}
+		gv.vals[value] = g
+	}
+	return g
+}
+
+// Value returns the gauge for the given label value (0 if the series
+// does not exist yet).
+func (gv *GaugeVec) Value(value string) int64 {
+	gv.mu.Lock()
+	defer gv.mu.Unlock()
+	if g, ok := gv.vals[value]; ok {
+		return g.Value()
+	}
+	return 0
+}
+
 // metric is one registered metric with its exposition metadata.
 type metric struct {
 	name string
@@ -196,6 +286,8 @@ type metric struct {
 	counterFunc func() float64
 	histogram   *Histogram
 	counterVec  *CounterVec
+	counterVec2 *CounterVec2
+	gaugeVec    *GaugeVec
 }
 
 // Registry is an ordered collection of metrics with Prometheus text
@@ -235,6 +327,20 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	cv := &CounterVec{label: label, vals: make(map[string]*Counter)}
 	r.register(&metric{name: name, help: help, typ: "counter", counterVec: cv})
 	return cv
+}
+
+// CounterVec2 registers and returns a two-label counter family.
+func (r *Registry) CounterVec2(name, help, label1, label2 string) *CounterVec2 {
+	cv := &CounterVec2{label1: label1, label2: label2, vals: make(map[[2]string]*Counter)}
+	r.register(&metric{name: name, help: help, typ: "counter", counterVec2: cv})
+	return cv
+}
+
+// GaugeVec registers and returns a one-label gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	gv := &GaugeVec{label: label, vals: make(map[string]*Gauge)}
+	r.register(&metric{name: name, help: help, typ: "gauge", gaugeVec: gv})
+	return gv
 }
 
 // Gauge registers and returns a settable gauge.
@@ -313,6 +419,36 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s{%s=%q} %d\n", m.name, cv.label, escapeLabel(k), cv.vals[k].Value())
 			}
 			cv.mu.Unlock()
+		case m.counterVec2 != nil:
+			cv := m.counterVec2
+			cv.mu.Lock()
+			keys := make([][2]string, 0, len(cv.vals))
+			for k := range cv.vals {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool {
+				if keys[i][0] != keys[j][0] {
+					return keys[i][0] < keys[j][0]
+				}
+				return keys[i][1] < keys[j][1]
+			})
+			for _, k := range keys {
+				fmt.Fprintf(&b, "%s{%s=%q,%s=%q} %d\n", m.name,
+					cv.label1, escapeLabel(k[0]), cv.label2, escapeLabel(k[1]), cv.vals[k].Value())
+			}
+			cv.mu.Unlock()
+		case m.gaugeVec != nil:
+			gv := m.gaugeVec
+			gv.mu.Lock()
+			keys := make([]string, 0, len(gv.vals))
+			for k := range gv.vals {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", m.name, gv.label, escapeLabel(k), gv.vals[k].Value())
+			}
+			gv.mu.Unlock()
 		case m.gauge != nil:
 			fmt.Fprintf(&b, "%s %d\n", m.name, m.gauge.Value())
 		case m.gaugeFunc != nil:

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -31,9 +32,16 @@ type Pool struct {
 	health HealthConfig
 
 	mu      sync.Mutex
-	cond    *sync.Cond
 	entries []*poolEntry
 	closed  bool
+
+	// waiters is the blocked-checkout queue, ordered earliest-deadline-
+	// first (ties FIFO by arrival). When a session frees up it is handed
+	// to the most deadline-pressed waiter, not whichever goroutine the
+	// scheduler happens to wake — a near-deadline interactive mesh job
+	// overtakes a queued long-deadline solve.
+	waiters   waiterHeap
+	waiterSeq uint64
 
 	checkouts    int64
 	affinityHits int64
@@ -120,7 +128,6 @@ func NewPool(n int, cfg core.Config) (*Pool, error) {
 	cfg.Image = nil
 	cfg.Context = nil
 	p := &Pool{cfg: cfg, health: HealthConfig{}.withDefaults(), entries: make([]*poolEntry, n)}
-	p.cond = sync.NewCond(&p.mu)
 	for i := range p.entries {
 		s, err := core.NewSession(cfg)
 		if err != nil {
@@ -186,6 +193,99 @@ type Lease struct {
 	warm   bool
 }
 
+// waitGrant is a session handed to a blocked waiter by the EDF grant
+// path: the entry is already marked busy and its affinity accounted.
+type waitGrant struct {
+	e        *poolEntry
+	affinity bool
+}
+
+// waiter is one goroutine blocked in Checkout. deadline is the
+// caller's context deadline (zero = none, sorts last); seq breaks ties
+// FIFO. ch is buffered so the granter never blocks; idx is the heap
+// position, -1 once popped (granted) or removed (canceled).
+type waiter struct {
+	key      string
+	deadline time.Time
+	seq      uint64
+	ch       chan waitGrant
+	idx      int
+}
+
+// waiterHeap orders waiters earliest-deadline-first; waiters without a
+// deadline sort after every deadline-bearing one, and equal deadlines
+// fall back to arrival order.
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	di, dj := h[i].deadline, h[j].deadline
+	if di.IsZero() != dj.IsZero() {
+		return !di.IsZero()
+	}
+	if !di.IsZero() && !di.Equal(dj) {
+		return di.Before(dj)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.idx = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.idx = -1
+	*h = old[:n-1]
+	return w
+}
+
+// grantLocked (p.mu held) hands free sessions to blocked waiters in
+// deadline order: the earliest-deadline waiter gets the session its
+// affinity prefers. It stops when no session is free or no waiter
+// remains.
+func (p *Pool) grantLocked() {
+	for len(p.waiters) > 0 {
+		e := p.pickFree(p.waiters[0].key)
+		if e == nil {
+			return
+		}
+		w := heap.Pop(&p.waiters).(*waiter)
+		e.busy = true
+		p.checkouts++
+		hit := w.key != "" && e.key == w.key
+		if hit {
+			p.affinityHits++
+		}
+		w.ch <- waitGrant{e: e, affinity: hit}
+	}
+}
+
+// failWaitersLocked (p.mu held) wakes every blocked waiter with a
+// pool-closed verdict by closing their grant channels.
+func (p *Pool) failWaitersLocked() {
+	for _, w := range p.waiters {
+		w.idx = -1
+		close(w.ch)
+	}
+	p.waiters = nil
+}
+
+// Waiters reports how many checkouts are currently blocked (test hook
+// for the EDF ordering tests).
+func (p *Pool) Waiters() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.waiters)
+}
+
 // pickFree selects an unleased, unquarantined entry, preferring exact
 // image-identity affinity, then any session that has run before (warm
 // arenas), then a cold one.
@@ -216,38 +316,72 @@ func (p *Pool) pickFree(key string) *poolEntry {
 // it. key names the image identity the caller intends to run —
 // typically a content hash of the input — and steers the checkout to
 // the session most likely to hold a warm distance transform for it.
+// Blocked checkouts are served earliest-deadline-first: a freed
+// session goes to the waiter whose ctx deadline is nearest, not to an
+// arbitrary scheduler wakeup.
 func (p *Pool) Checkout(ctx context.Context, key string) (*Lease, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	// Wake our cond.Wait when the context fires; Broadcast is cheap
-	// and the loop re-checks ctx.Err.
-	stop := context.AfterFunc(ctx, func() {
-		p.mu.Lock()
-		p.cond.Broadcast()
-		p.mu.Unlock()
-	})
-	defer stop()
-
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	for {
-		if p.closed {
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if err := ctx.Err(); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	if e := p.pickFree(key); e != nil {
+		e.busy = true
+		p.checkouts++
+		hit := key != "" && e.key == key
+		if hit {
+			p.affinityHits++
+		}
+		p.mu.Unlock()
+		return &Lease{p: p, e: e, s: e.s, key: key, affinity: hit}, nil
+	}
+	w := &waiter{key: key, seq: p.waiterSeq, ch: make(chan waitGrant, 1)}
+	p.waiterSeq++
+	if dl, ok := ctx.Deadline(); ok {
+		w.deadline = dl
+	}
+	heap.Push(&p.waiters, w)
+	p.mu.Unlock()
+
+	select {
+	case g, ok := <-w.ch:
+		if !ok {
 			return nil, ErrPoolClosed
 		}
-		if err := ctx.Err(); err != nil {
-			return nil, err
+		return &Lease{p: p, e: g.e, s: g.e.s, key: key, affinity: g.affinity}, nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		if w.idx >= 0 {
+			heap.Remove(&p.waiters, w.idx)
+			p.mu.Unlock()
+			return nil, ctx.Err()
 		}
-		if e := p.pickFree(key); e != nil {
-			e.busy = true
-			p.checkouts++
-			hit := key != "" && e.key == key
-			if hit {
-				p.affinityHits++
+		p.mu.Unlock()
+		// Lost the race: a grant (or close) is already in flight. Take
+		// it and hand the session straight to the next waiter — it must
+		// not leak on this abandoned checkout.
+		if g, ok := <-w.ch; ok {
+			p.mu.Lock()
+			g.e.busy = false
+			p.checkouts-- // the grant never became a lease
+			if g.affinity {
+				p.affinityHits--
 			}
-			return &Lease{p: p, e: e, s: e.s, key: key, affinity: hit}, nil
+			if p.closed {
+				g.e.s.Close()
+			} else {
+				p.grantLocked()
+			}
+			p.mu.Unlock()
 		}
-		p.cond.Wait()
+		return nil, ctx.Err()
 	}
 }
 
@@ -358,8 +492,9 @@ func (l *Lease) Release() {
 		e.lastUsed = time.Now()
 		if p.closed {
 			l.s.Close() // the pool closed while this lease was out
+		} else {
+			p.grantLocked()
 		}
-		p.cond.Signal()
 	}
 	p.mu.Unlock()
 }
@@ -454,7 +589,7 @@ func (p *Pool) rebuild(e *poolEntry, old *core.Session) {
 			e.busy = false
 			e.lastUsed = time.Time{}
 			p.healthRebuilds++
-			p.cond.Broadcast()
+			p.grantLocked()
 			p.mu.Unlock()
 			return
 		}
@@ -590,6 +725,6 @@ func (p *Pool) Close() error {
 			e.s.Close()
 		}
 	}
-	p.cond.Broadcast()
+	p.failWaitersLocked()
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"container/list"
 	"context"
+	cryptorand "crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -181,6 +183,11 @@ type Server struct {
 	cache *cachestore.Store
 	start time.Time
 
+	// nodeID is this process's stable serving identity: random at boot,
+	// surfaced in /v1/stats and on every response as X-Pi2md-Node, so a
+	// router (or an operator) can verify shard affinity end to end.
+	nodeID string
+
 	waiting  atomic.Int64 // admitted jobs blocked in Checkout
 	inflight sync.WaitGroup
 	draining atomic.Bool
@@ -268,7 +275,7 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	pool.SetHealth(HealthConfig{SuspectThreshold: cfg.SuspectThreshold})
-	s := &Server{cfg: cfg, pool: pool, cache: cfg.Cache, start: time.Now(), reg: NewRegistry()}
+	s := &Server{cfg: cfg, pool: pool, cache: cfg.Cache, start: time.Now(), reg: NewRegistry(), nodeID: newNodeID()}
 	s.imgCache.m = make(map[string]*list.Element)
 	s.imgCache.lru = list.New()
 	s.flights = make(map[string]*flight)
@@ -447,6 +454,39 @@ func (s *Server) warmStart() {
 			s.flightMu.Unlock()
 		}
 	}
+}
+
+// newNodeID draws the 8-byte random hex serving identity. Stability
+// within one boot is the contract; two boots of the same binary get
+// different identities, which is exactly what shard-affinity checks
+// need (a restarted backend is a cold one).
+func newNodeID() string {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively unreachable; fall back to a
+		// time-derived identity rather than refusing to boot.
+		return fmt.Sprintf("t%015x", time.Now().UnixNano()&0xffffffffffffff)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NodeID returns this server's boot-stable serving identity.
+func (s *Server) NodeID() string { return s.nodeID }
+
+// InflightKeys snapshots the coalesce keys with an open single-flight
+// entry — the flight-table introspection a router uses to verify that
+// proxy-joined followers actually landed in an existing flight, and
+// operators use to see what a node is computing right now. Sorted for
+// stable output.
+func (s *Server) InflightKeys() []string {
+	s.flightMu.Lock()
+	keys := make([]string, 0, len(s.flights))
+	for k := range s.flights {
+		keys = append(keys, k)
+	}
+	s.flightMu.Unlock()
+	sort.Strings(keys)
+	return keys
 }
 
 // Registry exposes the metrics registry (for /metrics and tests).
@@ -880,15 +920,18 @@ func abortedByCaller(res *core.Result) bool {
 	return false
 }
 
-// retryAfterSeconds derives the Retry-After hint for capacity
-// rejections from observed latency: a queued job typically waits
-// about one p90 queue wait plus a median lease before capacity frees
-// up. The estimate is jittered ±20% (so synchronized clients don't
-// retry in lockstep) and clamped to [1, 30] seconds.
-func (s *Server) retryAfterSeconds() int {
-	est := s.mQueueWait.Quantile(0.90) + s.mLeaseSeconds.Quantile(0.50)
-	est *= 0.8 + 0.4*s.retryJitter()
-	sec := int(math.Ceil(est))
+// ClampRetryAfter is the serving tier's one Retry-After policy: the
+// latency estimate (seconds) is jittered ±20% by jitter (so
+// synchronized clients don't retry in lockstep) and clamped to [1, 30]
+// seconds. Both the backend's capacity rejections and the router's
+// own 503s (backend down, ring empty) derive their hints here — a
+// router must never echo a raw cooldown the backend would have
+// clamped.
+func ClampRetryAfter(estSeconds float64, jitter func() float64) int {
+	if jitter != nil {
+		estSeconds *= 0.8 + 0.4*jitter()
+	}
+	sec := int(math.Ceil(estSeconds))
 	if sec < 1 {
 		sec = 1
 	}
@@ -896,6 +939,15 @@ func (s *Server) retryAfterSeconds() int {
 		sec = 30
 	}
 	return sec
+}
+
+// retryAfterSeconds derives the Retry-After hint for capacity
+// rejections from observed latency: a queued job typically waits
+// about one p90 queue wait plus a median lease before capacity frees
+// up, jittered and clamped by the shared policy.
+func (s *Server) retryAfterSeconds() int {
+	est := s.mQueueWait.Quantile(0.90) + s.mLeaseSeconds.Quantile(0.50)
+	return ClampRetryAfter(est, s.retryJitter)
 }
 
 // Ready reports whether the server can currently serve meshing work:
@@ -907,6 +959,7 @@ func (s *Server) Ready() bool {
 
 // Stats is the /v1/stats document.
 type Stats struct {
+	NodeID        string       `json:"node_id"`
 	UptimeSeconds float64      `json:"uptime_seconds"`
 	Draining      bool         `json:"draining"`
 	QueueDepth    int64        `json:"queue_depth"`
@@ -924,9 +977,13 @@ type Stats struct {
 	BreakersOpen  int          `json:"breakers_open"`
 	BreakerTrips  int64        `json:"breaker_trips"`
 	CacheServed   int64        `json:"jobs_cache_served"`
-	Pool          PoolStats    `json:"pool"`
-	Cache         *cachestore.Stats `json:"cache,omitempty"`
-	RecentRuns    []JobSummary `json:"recent_runs"`
+	// InflightKeys are the coalesce keys with an open single-flight
+	// entry right now — how a router (or operator) verifies that
+	// proxy-joined traffic landed in an existing flight.
+	InflightKeys []string          `json:"inflight_keys,omitempty"`
+	Pool         PoolStats         `json:"pool"`
+	Cache        *cachestore.Stats `json:"cache,omitempty"`
+	RecentRuns   []JobSummary      `json:"recent_runs"`
 }
 
 // Stats snapshots the serving counters for /v1/stats.
@@ -943,6 +1000,7 @@ func (s *Server) Stats() Stats {
 		cacheStats = &st
 	}
 	return Stats{
+		NodeID:        s.nodeID,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Draining:      s.draining.Load(),
 		QueueDepth:    s.waiting.Load(),
@@ -960,6 +1018,7 @@ func (s *Server) Stats() Stats {
 		BreakersOpen:  breakersOpen,
 		BreakerTrips:  s.mBreakerTrips.Value(),
 		CacheServed:   s.mCacheServed.Value(),
+		InflightKeys:  s.InflightKeys(),
 		Pool:          s.pool.Stats(),
 		Cache:         cacheStats,
 		RecentRuns:    recent,

@@ -211,6 +211,14 @@ func (sz *SizeSpec) validate() error {
 	return nil
 }
 
+// MeshSpecFromQuery parses the query-parameter surface into a MeshSpec
+// through the shared validation path — exported for the router, which
+// derives its routing variant from the same grammar the backend will
+// apply.
+func MeshSpecFromQuery(q url.Values) (MeshSpec, error) {
+	return meshSpecFromQuery(q)
+}
+
 // meshSpecFromQuery parses the historical query-parameter surface into
 // a MeshSpec and validates it through the shared path. The accepted
 // grammar is unchanged: format, delta, max_elements, max_radius_edge,
@@ -284,6 +292,11 @@ func (m *MeshSpec) hasTuning() bool {
 	return m.Delta > 0 || m.MaxElements > 0 || m.MaxRadiusEdge > 0 ||
 		m.MinFacetAngle > 0 || m.Size != nil
 }
+
+// Variant exposes the canonical tuning-variant encoding — the second
+// half of the (image key, variant) identity that coalescing, breakers,
+// the cachestore, and the router's hash ring all agree on.
+func (m *MeshSpec) Variant() string { return m.variant() }
 
 // variant canonicalizes the tuning knobs for the coalescing key and
 // the result cache. The knob encoding is frozen — cache entries and
@@ -406,19 +419,30 @@ func (sz *SizeSpec) compile(im *img.Image) sizing.Func {
 // An oversized request surfaces as *http.MaxBytesError so the caller
 // can answer 413 on either surface.
 func readSpecRequest(w http.ResponseWriter, r *http.Request, maxBytes int64) (spec, image []byte, err error) {
-	mt, params, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	return SplitSpecImage(r.Header.Get("Content-Type"), http.MaxBytesReader(w, r.Body, maxBytes))
+}
+
+// SplitSpecImage splits one request body stream into its JSON spec
+// part (nil when the request carries none) and its image payload,
+// using the declared Content-Type — the same resolution the backend
+// handlers apply, exported so the router derives its routing key from
+// exactly the bytes the backend will hash. Size capping is the
+// caller's job (wrap body in an http.MaxBytesReader); an overflow
+// surfaces unwrapped so errors.As finds *http.MaxBytesError.
+func SplitSpecImage(contentType string, body io.Reader) (spec, image []byte, err error) {
+	mt, params, _ := mime.ParseMediaType(contentType)
 	if mt != "multipart/form-data" {
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+		raw, err := io.ReadAll(body)
 		if err != nil {
 			return nil, nil, err
 		}
-		return nil, body, nil
+		return nil, raw, nil
 	}
 	boundary := params["boundary"]
 	if boundary == "" {
 		return nil, nil, fmt.Errorf("multipart request without a boundary")
 	}
-	mr := multipart.NewReader(http.MaxBytesReader(w, r.Body, maxBytes), boundary)
+	mr := multipart.NewReader(body, boundary)
 	for {
 		p, perr := mr.NextPart()
 		if perr == io.EOF {
