@@ -7,6 +7,8 @@
 //
 //	curl -s --data-binary @brain.nrrd 'localhost:8080/v1/mesh?format=vtk' > brain.vtk
 //	curl -s -H 'If-None-Match: "<etag>-vtk"' --data-binary @brain.nrrd localhost:8080/v1/mesh
+//	curl -s localhost:8080/v1/cache/<image-sha256>            # body-less cache read (404 = cache_miss)
+//	curl -s -X POST localhost:8080/v1/drain                   # announce drain, hand off warm keys
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/readyz
 //	curl -s localhost:8080/v1/stats

@@ -7,6 +7,8 @@
 //	pi2mrouter -addr :8090 -backends http://node1:8080,http://node2:8080
 //
 //	curl -s --data-binary @brain.nrrd 'localhost:8090/v1/mesh?format=vtk' > brain.vtk
+//	curl -s -H 'If-None-Match: "<etag>-vtk"' --data-binary @brain.nrrd localhost:8090/v1/mesh
+//	curl -s -X POST 'localhost:8090/v1/drain?backend=http://node1:8080'
 //	curl -s localhost:8090/readyz
 //	curl -s localhost:8090/v1/stats
 //	curl -s localhost:8090/metrics
@@ -17,9 +19,20 @@
 // replicas with minimal movement. One passing probe rejoins it. While
 // a key is in flight, later requests for it are proxied to the same
 // backend so they join its coalescing flight rather than re-running
-// the job — cross-node single-flight. On SIGINT/SIGTERM the router
+// the job — cross-node single-flight.
+//
+// The router keeps a bounded (route key → entity tag, backend) table
+// learned from relayed responses: If-None-Match requests that name the
+// learned entity are answered 304 locally without a backend round
+// trip, and when a key's last-known server drops out of the ring the
+// router probes the surviving replicas cache-only (GET /v1/cache/…)
+// before paying a full re-mesh. POST /v1/drain?backend=… runs the
+// planned-drain handoff: the backend announces its warmest cached keys
+// (flipping itself to draining), the router pre-warms its table with
+// them, then ejects the node immediately. On SIGINT/SIGTERM the router
 // stops accepting, lets in-flight proxies finish (bounded by
-// -drain-timeout), and exits; it holds no durable state.
+// -drain-timeout), and exits; it holds no durable state — the ETag
+// table is a rebuildable cache.
 package main
 
 import (
@@ -50,6 +63,7 @@ func main() {
 		probeTimeout  = flag.Duration("probe-timeout", 2*time.Second, "per-probe deadline")
 		failThreshold = flag.Int("fail-threshold", 3, "consecutive failures ejecting a backend from the ring")
 		maxBytes      = flag.Int64("max-bytes", 64<<20, "body cap on the buffered (key-deriving) routing path")
+		etagCache     = flag.Int("etag-cache", 4096, "entries in the (route key -> ETag) table behind local 304s and replica cache reads")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight proxies")
 	)
 	flag.Parse()
@@ -72,6 +86,7 @@ func main() {
 		ProbeTimeout:    *probeTimeout,
 		FailThreshold:   *failThreshold,
 		MaxRequestBytes: *maxBytes,
+		ETagCacheSize:   *etagCache,
 	})
 	if err != nil {
 		log.Fatal(err)

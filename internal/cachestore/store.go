@@ -55,6 +55,7 @@ type Stats struct {
 	Writes          int64 `json:"writes"`
 	Evictions       int64 `json:"evictions"`
 	Corrupt         int64 `json:"corrupt"`
+	Adopted         int64 `json:"adopted,omitempty"`
 	FsckRecovered   int64 `json:"fsck_recovered"`
 	FsckQuarantined int64 `json:"fsck_quarantined"`
 	Bytes           int64 `json:"bytes"`
@@ -101,6 +102,7 @@ type Store struct {
 	degraded atomic.Bool
 
 	hits, misses, writes, evictions, corrupt atomic.Int64
+	adopted                                  atomic.Int64
 	fsckRecovered, fsckQuarantined           atomic.Int64
 }
 
@@ -162,6 +164,7 @@ func (s *Store) Stats() Stats {
 		Writes:          s.writes.Load(),
 		Evictions:       s.evictions.Load(),
 		Corrupt:         s.corrupt.Load(),
+		Adopted:         s.adopted.Load(),
 		FsckRecovered:   s.fsckRecovered.Load(),
 		FsckQuarantined: s.fsckQuarantined.Load(),
 		Bytes:           bytes,
@@ -245,6 +248,84 @@ func (s *Store) Get(imageKey, variant string) (*core.MeshSnapshot, string, bool)
 	s.hits.Add(1)
 	s.mu.Unlock()
 	return snap, etag, true
+}
+
+// Lookup is Get plus an adoptive disk fallback. Blob filenames are a
+// pure function of (imageKey, variant), so when the index has no entry
+// the deterministic blob path is probed directly: a verified blob that
+// another process sharing the directory wrote — a replica on shared
+// storage, or a peer that was killed before this boot's fsck — is
+// adopted into the index and served as a hit. A corrupt blob at that
+// path is quarantined exactly as Get would. The distributed tier's
+// replica cache reads are built on this: a survivor can answer for a
+// dead owner's key the moment the bytes are reachable, without a
+// restart or a re-mesh.
+func (s *Store) Lookup(imageKey, variant string) (*core.MeshSnapshot, string, bool) {
+	if snap, etag, ok := s.Get(imageKey, variant); ok {
+		return snap, etag, true
+	}
+	if imageKey == "" {
+		return nil, "", false
+	}
+	name := blobName(imageKey, variant)
+	data, err := os.ReadFile(filepath.Join(s.cfg.Dir, blobsDirName, name))
+	if err != nil {
+		return nil, "", false // Get already counted the miss
+	}
+	meta, snap, etag, derr := decodeBlob(data)
+	if derr == nil && (meta.ImageKey != imageKey || meta.Variant != variant) {
+		derr = fmt.Errorf("cachestore: blob %s carries identity (%.16s…, %q), caller asked for (%.16s…, %q)",
+			name, meta.ImageKey, meta.Variant, imageKey, variant)
+	}
+	if derr != nil {
+		s.quarantineBlob(name)
+		s.corrupt.Add(1)
+		return nil, "", false
+	}
+
+	k := entryKey(imageKey, variant)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, "", false
+	}
+	if _, raced := s.entries[k]; !raced {
+		e := &entry{
+			imageKey:  imageKey,
+			variant:   variant,
+			file:      name,
+			bytes:     int64(len(data)),
+			etag:      etag,
+			createdNS: meta.CreatedNS,
+		}
+		e.elem = s.lru.PushFront(e)
+		s.entries[k] = e
+		s.totalBytes += e.bytes
+		s.appendJournalLocked(journalRec{
+			Op: "put", ImageKey: imageKey, Variant: variant,
+			File: name, Bytes: e.bytes, ETag: etag, CreatedNS: e.createdNS,
+		})
+		s.evictLocked()
+	}
+	s.adopted.Add(1)
+	s.hits.Add(1)
+	s.mu.Unlock()
+	return snap, etag, true
+}
+
+// Exists reports whether the pair is servable — indexed, or present as
+// an un-indexed blob at its deterministic path. Like Contains it counts
+// nothing and touches no recency; unlike Contains it sees blobs written
+// by other processes sharing the directory.
+func (s *Store) Exists(imageKey, variant string) bool {
+	if s.Contains(imageKey, variant) {
+		return true
+	}
+	if imageKey == "" {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.cfg.Dir, blobsDirName, blobName(imageKey, variant)))
+	return err == nil
 }
 
 // Put stores a snapshot for (imageKey, variant). Disk failures never

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cachestore"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/img"
@@ -59,6 +60,7 @@ type chaosOutcome struct {
 	code       int
 	node       string
 	retryAfter string
+	cacheOnly  string // X-Pi2md-Cache-Only marker, "hit" on replica reads
 	envelopeOK bool
 	reason     string
 }
@@ -74,6 +76,9 @@ type chaosOutcome struct {
 //   - the killed node is ejected and its keys are served by the
 //     surviving replicas (no success ever names the dead node while
 //     it is down);
+//   - at least one of the killed node's previously-served keys is
+//     answered from a survivor's result cache via the cache-only
+//     replica read (replica_cache_hits > 0), not re-meshed;
 //   - after the restart the node rejoins and its keys re-home to it;
 //   - the router ledger balances: proxied == completed + failed, and
 //     no flight pin outlives its requests.
@@ -89,11 +94,16 @@ func TestRouterChaosSoak(t *testing.T) {
 	nodeOf := map[string]string{} // backend URL → node id
 	urlOfNode := map[string]string{}
 	for i := range fleet {
+		store, _, err := cachestore.Open(cachestore.Config{Dir: t.TempDir()})
+		if err != nil {
+			t.Fatal(err)
+		}
 		srv, err := serve.NewServer(serve.Config{
 			PoolSize:       1,
 			QueueDepth:     8,
 			DefaultTimeout: 10 * time.Second,
 			CoalesceMax:    4,
+			Cache:          store,
 			Session:        core.Config{Workers: 1, LivelockTimeout: time.Minute},
 		})
 		if err != nil {
@@ -106,6 +116,7 @@ func TestRouterChaosSoak(t *testing.T) {
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
 			srv.Drain(ctx)
+			store.Close()
 		})
 		fleet[i] = b
 		nodeOf[ts.URL] = srv.NodeID()
@@ -190,6 +201,7 @@ func TestRouterChaosSoak(t *testing.T) {
 			code:       resp.StatusCode,
 			node:       resp.Header.Get(serve.NodeHeader),
 			retryAfter: resp.Header.Get("Retry-After"),
+			cacheOnly:  resp.Header.Get(serve.CacheOnlyHeader),
 		}
 		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 		if resp.StatusCode >= 400 {
@@ -205,6 +217,30 @@ func TestRouterChaosSoak(t *testing.T) {
 			}
 		}
 		return out
+	}
+
+	// Seed every backend's result cache with key 0's mesh directly —
+	// standing in for the shared-storage replication a real deployment
+	// runs — so after the kill any survivor can answer the victim's
+	// warmest key cache-only instead of re-meshing it.
+	var seedETag string
+	for _, b := range fleet {
+		resp, err := client.Post(b.ts.URL+"/v1/mesh", "application/octet-stream",
+			bytes.NewReader(bodies[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seeding %s with key 0: status %d", b.srv.NodeID(), resp.StatusCode)
+		}
+		if raw := rawETagFromHeader(resp.Header.Get("ETag")); raw != "" {
+			seedETag = raw
+		}
+	}
+	if seedETag == "" {
+		t.Fatal("seeding produced no parseable entity tag")
 	}
 
 	// Background traffic: four workers hammering random keys through
@@ -278,6 +314,27 @@ func TestRouterChaosSoak(t *testing.T) {
 		t.Fatal("no survivor ever served the killed node's key")
 	}
 
+	// The replica cache-only read must fire for key 0: its recorded
+	// server is dead and every survivor holds the seeded result. Keep
+	// driving the key until the metric moves. If a fallback re-mesh
+	// re-pointed the ETag entry at a healthy survivor before a ladder
+	// walk landed (an injected dial failure can burn one), re-arm the
+	// trigger by pointing the entry back at the dead victim — exactly
+	// the state a router restarted mid-outage would hold.
+	end = time.Now().Add(15 * time.Second)
+	for rt.Stats().ReplicaCacheHits == 0 {
+		if time.Now().After(end) {
+			t.Fatal("owner kill never produced a replica cache-only read for key 0")
+		}
+		if ent, ok := rt.etags.lookup(keys[0]); !ok || rt.isHealthy(ent.backend) {
+			rt.etags.learn(keys[0], seedETag, victim)
+		}
+		if out := doMesh(0); out.code == http.StatusOK && out.node == victimNode {
+			t.Fatalf("dead node %s served key 0", victimNode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
 	// Phase 3: restart wave — heal the partition, wait for rejoin,
 	// then require key 0 to re-home to its original owner.
 	part.set(victim, false)
@@ -323,8 +380,11 @@ func TestRouterChaosSoak(t *testing.T) {
 	if int64(len(outcomes)) != issued {
 		t.Fatalf("%d outcomes for %d issued requests", len(outcomes), issued)
 	}
-	var ok200, errs int
+	var ok200, errs, cacheOnlyServed int
 	for _, out := range outcomes {
+		if out.cacheOnly == "hit" {
+			cacheOnlyServed++
+		}
 		switch {
 		case out.code == -1:
 			t.Errorf("request for key %d died at the client: %s", out.key, out.reason)
@@ -365,6 +425,9 @@ func TestRouterChaosSoak(t *testing.T) {
 		// probe drops typically add more).
 		t.Fatalf("rebalances = %d, want the kill/restart wave visible (>=4)", st.Rebalances)
 	}
+	if st.ReplicaCacheHits < 1 {
+		t.Fatalf("replica_cache_hits = %d after an owner kill over warm replicas, want >=1", st.ReplicaCacheHits)
+	}
 
 	if path := os.Getenv("PI2MR_CHAOS_REPORT"); path != "" {
 		report := map[string]any{
@@ -377,6 +440,11 @@ func TestRouterChaosSoak(t *testing.T) {
 			"completed":   st.CompletedJobs,
 			"failed":      st.FailedJobs,
 			"victim":      victimNode,
+
+			"replica_cache_hits":   st.ReplicaCacheHits,
+			"replica_cache_misses": st.ReplicaCacheMisses,
+			"etag_304s":            st.ETag304s,
+			"cache_only_served":    cacheOnlyServed,
 		}
 		raw, _ := json.MarshalIndent(report, "", "  ")
 		if err := os.WriteFile(path, raw, 0o644); err != nil {

@@ -1,0 +1,103 @@
+package router
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// etagEntry is what the router remembers about one route key: the raw
+// (format-less) etag of the cached result and the backend that last
+// served or announced it. The table is never authoritative — it is
+// learned opportunistically from relayed responses and drain
+// announcements, bounded, and evicted LRU; a stale or missing entry
+// only costs a normal forward, never a wrong answer, because the raw
+// etag is a pure function of the cached blob's bytes and the image key
+// is a content hash.
+type etagEntry struct {
+	key     string // route key: imageKey + "|" + variant
+	etag    string // raw 16-hex CRC64, no quotes, no format suffix
+	backend string // backend that last served/announced this key
+}
+
+// etagTable is the bounded LRU (routeKey → etagEntry) map behind the
+// router's local 304 short-circuit and its replica-cache read trigger.
+type etagTable struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // front = most recently used; values are *etagEntry
+}
+
+func newETagTable(capacity int) *etagTable {
+	return &etagTable{
+		cap: capacity,
+		m:   make(map[string]*list.Element, capacity),
+		lru: list.New(),
+	}
+}
+
+// learn upserts the entry for key, refreshing recency and evicting the
+// least recently used entry past the cap.
+func (t *etagTable) learn(key, etag, backend string) {
+	if key == "" || etag == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.m[key]; ok {
+		e := el.Value.(*etagEntry)
+		e.etag, e.backend = etag, backend
+		t.lru.MoveToFront(el)
+		return
+	}
+	t.m[key] = t.lru.PushFront(&etagEntry{key: key, etag: etag, backend: backend})
+	for t.lru.Len() > t.cap {
+		back := t.lru.Back()
+		delete(t.m, back.Value.(*etagEntry).key)
+		t.lru.Remove(back)
+	}
+}
+
+// lookup returns a copy of key's entry, refreshing its recency.
+func (t *etagTable) lookup(key string) (etagEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.m[key]
+	if !ok {
+		return etagEntry{}, false
+	}
+	t.lru.MoveToFront(el)
+	return *el.Value.(*etagEntry), true
+}
+
+func (t *etagTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lru.Len()
+}
+
+// rawETagFromHeader extracts the raw (format-less) etag out of a
+// response's entity tag: `"<16 hex>-<format>"`, weak or strong. It
+// returns "" for anything that does not look exactly like the serving
+// tier's tags, so junk headers can never populate the table.
+func rawETagFromHeader(header string) string {
+	t := strings.TrimSpace(header)
+	t = strings.TrimPrefix(t, "W/")
+	if len(t) < 2 || t[0] != '"' || t[len(t)-1] != '"' {
+		return ""
+	}
+	t = t[1 : len(t)-1]
+	dash := strings.LastIndexByte(t, '-')
+	if dash != 16 {
+		return ""
+	}
+	raw := t[:dash]
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return ""
+		}
+	}
+	return raw
+}

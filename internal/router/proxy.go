@@ -2,11 +2,14 @@ package router
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/faultinject"
@@ -17,6 +20,7 @@ import (
 //
 //	POST /v1/mesh      proxied to the key's owning backend
 //	POST /v1/simulate  proxied to the key's owning backend
+//	POST /v1/drain     planned drain of one backend (?backend=<base URL>)
 //	GET  /healthz      router liveness
 //	GET  /readyz       503 until at least one backend is healthy
 //	GET  /v1/stats     JSON routing statistics
@@ -30,6 +34,7 @@ func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mesh", r.handleProxy)
 	mux.HandleFunc("POST /v1/simulate", r.handleProxy)
+	mux.HandleFunc("POST /v1/drain", r.handleDrain)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -43,20 +48,27 @@ func (r *Router) Handler() http.Handler {
 	return mux
 }
 
-// routePlan is a resolved proxy decision: the route key, the bytes to
-// send (nil means stream req.Body through once, no replay), and
-// whether fallback replay is possible.
+// routePlan is a resolved proxy decision: the route identity, the bytes
+// to send (nil means stream req.Body through once, no replay), and the
+// response format. format is non-empty only for /v1/mesh — it marks the
+// request as one whose result lives in the backends' snapshot caches,
+// which is what arms the ETag table and the replica cache-only ladder.
 type routePlan struct {
-	routeKey string
+	routeKey string // imageKey + "|" + variant
+	imageKey string
+	variant  string
+	format   string // "vtk"/"off" for /v1/mesh, "" for /v1/simulate
 	raw      []byte // buffered body; nil on the streaming path
 	stream   io.Reader
 }
 
-// handleProxy is the whole proxy path: derive the route key, join or
+// handleProxy is the whole proxy path: derive the route key, answer a
+// conditional request from the local ETag table when it can, join or
 // start the key's cross-node flight, walk the candidate ladder
-// (pinned backend, then ring replicas), stream the first response
-// back, or answer 503 with the shared Retry-After policy when every
-// candidate is unreachable.
+// (pinned backend, then ring replicas) — cache-only first when the
+// key's last-known server is gone — stream the first response back, or
+// answer 503 with the shared Retry-After policy when every candidate
+// is unreachable.
 func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
 	started := time.Now()
 	r.mJobs.Inc()
@@ -64,6 +76,30 @@ func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
 	if !ok {
 		r.mFailed.Inc()
 		return
+	}
+
+	// Router-side 304 short-circuit: when the client's If-None-Match
+	// names the entity the table last saw for this key, answer locally —
+	// no backend round trip, no body. The table is populated only from
+	// real backend responses and drain announcements; the raw etag is
+	// content-derived (CRC64 of the cached blob, keyed by the image's
+	// SHA-256), so a match here is exactly the match the backend would
+	// have computed. A stale entry fails the comparison and the request
+	// forwards normally — the backend stays authoritative.
+	if plan.format != "" {
+		if inm := req.Header.Get("If-None-Match"); inm != "" {
+			if ent, ok := r.etags.lookup(plan.routeKey); ok {
+				entity := serve.EntityTag(ent.etag, plan.format)
+				if serve.ETagMatch(inm, entity) {
+					w.Header().Set("ETag", entity)
+					w.WriteHeader(http.StatusNotModified)
+					r.mETag304.Inc()
+					r.mCompleted.Inc()
+					r.mProxySeconds.Observe(time.Since(started).Seconds())
+					return
+				}
+			}
+		}
 	}
 
 	pinned, joined := r.joinFlight(plan.routeKey)
@@ -82,6 +118,21 @@ func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
 	for _, c := range r.candidates(plan.routeKey) {
 		if c != pinned {
 			cands = append(cands, c)
+		}
+	}
+
+	// Replica cache reads, trigger 1 — ejection of the key's server:
+	// when the backend that last served this key is no longer healthy,
+	// a survivor may still hold the result on disk. Probe the ladder
+	// cache-only (a body-less GET) before paying a full re-mesh on the
+	// new owner.
+	probed := false
+	if plan.format != "" {
+		if ent, ok := r.etags.lookup(plan.routeKey); ok && ent.backend != "" && !r.isHealthy(ent.backend) {
+			probed = true
+			if r.tryCacheLadder(w, req, plan, cands, started) {
+				return
+			}
 		}
 	}
 
@@ -104,39 +155,134 @@ func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
 		if err != nil {
 			if req.Context().Err() != nil {
 				// The client went away or its deadline expired mid-attempt;
-				// nobody is listening, so stop walking the ladder.
-				r.mProxied.With(cand, outcomeTransportErr).Inc()
-				r.answer503(w, "client gone during proxy to %s: %v", cand, err)
+				// nobody is listening, so stop walking the ladder. This is
+				// the backend tier's 499, not a capacity signal — no
+				// Retry-After, and the backend is not blamed.
+				r.answerCanceled(w, cand, err)
 				return
 			}
 			r.mProxied.With(cand, outcomeTransportErr).Inc()
 			r.noteTransportFailure(cand)
+			// Replica cache reads, trigger 2 — transport failure: before
+			// re-meshing on the remaining candidates, ask each (body-less,
+			// cache-only) whether it already holds the result.
+			if plan.format != "" && !probed {
+				probed = true
+				if r.tryCacheLadder(w, req, plan, cands[i+1:], started) {
+					return
+				}
+			}
 			continue
 		}
-		r.relay(w, resp, cand)
-		r.mCompleted.Inc()
+		if r.relay(w, req, resp, cand, plan) {
+			r.mCompleted.Inc()
+		} else {
+			r.mFailed.Inc()
+		}
 		r.mProxySeconds.Observe(time.Since(started).Seconds())
 		return
 	}
 	r.answer503(w, "no reachable backend for key %s (tried %d)", plan.routeKey, len(cands))
 }
 
+// tryCacheLadder walks candidates with cache-only probes — GET
+// /v1/cache/{key}/{variant}, no request body — and relays the first
+// hit: a backend that still holds the blob serves it (or validates the
+// client's ETag to a 304) with zero re-meshing. A 404 cache_miss moves
+// the ladder along; a transport failure feeds the health ledger like
+// any other. Returns true when a response was relayed and the request
+// is done.
+func (r *Router) tryCacheLadder(w http.ResponseWriter, req *http.Request, plan routePlan, cands []string, started time.Time) bool {
+	for _, cand := range cands {
+		resp, err := r.probeCache(req, cand, plan)
+		if err != nil {
+			if req.Context().Err() != nil {
+				r.answerCanceled(w, cand, err)
+				return true
+			}
+			r.noteTransportFailure(cand)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			r.mReplicaMisses.Inc()
+			continue
+		}
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotModified {
+			// A probe rejection other than a miss (bad key, draining-side
+			// surprise): not a cache answer — fall back to the full path,
+			// where the backend's own parser owns the verdict.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			continue
+		}
+		r.mReplicaHits.Inc()
+		r.setPin(plan.routeKey, cand)
+		if r.relay(w, req, resp, cand, plan) {
+			r.mCompleted.Inc()
+		} else {
+			r.mFailed.Inc()
+		}
+		r.mProxySeconds.Observe(time.Since(started).Seconds())
+		return true
+	}
+	return false
+}
+
+// probeCache asks one backend for the plan's key from its result cache
+// alone: a body-less GET against the cache probe endpoint, with the
+// client's validators forwarded so a holder can answer 304 instead of
+// shipping the mesh.
+func (r *Router) probeCache(req *http.Request, backend string, plan routePlan) (*http.Response, error) {
+	if faultinject.Fire(faultinject.ProxyDialFail) {
+		return nil, errInjectedDial
+	}
+	u := backend + "/v1/cache/" + plan.imageKey
+	if plan.variant != "" {
+		u += "/" + url.PathEscape(plan.variant)
+	}
+	u += "?format=" + url.QueryEscape(plan.format)
+	preq, err := http.NewRequestWithContext(req.Context(), http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	if inm := req.Header.Get("If-None-Match"); inm != "" {
+		preq.Header.Set("If-None-Match", inm)
+	}
+	return r.cfg.Transport.RoundTrip(preq)
+}
+
 // planRoute derives the (image key, variant) route key and the bytes
-// to forward. On a local rejection (oversize, empty, unreadable body)
-// it writes the error envelope and returns ok=false; the caller
-// accounts the failure.
+// to forward. On a local rejection (oversize, empty, unreadable body,
+// malformed key header) it writes the error envelope and returns
+// ok=false; the caller accounts the failure.
 func (r *Router) planRoute(w http.ResponseWriter, req *http.Request) (routePlan, bool) {
 	if hk := req.Header.Get(ImageKeyHeader); hk != "" {
 		// Streaming path: the client vouched for the key, the router
-		// never touches the body. The variant comes from the query
-		// string (the only spec a body-less router can see); a spec
-		// part in the body that disagrees only costs routing locality,
-		// never correctness — the backend re-derives everything.
-		variant := ""
-		if spec, err := serve.MeshSpecFromQuery(req.URL.Query()); err == nil {
-			variant = spec.Variant()
+		// never touches the body. The key must look exactly like what it
+		// claims to be — a full SHA-256 in lowercase hex — or arbitrary
+		// client bytes would become route keys, poisoning the pin table,
+		// the ETag table, and metrics cardinality.
+		if !serve.ValidImageKey(hk) {
+			serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest,
+				"%s must be 64 lowercase hex characters (the full SHA-256 of the image), got %d bytes",
+				ImageKeyHeader, len(hk))
+			return routePlan{}, false
 		}
-		return routePlan{routeKey: hk + "|" + variant, stream: req.Body}, true
+		// The variant comes from the query string (the only spec a
+		// body-less router can see); a spec part in the body that
+		// disagrees only costs routing locality, never correctness — the
+		// backend re-derives everything.
+		variant, format := "", "vtk"
+		if spec, err := serve.MeshSpecFromQuery(req.URL.Query()); err == nil {
+			variant, format = spec.Variant(), spec.Format
+		}
+		return routePlan{
+			routeKey: hk + "|" + variant,
+			imageKey: hk, variant: variant, format: format,
+			stream: req.Body,
+		}, true
 	}
 
 	raw, err := io.ReadAll(http.MaxBytesReader(w, req.Body, r.cfg.MaxRequestBytes))
@@ -164,7 +310,7 @@ func (r *Router) planRoute(w http.ResponseWriter, req *http.Request) (routePlan,
 	// The variant mirrors the backend's coalescing/cache identity. A
 	// malformed spec routes under the empty variant and travels on to
 	// the backend, whose own parser owns the precise 400.
-	variant := ""
+	variant, format := "", ""
 	if req.URL.Path == "/v1/simulate" {
 		if specJSON != nil {
 			if sp, err := serve.ParseSimSpec(specJSON); err == nil {
@@ -172,18 +318,24 @@ func (r *Router) planRoute(w http.ResponseWriter, req *http.Request) (routePlan,
 			}
 		}
 	} else {
+		format = "vtk"
 		switch {
 		case specJSON != nil:
 			if sp, err := serve.ParseMeshSpec(specJSON); err == nil {
-				variant = sp.Variant()
+				variant, format = sp.Variant(), sp.Format
 			}
 		default:
 			if sp, err := serve.MeshSpecFromQuery(req.URL.Query()); err == nil {
-				variant = sp.Variant()
+				variant, format = sp.Variant(), sp.Format
 			}
 		}
 	}
-	return routePlan{routeKey: serve.ImageKey(image) + "|" + variant, raw: raw}, true
+	key := serve.ImageKey(image)
+	return routePlan{
+		routeKey: key + "|" + variant,
+		imageKey: key, variant: variant, format: format,
+		raw: raw,
+	}, true
 }
 
 // forward sends one proxy attempt. The original request's context —
@@ -212,12 +364,27 @@ func (r *Router) forward(orig *http.Request, backend string, body io.Reader, pla
 var errInjectedDial = errors.New("injected dial failure")
 
 // relay streams a backend response to the client verbatim: status,
-// headers (including X-Pi2md-Node, ETag, Retry-After), body.
-func (r *Router) relay(w http.ResponseWriter, resp *http.Response, backend string) {
+// headers (including X-Pi2md-Node, ETag, Retry-After), body. The copy
+// error is part of the outcome: a backend dying mid-body is a
+// transport failure (fed to the health ledger) even though the status
+// line already went out, and a client disconnecting mid-body is
+// client_gone — neither may count as a completed relay, or truncated
+// responses would read as successes in every ledger. Returns true only
+// when the full body was relayed; on success the response's entity tag
+// is learned into the ETag table under the plan's route key.
+func (r *Router) relay(w http.ResponseWriter, req *http.Request, resp *http.Response, backend string, plan routePlan) bool {
 	defer resp.Body.Close()
 	copyHeaders(w.Header(), resp.Header)
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	if _, cerr := io.Copy(w, resp.Body); cerr != nil {
+		if req.Context().Err() != nil {
+			r.mProxied.With(backend, outcomeClientGone).Inc()
+		} else {
+			r.mProxied.With(backend, outcomeTransportErr).Inc()
+			r.noteTransportFailure(backend)
+		}
+		return false
+	}
 	switch {
 	case resp.StatusCode >= 500:
 		r.mProxied.With(backend, outcomeUpstream5xx).Inc()
@@ -225,7 +392,13 @@ func (r *Router) relay(w http.ResponseWriter, resp *http.Response, backend strin
 		r.mProxied.With(backend, outcomeUpstream4xx).Inc()
 	default:
 		r.mProxied.With(backend, outcomeOK).Inc()
+		if plan.format != "" {
+			if raw := rawETagFromHeader(resp.Header.Get("ETag")); raw != "" {
+				r.etags.learn(plan.routeKey, raw, backend)
+			}
+		}
 	}
+	return true
 }
 
 // noteTransportFailure feeds a proxy-side connection failure into the
@@ -252,6 +425,97 @@ func (r *Router) answer503(w http.ResponseWriter, format string, args ...any) {
 	r.mFailed.Inc()
 }
 
+// answerCanceled classifies a mid-proxy client cancellation exactly as
+// the backend tier does: 499 canceled, no Retry-After — the client
+// went away, telling it to retry is meaningless and a 503 would read
+// as backend trouble in every dashboard. Counted failed (the job
+// produced no relayed response) and not retryable; the backend is not
+// blamed in the health ledger for a client that hung up.
+func (r *Router) answerCanceled(w http.ResponseWriter, backend string, err error) {
+	r.mProxied.With(backend, outcomeClientGone).Inc()
+	serve.WriteError(w, serve.StatusClientClosedRequest, serve.CodeCanceled,
+		"client canceled during proxy to %s: %v", backend, err)
+	r.mFailed.Inc()
+}
+
+// drainResult is the POST /v1/drain response document.
+type drainResult struct {
+	Backend       string `json:"backend"`
+	NodeID        string `json:"node_id,omitempty"`
+	KeysPrewarmed int    `json:"keys_prewarmed"`
+	Ejected       bool   `json:"ejected"`
+}
+
+// handleDrain is POST /v1/drain?backend=<base URL>: the planned-drain
+// handoff. The router tells the backend to drain; the backend answers
+// with its MRU cached keys; the router learns each (routeKey → etag,
+// backend) into its ETag table — so conditional requests keep 304ing
+// locally and the replica cache-only ladder fires for exactly the keys
+// the drained node was warm for — and then ejects the node from the
+// ring immediately instead of waiting for probes to notice the drain.
+func (r *Router) handleDrain(w http.ResponseWriter, req *http.Request) {
+	backend := strings.TrimRight(strings.TrimSpace(req.URL.Query().Get("backend")), "/")
+	if backend != "" && !strings.Contains(backend, "://") {
+		backend = "http://" + backend
+	}
+	r.mu.Lock()
+	_, known := r.backends[backend]
+	r.mu.Unlock()
+	if !known {
+		serve.WriteError(w, http.StatusBadRequest, serve.CodeBadRequest,
+			"unknown backend %q: want one of the configured base URLs", backend)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(req.Context(), 10*time.Second)
+	defer cancel()
+	dreq, err := http.NewRequestWithContext(ctx, http.MethodPost, backend+"/v1/drain", nil)
+	if err != nil {
+		serve.WriteError(w, http.StatusInternalServerError, serve.CodeInternal, "building drain request: %v", err)
+		return
+	}
+	resp, err := r.cfg.Transport.RoundTrip(dreq)
+	if err != nil {
+		// Unreachable already: nothing to hand off, but the operator asked
+		// for this node to be out of rotation — eject it anyway.
+		r.noteTransportFailure(backend)
+		r.ejectBackend(backend)
+		r.mDrains.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(drainResult{Backend: backend, Ejected: true})
+		return
+	}
+	defer resp.Body.Close()
+	var ann struct {
+		NodeID string `json:"node_id"`
+		Keys   []struct {
+			ImageKey string `json:"image_key"`
+			Variant  string `json:"variant"`
+			ETag     string `json:"etag"`
+		} `json:"keys"`
+	}
+	if resp.StatusCode != http.StatusOK {
+		serve.WriteError(w, http.StatusBadGateway, serve.CodeUnavailable,
+			"backend %s answered drain with status %d", backend, resp.StatusCode)
+		return
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&ann); err != nil {
+		serve.WriteError(w, http.StatusBadGateway, serve.CodeUnavailable,
+			"backend %s drain response unreadable: %v", backend, err)
+		return
+	}
+	for _, k := range ann.Keys {
+		r.etags.learn(k.ImageKey+"|"+k.Variant, k.ETag, backend)
+	}
+	r.ejectBackend(backend)
+	r.mDrains.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(drainResult{
+		Backend: backend, NodeID: ann.NodeID,
+		KeysPrewarmed: len(ann.Keys), Ejected: true,
+	})
+}
+
 // handleReadyz: the router is ready when it can route — at least one
 // backend in the ring.
 func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
@@ -272,15 +536,20 @@ func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
 
 // Stats is the /v1/stats document.
 type Stats struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Backends      []BackendStats `json:"backends"`
-	RingMembers   []string       `json:"ring_members"`
-	Rebalances    int64          `json:"ring_rebalances"`
-	ProxiedJobs   int64          `json:"proxied_jobs"`
-	CompletedJobs int64          `json:"completed_jobs"`
-	FailedJobs    int64          `json:"failed_jobs"`
-	FlightJoins   int64          `json:"flight_joins"`
-	InflightKeys  []string       `json:"inflight_keys,omitempty"`
+	UptimeSeconds      float64        `json:"uptime_seconds"`
+	Backends           []BackendStats `json:"backends"`
+	RingMembers        []string       `json:"ring_members"`
+	Rebalances         int64          `json:"ring_rebalances"`
+	ProxiedJobs        int64          `json:"proxied_jobs"`
+	CompletedJobs      int64          `json:"completed_jobs"`
+	FailedJobs         int64          `json:"failed_jobs"`
+	FlightJoins        int64          `json:"flight_joins"`
+	ReplicaCacheHits   int64          `json:"replica_cache_hits"`
+	ReplicaCacheMisses int64          `json:"replica_cache_misses"`
+	ETag304s           int64          `json:"etag_304s"`
+	ETagEntries        int            `json:"etag_entries"`
+	PlannedDrains      int64          `json:"planned_drains"`
+	InflightKeys       []string       `json:"inflight_keys,omitempty"`
 }
 
 // BackendStats is one backend's health ledger snapshot.
@@ -296,13 +565,17 @@ type BackendStats struct {
 func (r *Router) Stats() Stats {
 	r.mu.Lock()
 	st := Stats{
-		UptimeSeconds: time.Since(r.start).Seconds(),
-		RingMembers:   r.ring.Members(),
-		Rebalances:    r.mRebalances.Value(),
-		ProxiedJobs:   r.mJobs.Value(),
-		CompletedJobs: r.mCompleted.Value(),
-		FailedJobs:    r.mFailed.Value(),
-		FlightJoins:   r.mFlightJoins.Value(),
+		UptimeSeconds:      time.Since(r.start).Seconds(),
+		RingMembers:        r.ring.Members(),
+		Rebalances:         r.mRebalances.Value(),
+		ProxiedJobs:        r.mJobs.Value(),
+		CompletedJobs:      r.mCompleted.Value(),
+		FailedJobs:         r.mFailed.Value(),
+		FlightJoins:        r.mFlightJoins.Value(),
+		ReplicaCacheHits:   r.mReplicaHits.Value(),
+		ReplicaCacheMisses: r.mReplicaMisses.Value(),
+		ETag304s:           r.mETag304.Value(),
+		PlannedDrains:      r.mDrains.Value(),
 	}
 	for _, name := range r.order {
 		b := r.backends[name]
@@ -315,6 +588,7 @@ func (r *Router) Stats() Stats {
 		})
 	}
 	r.mu.Unlock()
+	st.ETagEntries = r.etags.len()
 	st.InflightKeys = r.InflightKeys()
 	return st
 }
@@ -338,9 +612,25 @@ var hopByHop = map[string]bool{
 	"Upgrade":             true,
 }
 
+// copyHeaders relays headers minus the connection-scoped ones: the
+// static hop-by-hop set, plus — RFC 7230 §6.1 — any header named in the
+// Connection header's own comma-separated value, which a peer uses to
+// mark arbitrary headers as single-hop.
 func copyHeaders(dst, src http.Header) {
+	var named map[string]bool
+	for _, v := range src.Values("Connection") {
+		for _, tok := range strings.Split(v, ",") {
+			if tok = strings.TrimSpace(tok); tok != "" {
+				if named == nil {
+					named = make(map[string]bool)
+				}
+				named[http.CanonicalHeaderKey(tok)] = true
+			}
+		}
+	}
 	for k, vs := range src {
-		if hopByHop[http.CanonicalHeaderKey(k)] {
+		ck := http.CanonicalHeaderKey(k)
+		if hopByHop[ck] || named[ck] {
 			continue
 		}
 		for _, v := range vs {

@@ -29,7 +29,8 @@ const (
 	outcomeOK           = "ok"              // relayed a 2xx/3xx
 	outcomeUpstream4xx  = "upstream_4xx"    // relayed a backend 4xx verbatim
 	outcomeUpstream5xx  = "upstream_5xx"    // relayed a backend 5xx verbatim
-	outcomeTransportErr = "transport_error" // attempt never produced a response
+	outcomeTransportErr = "transport_error" // attempt never produced a response, or the backend died mid-body
+	outcomeClientGone   = "client_gone"     // the client canceled or disconnected mid-attempt
 )
 
 // Config configures a Router. Zero values select the defaults noted
@@ -57,6 +58,10 @@ type Config struct {
 	// MaxRequestBytes caps the buffered-body routing path, mirroring
 	// the backend's own cap. Default 64 MiB.
 	MaxRequestBytes int64
+	// ETagCacheSize bounds the (routeKey → ETag) table behind the
+	// router-side 304 short-circuit and the replica-cache read trigger.
+	// Default 4096 entries, evicted LRU.
+	ETagCacheSize int
 	// Transport performs backend HTTP round trips for both proxying
 	// and probing — tests inject partitions here. Default
 	// http.DefaultTransport.
@@ -85,6 +90,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MaxRequestBytes <= 0 {
 		out.MaxRequestBytes = 64 << 20
+	}
+	if out.ETagCacheSize <= 0 {
+		out.ETagCacheSize = 4096
 	}
 	if out.Transport == nil {
 		out.Transport = http.DefaultTransport
@@ -135,6 +143,10 @@ type Router struct {
 	flightMu sync.Mutex
 	flights  map[string]*flightPin
 
+	// etags remembers which backend last served each route key and with
+	// what entity — the state behind local 304s and replica cache reads.
+	etags *etagTable
+
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	started bool
@@ -150,6 +162,10 @@ type Router struct {
 	mFlightJoins    *serve.Counter
 	mProbeFailures  *serve.Counter
 	mProxySeconds   *serve.Histogram
+	mReplicaHits    *serve.Counter
+	mReplicaMisses  *serve.Counter
+	mETag304        *serve.Counter
+	mDrains         *serve.Counter
 }
 
 // New builds a Router over the configured backends. Call Start to
@@ -165,6 +181,7 @@ func New(cfg Config) (*Router, error) {
 		start:    time.Now(),
 		backends: make(map[string]*backendState, len(cfg.Backends)),
 		flights:  make(map[string]*flightPin),
+		etags:    newETagTable(cfg.ETagCacheSize),
 		stop:     make(chan struct{}),
 	}
 	for _, b := range cfg.Backends {
@@ -208,6 +225,14 @@ func New(cfg Config) (*Router, error) {
 	r.mProxySeconds = reg.Histogram("pi2mr_proxy_seconds",
 		"End-to-end proxy latency, first byte in to last byte relayed.",
 		[]float64{0.001, 0.005, 0.02, 0.1, 0.5, 2, 10, 30, 120})
+	r.mReplicaHits = reg.Counter("pi2mr_replica_cache_hits_total",
+		"Jobs answered by a replica's cache-only read after the key's last-known server became unreachable.")
+	r.mReplicaMisses = reg.Counter("pi2mr_replica_cache_misses_total",
+		"Cache-only replica probes answered 404 cache_miss (the ladder moved on).")
+	r.mETag304 = reg.Counter("pi2mr_etag_304_total",
+		"Conditional requests answered 304 from the router's ETag table without a backend round trip.")
+	r.mDrains = reg.Counter("pi2mr_planned_drains_total",
+		"Planned backend drains executed through POST /v1/drain.")
 	for _, name := range r.order {
 		r.mBackendHealthy.With(name).Set(0)
 	}
@@ -412,6 +437,39 @@ func (r *Router) leaveFlight(key string) {
 	if f.members <= 0 {
 		delete(r.flights, key)
 	}
+}
+
+// isHealthy reports whether name is a configured backend currently in
+// the healthy ring. The replica-cache trigger keys off it: a route key
+// whose last-known server is no longer healthy is worth probing the
+// ladder cache-only before paying a re-mesh on the new owner.
+func (r *Router) isHealthy(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.backends[name]
+	return b != nil && b.healthy
+}
+
+// ejectBackend removes name from the healthy ring immediately — the
+// planned-drain path, where waiting FailThreshold probe periods for the
+// now-draining backend's readyz 503s to accumulate would route new
+// work into a node that already said goodbye. The backend's probe loop
+// keeps running; if it ever answers ready again (drain aborted, process
+// restarted) one successful probe rejoins it as usual.
+func (r *Router) ejectBackend(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.backends[name]
+	if b == nil {
+		return false
+	}
+	b.fails = r.cfg.FailThreshold
+	b.lastErr = "planned drain"
+	if b.healthy {
+		b.healthy = false
+		r.rebuildRingLocked()
+	}
+	return true
 }
 
 // InflightKeys returns the sorted route keys currently pinned.

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -348,7 +349,7 @@ func TestRouterStreamingKeyHeader(t *testing.T) {
 	rts := httptest.NewServer(r.Handler())
 	defer rts.Close()
 
-	hdr := map[string]string{ImageKeyHeader: "deadbeef00112233"}
+	hdr := map[string]string{ImageKeyHeader: strings.Repeat("deadbeef00112233", 4)}
 	var node string
 	for i := 0; i < 4; i++ {
 		resp := postMesh(t, rts, []byte(fmt.Sprintf("different-body-%d", i)), hdr)

@@ -11,18 +11,19 @@ import (
 // server emits carries one; clients branch on the code, humans read
 // the reason.
 const (
-	CodeBadRequest  = "bad_request"   // malformed image, spec, or parameters
-	CodeBadBC       = "bad_bc"        // a boundary-condition spec constrained no vertex
-	CodeTooLarge    = "too_large"     // request body over MaxRequestBytes
-	CodeQueueFull   = "queue_full"    // admission queue at capacity
-	CodeDeadline    = "deadline"      // job or solve deadline expired
-	CodeBreakerOpen = "breaker_open"  // the key's circuit breaker is open
-	CodeWatchdog    = "watchdog"      // run/solve abandoned by the watchdog
-	CodeCanceled    = "canceled"      // the client went away (499)
-	CodeDraining    = "draining"      // server shutting down
-	CodeUnavailable = "unavailable"   // pool closed / no session
-	CodeSolveFailed = "solve_failed"  // assembly or CG failure
-	CodeInternal    = "internal"      // anything else
+	CodeBadRequest  = "bad_request"  // malformed image, spec, or parameters
+	CodeBadBC       = "bad_bc"       // a boundary-condition spec constrained no vertex
+	CodeTooLarge    = "too_large"    // request body over MaxRequestBytes
+	CodeQueueFull   = "queue_full"   // admission queue at capacity
+	CodeDeadline    = "deadline"     // job or solve deadline expired
+	CodeBreakerOpen = "breaker_open" // the key's circuit breaker is open
+	CodeWatchdog    = "watchdog"     // run/solve abandoned by the watchdog
+	CodeCanceled    = "canceled"     // the client went away (499)
+	CodeDraining    = "draining"     // server shutting down
+	CodeUnavailable = "unavailable"  // pool closed / no session
+	CodeCacheMiss   = "cache_miss"   // cache-only request, pair not cached (404)
+	CodeSolveFailed = "solve_failed" // assembly or CG failure
+	CodeInternal    = "internal"     // anything else
 )
 
 // errorEnvelope is the JSON error document every non-2xx response

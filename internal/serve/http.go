@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -34,11 +35,42 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/mesh", s.handleMesh)
 	mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	mux.HandleFunc("GET /v1/cache/{imageKey}", s.handleCacheProbe)
+	mux.HandleFunc("GET /v1/cache/{imageKey}/{variant...}", s.handleCacheProbe)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.countRequests(mux)
+}
+
+// CacheOnlyHeader is the cache-only fast-path request header on
+// POST /v1/mesh: with value "1" the request is answered straight from
+// the persistent result cache — hit → the full encoded response with
+// its ETag, miss → 404 cache_miss — and never touches the queue, the
+// session pool, coalescing, or breakers. Responses served this way
+// (from the header or from GET /v1/cache) echo the same header with
+// value "hit", so a proxy can prove no meshing happened. Cache-only
+// reads are also served while draining: a draining node stays a read
+// replica until the process exits.
+const CacheOnlyHeader = "X-Pi2md-Cache-Only"
+
+// ValidImageKey reports whether s has the only shape an image key can
+// have: the full SHA-256 content hash as 64 lowercase hex characters.
+// Both tiers use it to reject client-vouched keys before they become
+// route keys, cache paths, or metric labels.
+func ValidImageKey(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // countRequests wraps the mux to record every response's status code
@@ -195,6 +227,14 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Cache-only fast path: answer from the result cache or 404, never
+	// touching admission. The body was read only to derive the key; it
+	// is not decoded.
+	if r.Header.Get(CacheOnlyHeader) == "1" {
+		s.serveCacheOnly(w, key, variant, spec.Format)
+		return
+	}
+
 	image, err := s.decodeImage(key, body)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, CodeBadRequest, "decoding image: %v", err)
@@ -229,6 +269,110 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// serveCacheOnly answers a request from the persistent result cache
+// alone: a hit streams the encoded snapshot with its entity tag and the
+// CacheOnlyHeader: hit marker; a miss is 404 cache_miss. The pool, the
+// queue, coalescing, and breakers are never consulted — this is the
+// read path a router walks across replicas before paying a re-mesh, so
+// it must stay cheap and side-effect-free on miss.
+func (s *Server) serveCacheOnly(w http.ResponseWriter, key, variant, format string) {
+	sr, ok := s.cachedSnapshot(key, variant)
+	if !ok {
+		s.mCacheOnlyMiss.Inc()
+		httpError(w, http.StatusNotFound, CodeCacheMiss,
+			"no cached result for image %.16s… variant %q", key, variant)
+		return
+	}
+	s.mCacheOnlyServed.Inc()
+	w.Header().Set(CacheOnlyHeader, "hit")
+	if sr.ETag != "" {
+		w.Header().Set("ETag", entityTag(sr.ETag, format))
+	}
+	switch format {
+	case "off":
+		w.Header().Set("Content-Type", "model/off")
+		meshio.WriteOFFSnapshot(w, sr.Snapshot)
+	default:
+		w.Header().Set("Content-Type", "text/vtk")
+		meshio.WriteVTKSnapshot(w, sr.Snapshot)
+	}
+}
+
+// handleCacheProbe is GET /v1/cache/{imageKey}/{variant}: the body-less
+// cache read. The variant travels path-escaped (it may be empty — the
+// default-knob variant — in which case the path is just the key); the
+// format query parameter selects the encoding exactly as /v1/mesh does.
+// If-None-Match is honored against the cache index so a replica probe
+// that already holds the entity costs a 304, not a body.
+func (s *Server) handleCacheProbe(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("imageKey")
+	if !ValidImageKey(key) {
+		httpError(w, http.StatusBadRequest, CodeBadRequest,
+			"image key must be 64 lowercase hex characters (the full SHA-256 of the image)")
+		return
+	}
+	variant := r.PathValue("variant")
+	if unesc, err := url.PathUnescape(variant); err == nil {
+		variant = unesc
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "vtk"
+	}
+	if format != "vtk" && format != "off" {
+		httpError(w, http.StatusBadRequest, CodeBadRequest, "unknown format %q (want vtk or off)", format)
+		return
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		if tag, ok := s.CacheETag(key, variant); ok {
+			entity := entityTag(tag, format)
+			if etagMatch(inm, entity) {
+				s.mCacheOnlyServed.Inc()
+				w.Header().Set(CacheOnlyHeader, "hit")
+				w.Header().Set("ETag", entity)
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+	}
+	s.serveCacheOnly(w, key, variant, format)
+}
+
+// drainKey is one warm-state handoff entry of the drain response.
+type drainKey struct {
+	ImageKey string `json:"image_key"`
+	Variant  string `json:"variant"`
+	ETag     string `json:"etag"`
+}
+
+// drainResponse is the POST /v1/drain document.
+type drainResponse struct {
+	NodeID   string     `json:"node_id"`
+	Draining bool       `json:"draining"`
+	Keys     []drainKey `json:"keys"`
+}
+
+// drainHandoffLimit bounds the MRU list a drain announcement returns —
+// enough to pre-warm a router's routing table, small enough that the
+// response stays one JSON document.
+const drainHandoffLimit = 256
+
+// handleDrain is POST /v1/drain: announce a planned drain. The server
+// flips to draining (readyz 503, new mesh jobs rejected) and answers
+// with its MRU cached keys so the caller — typically a router about to
+// eject this node — can pre-warm replica reads and ETag state before
+// traffic re-homes. The process keeps running; the operator still owns
+// the real shutdown, and cache-only reads keep working meanwhile.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	keys := s.AnnounceDrain(drainHandoffLimit)
+	out := drainResponse{NodeID: s.nodeID, Draining: true, Keys: make([]drainKey, 0, len(keys))}
+	for _, ki := range keys {
+		out.Keys = append(out.Keys, drainKey{ImageKey: ki.ImageKey, Variant: ki.Variant, ETag: ki.ETag})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
 // entityTag builds the quoted HTTP entity tag for a cached snapshot in
 // one response format. The format is folded in because the same
 // snapshot encodes to different bytes as VTK and OFF — one blob, two
@@ -236,6 +380,15 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 func entityTag(etag, format string) string {
 	return `"` + etag + "-" + format + `"`
 }
+
+// EntityTag is entityTag for other tiers: the router builds candidate
+// entity tags from its learned raw etags with it, so the two tiers can
+// never disagree on the quoting or the format suffix.
+func EntityTag(etag, format string) string { return entityTag(etag, format) }
+
+// ETagMatch is etagMatch for other tiers: the router answers local
+// 304s with the exact comparison the backend would have used.
+func ETagMatch(header, entity string) bool { return etagMatch(header, entity) }
 
 // etagMatch implements If-None-Match: a literal "*" matches anything,
 // otherwise the comma-separated candidate list is compared tag by tag.

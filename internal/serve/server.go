@@ -245,6 +245,8 @@ type Server struct {
 	mWatchdogAbandons *Counter
 	mBreakerTrips     *Counter
 	mCacheServed      *Counter
+	mCacheOnlyServed  *Counter
+	mCacheOnlyMiss    *Counter
 	mImgCacheEvict    *Counter
 	mSolveSeconds     *Histogram  // pi2md_solve_seconds
 	mSolveIters       *Histogram  // pi2md_solve_iterations
@@ -366,6 +368,10 @@ func NewServer(cfg Config) (*Server, error) {
 		func() float64 { return float64(s.pool.Healthy()) })
 	s.mCacheServed = r.Counter("pi2md_cache_served_jobs_total",
 		"Mesh jobs answered from the persistent result cache without consuming a session.")
+	s.mCacheOnlyServed = r.Counter("pi2md_cache_only_served_total",
+		"Cache-only requests (X-Pi2md-Cache-Only or GET /v1/cache) answered from the result cache.")
+	s.mCacheOnlyMiss = r.Counter("pi2md_cache_only_miss_total",
+		"Cache-only requests answered 404 cache_miss because the pair is not cached.")
 	s.mImgCacheEvict = r.Counter("pi2md_image_cache_evictions_total",
 		"Parsed images evicted from the image cache by the LRU byte budget.")
 	s.mSolveSeconds = r.Histogram("pi2md_solve_seconds",
@@ -410,6 +416,9 @@ func NewServer(cfg Config) (*Server, error) {
 			}
 			return 0
 		}))
+	r.CounterFunc("pi2md_cache_adopted_total",
+		"Un-indexed blobs found at their deterministic path (written by a peer sharing the directory) verified and adopted at read time.",
+		cacheStat(func(st cachestore.Stats) float64 { return float64(st.Adopted) }))
 	r.CounterFunc("pi2md_fsck_recovered_total",
 		"Verified orphan blobs the boot fsck adopted back into the cache index.",
 		cacheStat(func(st cachestore.Stats) float64 { return float64(st.FsckRecovered) }))
@@ -603,7 +612,9 @@ func (s *Server) cachedSnapshot(key, variant string) (*SnapshotResult, bool) {
 	if s.cache == nil || key == "" {
 		return nil, false
 	}
-	snap, etag, ok := s.cache.Get(key, variant)
+	// Lookup, not Get: the adoptive disk fallback lets this node serve
+	// blobs a peer sharing the cache directory wrote after our boot fsck.
+	snap, etag, ok := s.cache.Lookup(key, variant)
 	if !ok {
 		return nil, false
 	}
@@ -959,24 +970,26 @@ func (s *Server) Ready() bool {
 
 // Stats is the /v1/stats document.
 type Stats struct {
-	NodeID        string       `json:"node_id"`
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Draining      bool         `json:"draining"`
-	QueueDepth    int64        `json:"queue_depth"`
-	QueueCapacity int          `json:"queue_capacity"`
-	Accepted      int64        `json:"jobs_accepted"`
-	Completed     int64        `json:"jobs_completed"`
-	Failed        int64        `json:"jobs_failed"`
-	Coalesced     int64        `json:"jobs_coalesced"`
-	RejectedFull  int64        `json:"jobs_rejected_queue_full"`
-	RejectedDL    int64        `json:"jobs_rejected_deadline"`
-	RejectedCancl int64        `json:"jobs_rejected_canceled"`
-	RejectedBrkr  int64        `json:"jobs_rejected_breaker_open"`
-	WatchdogKills int64        `json:"watchdog_kills"`
-	WatchdogAband int64        `json:"watchdog_abandoned"`
-	BreakersOpen  int          `json:"breakers_open"`
-	BreakerTrips  int64        `json:"breaker_trips"`
-	CacheServed   int64        `json:"jobs_cache_served"`
+	NodeID        string  `json:"node_id"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+	QueueDepth    int64   `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	Accepted      int64   `json:"jobs_accepted"`
+	Completed     int64   `json:"jobs_completed"`
+	Failed        int64   `json:"jobs_failed"`
+	Coalesced     int64   `json:"jobs_coalesced"`
+	RejectedFull  int64   `json:"jobs_rejected_queue_full"`
+	RejectedDL    int64   `json:"jobs_rejected_deadline"`
+	RejectedCancl int64   `json:"jobs_rejected_canceled"`
+	RejectedBrkr  int64   `json:"jobs_rejected_breaker_open"`
+	WatchdogKills int64   `json:"watchdog_kills"`
+	WatchdogAband int64   `json:"watchdog_abandoned"`
+	BreakersOpen  int     `json:"breakers_open"`
+	BreakerTrips  int64   `json:"breaker_trips"`
+	CacheServed   int64   `json:"jobs_cache_served"`
+	CacheOnly     int64   `json:"jobs_cache_only_served,omitempty"`
+	CacheOnlyMiss int64   `json:"jobs_cache_only_miss,omitempty"`
 	// InflightKeys are the coalesce keys with an open single-flight
 	// entry right now — how a router (or operator) verifies that
 	// proxy-joined traffic landed in an existing flight.
@@ -1018,6 +1031,8 @@ func (s *Server) Stats() Stats {
 		BreakersOpen:  breakersOpen,
 		BreakerTrips:  s.mBreakerTrips.Value(),
 		CacheServed:   s.mCacheServed.Value(),
+		CacheOnly:     s.mCacheOnlyServed.Value(),
+		CacheOnlyMiss: s.mCacheOnlyMiss.Value(),
 		InflightKeys:  s.InflightKeys(),
 		Pool:          s.pool.Stats(),
 		Cache:         cacheStats,
@@ -1027,6 +1042,27 @@ func (s *Server) Stats() Stats {
 
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// AnnounceDrain flips the server into draining mode — /readyz answers
+// 503 and new mesh jobs are rejected with ErrDraining — and returns up
+// to limit most-recently-used cached keys as the warm-state handoff
+// list a router pre-warms its replica routing with before ejecting this
+// node. Unlike Drain it does not wait for in-flight work or close the
+// pool: the operator (or the process's own signal handler) still owns
+// the actual shutdown, and cache-only reads keep being served for the
+// whole drain window — a draining node is a read replica until the
+// process exits.
+func (s *Server) AnnounceDrain(limit int) []cachestore.KeyInfo {
+	s.draining.Store(true)
+	if s.cache == nil {
+		return nil
+	}
+	keys := s.cache.KeysMRU()
+	if limit > 0 && len(keys) > limit {
+		keys = keys[:limit]
+	}
+	return keys
+}
 
 // Drain gracefully shuts the server down: new jobs are rejected with
 // ErrDraining, in-flight jobs (coalesced followers included) run to
