@@ -64,8 +64,16 @@ func main() {
 		wdFactor     = flag.Float64("watchdog-factor", 4, "runaway-run watchdog limit as a multiple of the job deadline (<0 disables)")
 		wdGrace      = flag.Duration("watchdog-grace", 2*time.Second, "grace after watchdog cancel before the session is abandoned")
 		solveTimeout = flag.Duration("solve-timeout", 30*time.Second, "ceiling on the FEM solve stage of /v1/simulate (caps per-request asks)")
+		brownout     = flag.Bool("brownout", true, "degrade mesh quality instead of rejecting under overload (X-Pi2md-Brownout responses)")
+		brownoutLad  = flag.String("brownout-ladder", "", "degradation ladder: tiers separated by /, knobs re=,fa=,ds=,n= (empty = built-in re=3,fa=15/re=4,fa=10,ds=2,n=100000)")
+		brownoutHold = flag.Duration("brownout-hold", 5*time.Second, "calm period before the brownout controller steps back up one quality tier")
 	)
 	flag.Parse()
+
+	ladder, err := serve.ParseBrownoutLadder(*brownoutLad)
+	if err != nil {
+		log.Fatalf("-brownout-ladder: %v", err)
+	}
 
 	var cache *cachestore.Store
 	if *cacheDir != "" {
@@ -96,6 +104,9 @@ func main() {
 		WatchdogFactor:   *wdFactor,
 		WatchdogGrace:    *wdGrace,
 		SolveTimeout:     *solveTimeout,
+		Brownout:         *brownout,
+		BrownoutLadder:   ladder,
+		BrownoutHold:     *brownoutHold,
 		Session: core.Config{
 			Workers:         *workers,
 			Delta:           *delta,

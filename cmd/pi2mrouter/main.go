@@ -65,6 +65,8 @@ func main() {
 		maxBytes      = flag.Int64("max-bytes", 64<<20, "body cap on the buffered (key-deriving) routing path")
 		etagCache     = flag.Int("etag-cache", 4096, "entries in the (route key -> ETag) table behind local 304s and replica cache reads")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight proxies")
+		retryBudget   = flag.Float64("retry-budget", 0.1, "retry tokens earned per successful relay; retries beyond a request's first attempt spend one (<0 disables gating)")
+		hedgeQuantile = flag.Float64("hedge-quantile", 0.95, "probe-latency quantile after which a replica cache probe is hedged (<0 disables hedging)")
 	)
 	flag.Parse()
 
@@ -87,6 +89,8 @@ func main() {
 		FailThreshold:   *failThreshold,
 		MaxRequestBytes: *maxBytes,
 		ETagCacheSize:   *etagCache,
+		RetryBudget:     *retryBudget,
+		HedgeQuantile:   *hedgeQuantile,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -80,6 +80,15 @@ const (
 	// network even though the backend may be fine), driving the
 	// fail-open ejection and rejoin machinery.
 	ProbeFail
+	// BrownoutStuck pins the serving layer's brownout controller at
+	// maximal pressure, as if its load signals were wedged high — the
+	// controller degrades every request to the deepest ladder tier until
+	// the storm subsides and hysteresis walks quality back up.
+	BrownoutStuck
+	// HedgeLoser stalls a router cache-only probe so that its hedge
+	// (fired after the probe-latency quantile) races ahead and wins,
+	// exercising first-winner selection and loser cancellation.
+	HedgeLoser
 
 	// NumPoints is the number of injection points.
 	NumPoints int = iota
@@ -120,6 +129,10 @@ func (p Point) String() string {
 		return "proxy-dial-fail"
 	case ProbeFail:
 		return "probe-fail"
+	case BrownoutStuck:
+		return "brownout-stuck"
+	case HedgeLoser:
+		return "hedge-loser"
 	}
 	return fmt.Sprintf("point(%d)", int(p))
 }

@@ -1,0 +1,58 @@
+package router
+
+import "sync"
+
+// retryBudget is a Finagle-style token bucket bounding retry
+// amplification fleet-wide: every successful relay deposits ratio
+// tokens, every retry (fallback forward, extra cache probe, hedge)
+// withdraws one. With ratio 0.1 a healthy router earns one retry per
+// ten successes — so against a dying fleet, where successes stop, the
+// ladders stop fanning out instead of multiplying every client request
+// into Replicas× backend load. The seed is the burst allowance a
+// freshly booted router may spend before it has earned anything.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	cap    float64
+}
+
+// newRetryBudget builds a bucket earning ratio tokens per success,
+// holding seed tokens at boot, capped at max(seed, 100) so a long
+// quiet streak of successes cannot bank an unbounded retry storm.
+func newRetryBudget(ratio, seed float64) *retryBudget {
+	c := seed
+	if c < 100 {
+		c = 100
+	}
+	return &retryBudget{tokens: seed, ratio: ratio, cap: c}
+}
+
+// deposit credits one successful request's worth of retry allowance.
+func (b *retryBudget) deposit() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+	b.mu.Unlock()
+}
+
+// withdraw takes one token, reporting false when the bucket is empty —
+// the caller must not retry.
+func (b *retryBudget) withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// balance reports the current token count (stats/metrics surface).
+func (b *retryBudget) balance() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}

@@ -429,6 +429,15 @@ func TestRouterChaosSoak(t *testing.T) {
 		t.Fatalf("replica_cache_hits = %d after an owner kill over warm replicas, want >=1", st.ReplicaCacheHits)
 	}
 
+	// Retry-budget ledger: every retry withdrew a token, and tokens only
+	// enter the bucket at boot (seed) or as a fraction of ok relays —
+	// so the retry count can never exceed seed + ratio x ok_relays.
+	okRelays := rt.mProxied.TotalLabel2(outcomeOK)
+	if maxRetries := rt.cfg.RetryBudgetSeed + rt.cfg.RetryBudget*float64(okRelays); float64(st.Retries) > maxRetries+1e-9 {
+		t.Fatalf("retries = %d exceed the budget ledger bound %.1f (seed %.0f + %.2f x %d ok relays)",
+			st.Retries, maxRetries, rt.cfg.RetryBudgetSeed, rt.cfg.RetryBudget, okRelays)
+	}
+
 	if path := os.Getenv("PI2MR_CHAOS_REPORT"); path != "" {
 		report := map[string]any{
 			"seed":        seed,
@@ -445,6 +454,10 @@ func TestRouterChaosSoak(t *testing.T) {
 			"replica_cache_misses": st.ReplicaCacheMisses,
 			"etag_304s":            st.ETag304s,
 			"cache_only_served":    cacheOnlyServed,
+			"retries":              st.Retries,
+			"retry_exhausted":      st.RetryExhausted,
+			"hedged_won":           st.HedgedWon,
+			"hedged_lost":          st.HedgedLost,
 		}
 		raw, _ := json.MarshalIndent(report, "", "  ")
 		if err := os.WriteFile(path, raw, 0o644); err != nil {

@@ -71,6 +71,23 @@ func (t *etagTable) lookup(key string) (etagEntry, bool) {
 	return *el.Value.(*etagEntry), true
 }
 
+// dropIf removes key's entry only while it still names backend as the
+// server — the staleness fix for a replica probe answered 404
+// cache_miss by the very backend the table attributed the key to: the
+// blob is gone (evicted, or the node restarted empty), so keeping the
+// entry would re-arm the cache-only ladder on every subsequent request
+// for a result nobody holds. The backend guard makes the drop safe
+// against a concurrent learn from a fresher response: re-homed entries
+// survive.
+func (t *etagTable) dropIf(key, backend string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.m[key]; ok && el.Value.(*etagEntry).backend == backend {
+		delete(t.m, key)
+		t.lru.Remove(el)
+	}
+}
+
 func (t *etagTable) len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -108,6 +108,12 @@ func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
 		r.mFlightJoins.Inc()
 	}
 
+	// Every backend round trip beyond this request's first — fallback
+	// forwards, extra cache probes, hedges — is accounted against the
+	// shared retry budget, so a dying fleet sees bounded amplification
+	// instead of Replicas× its offered load.
+	att := &attempts{r: r}
+
 	// Candidate ladder: the flight's pinned backend first — even if
 	// membership changed under it, the in-flight run and its coalescing
 	// flight live there — then the ring replicas in ownership order.
@@ -130,9 +136,15 @@ func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
 	if plan.format != "" {
 		if ent, ok := r.etags.lookup(plan.routeKey); ok && ent.backend != "" && !r.isHealthy(ent.backend) {
 			probed = true
-			if r.tryCacheLadder(w, req, plan, cands, started) {
+			if r.tryCacheLadder(w, req, plan, cands, started, att) {
 				return
 			}
+			// No survivor holds the blob (or the budget stopped the
+			// walk): drop the entry — guarded on it still naming the
+			// unhealthy backend — so the next request for this key goes
+			// straight to the new owner instead of re-walking this
+			// ladder forever.
+			r.etags.dropIf(plan.routeKey, ent.backend)
 		}
 	}
 
@@ -148,6 +160,11 @@ func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
 			// no replay is possible.
 			r.answer503(w, "backend %s unreachable and request body is not replayable (streamed via %s)",
 				cands[0], ImageKeyHeader)
+			return
+		}
+		if !att.allow() {
+			r.answer503(w, "retry budget exhausted routing key %s (stopped before attempt %d)",
+				plan.routeKey, i+1)
 			return
 		}
 		r.setPin(plan.routeKey, cand)
@@ -168,7 +185,7 @@ func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
 			// cache-only) whether it already holds the result.
 			if plan.format != "" && !probed {
 				probed = true
-				if r.tryCacheLadder(w, req, plan, cands[i+1:], started) {
+				if r.tryCacheLadder(w, req, plan, cands[i+1:], started, att) {
 					return
 				}
 			}
@@ -185,28 +202,81 @@ func (r *Router) handleProxy(w http.ResponseWriter, req *http.Request) {
 	r.answer503(w, "no reachable backend for key %s (tried %d)", plan.routeKey, len(cands))
 }
 
+// attempts is one request's retry-budget ledger: the first backend
+// round trip is always free (it is the request, not a retry), every
+// additional one must withdraw a token. Hedges go through allowHedge —
+// a declined hedge is merely not fired (starved), while a declined
+// allow stops the ladder and is counted as budget exhaustion.
+type attempts struct {
+	r    *Router
+	used int
+}
+
+func (a *attempts) allow() bool {
+	if a.used == 0 {
+		a.used++
+		return true
+	}
+	if a.r.budget != nil && !a.r.budget.withdraw() {
+		a.r.mRetryExhausted.Inc()
+		return false
+	}
+	a.used++
+	a.r.mRetries.Inc()
+	return true
+}
+
+// allowHedge pays for a speculative extra probe. Unlike allow it is
+// never free — a hedge is by definition a second round trip for work
+// already in flight.
+func (a *attempts) allowHedge() bool {
+	if a.r.budget != nil && !a.r.budget.withdraw() {
+		return false
+	}
+	a.used++
+	a.r.mRetries.Inc()
+	return true
+}
+
 // tryCacheLadder walks candidates with cache-only probes — GET
 // /v1/cache/{key}/{variant}, no request body — and relays the first
 // hit: a backend that still holds the blob serves it (or validates the
-// client's ETag to a 304) with zero re-meshing. A 404 cache_miss moves
-// the ladder along; a transport failure feeds the health ledger like
-// any other. Returns true when a response was relayed and the request
-// is done.
-func (r *Router) tryCacheLadder(w http.ResponseWriter, req *http.Request, plan routePlan, cands []string, started time.Time) bool {
-	for _, cand := range cands {
-		resp, err := r.probeCache(req, cand, plan)
+// client's ETag to a 304) with zero re-meshing. Probes are hedged: if
+// a rung is still unanswered after the observed probe-latency upper
+// quantile, the next rung is fired in parallel and the first winner is
+// relayed (a hedge-won 404 skips both rungs). A 404 cache_miss moves
+// the ladder along — and drops the ETag entry when the missing backend
+// is the very one the table attributed the key to, so a gone blob
+// stops re-arming this ladder on every request. A transport failure
+// feeds the health ledger like any other. Returns true when a response
+// was relayed and the request is done.
+func (r *Router) tryCacheLadder(w http.ResponseWriter, req *http.Request, plan routePlan, cands []string, started time.Time, att *attempts) bool {
+	for i := 0; i < len(cands); i++ {
+		if !att.allow() {
+			return false
+		}
+		hedge := ""
+		if i+1 < len(cands) {
+			hedge = cands[i+1]
+		}
+		resp, winner, hedgeFired, err := r.probeCacheHedged(req, plan, cands[i], hedge, att)
+		if hedgeFired {
+			// Whatever the hedge's rung would have said is already
+			// answered (or abandoned as the canceled loser): skip it.
+			i++
+		}
 		if err != nil {
 			if req.Context().Err() != nil {
-				r.answerCanceled(w, cand, err)
+				r.answerCanceled(w, winner, err)
 				return true
 			}
-			r.noteTransportFailure(cand)
 			continue
 		}
 		if resp.StatusCode == http.StatusNotFound {
 			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
 			resp.Body.Close()
 			r.mReplicaMisses.Inc()
+			r.etags.dropIf(plan.routeKey, winner)
 			continue
 		}
 		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotModified {
@@ -218,8 +288,8 @@ func (r *Router) tryCacheLadder(w http.ResponseWriter, req *http.Request, plan r
 			continue
 		}
 		r.mReplicaHits.Inc()
-		r.setPin(plan.routeKey, cand)
-		if r.relay(w, req, resp, cand, plan) {
+		r.setPin(plan.routeKey, winner)
+		if r.relay(w, req, resp, winner, plan) {
 			r.mCompleted.Inc()
 		} else {
 			r.mFailed.Inc()
@@ -230,27 +300,165 @@ func (r *Router) tryCacheLadder(w http.ResponseWriter, req *http.Request, plan r
 	return false
 }
 
-// probeCache asks one backend for the plan's key from its result cache
-// alone: a body-less GET against the cache probe endpoint, with the
-// client's validators forwarded so a holder can answer 304 instead of
-// shipping the mesh.
-func (r *Router) probeCache(req *http.Request, backend string, plan routePlan) (*http.Response, error) {
+// probeResult is one cache probe's outcome in a hedged race. cancel
+// releases the probe's context; for the winner it is deferred to body
+// close, so the relay can stream the response before the context dies.
+type probeResult struct {
+	resp    *http.Response
+	err     error
+	backend string
+	cancel  context.CancelFunc
+}
+
+// cancelOnClose ties a hedged winner's context to its body: relay's
+// Close releases the context only after the last byte was streamed.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// hedgeDelay is how long a cache probe may stay unanswered before its
+// hedge fires: the configured upper quantile of observed probe
+// latency, floored by HedgeMinDelay until the histogram has enough
+// samples to mean anything.
+func (r *Router) hedgeDelay() time.Duration {
+	if r.mProbeSeconds.Count() >= 16 {
+		if q := r.mProbeSeconds.Quantile(r.cfg.HedgeQuantile); q > 0 {
+			d := time.Duration(q * float64(time.Second))
+			if d > r.cfg.HedgeMinDelay {
+				return d
+			}
+		}
+	}
+	return r.cfg.HedgeMinDelay
+}
+
+// probeCacheHedged races a cache-only probe of primary against a
+// hedge of the same probe at hedge, fired only if primary is still
+// unanswered after hedgeDelay. The first backend to produce a response
+// wins; the loser's probe is canceled and its body reaped off the
+// request path. An early transport error from one side feeds the
+// health ledger and the race waits for the other; only when every
+// fired probe has failed does the call return an error. hedgeFired
+// reports whether the hedge actually launched (its rung is consumed).
+// Hedging is skipped — never failing the request — when no hedge
+// candidate exists, hedging is disabled, the deadline is too close for
+// a hedge to help, or the retry budget declines the extra probe.
+func (r *Router) probeCacheHedged(req *http.Request, plan routePlan, primary, hedge string, att *attempts) (resp *http.Response, backend string, hedgeFired bool, err error) {
+	results := make(chan probeResult, 2)
+	launch := func(b string) {
+		ctx, cancel := context.WithCancel(req.Context())
+		go func() {
+			resp, err := r.probeCacheCtx(ctx, b, req, plan)
+			results <- probeResult{resp: resp, err: err, backend: b, cancel: cancel}
+		}()
+	}
+	launch(primary)
+
+	var timerC <-chan time.Time
+	if hedge != "" && r.cfg.HedgeQuantile > 0 {
+		delay := r.hedgeDelay()
+		tooLate := false
+		if dl, ok := req.Context().Deadline(); ok && time.Until(dl) < 2*delay {
+			// By the time the hedge fires, half the remaining budget is
+			// gone — the race cannot pay for itself.
+			tooLate = true
+		}
+		if !tooLate {
+			t := time.NewTimer(delay)
+			defer t.Stop()
+			timerC = t.C
+		}
+	}
+
+	outstanding := 1
+	backend = primary
+	for {
+		select {
+		case <-timerC:
+			timerC = nil
+			if !att.allowHedge() {
+				r.mHedged.With("starved").Inc()
+				continue
+			}
+			launch(hedge)
+			outstanding++
+			hedgeFired = true
+		case res := <-results:
+			outstanding--
+			backend = res.backend
+			if res.err != nil {
+				res.cancel()
+				if req.Context().Err() == nil {
+					r.noteTransportFailure(res.backend)
+				}
+				if outstanding > 0 {
+					// The other side of the race may still answer.
+					continue
+				}
+				return nil, res.backend, hedgeFired, res.err
+			}
+			if outstanding > 0 {
+				// First winner takes the request; cancel the loser and
+				// reap its eventual result off the request path.
+				go func() {
+					loser := <-results
+					loser.cancel()
+					if loser.resp != nil {
+						io.Copy(io.Discard, io.LimitReader(loser.resp.Body, 4<<10))
+						loser.resp.Body.Close()
+					}
+				}()
+			}
+			if hedgeFired {
+				if res.backend == hedge {
+					r.mHedged.With("won").Inc()
+				} else {
+					r.mHedged.With("lost").Inc()
+				}
+			}
+			res.resp.Body = &cancelOnClose{ReadCloser: res.resp.Body, cancel: res.cancel}
+			return res.resp, res.backend, hedgeFired, nil
+		}
+	}
+}
+
+// probeCacheCtx asks one backend for the plan's key from its result
+// cache alone: a body-less GET against the cache probe endpoint, with
+// the client's validators forwarded so a holder can answer 304 instead
+// of shipping the mesh. ctx governs the round trip so a hedged loser
+// can be canceled independently of the client request.
+func (r *Router) probeCacheCtx(ctx context.Context, backend string, req *http.Request, plan routePlan) (*http.Response, error) {
 	if faultinject.Fire(faultinject.ProxyDialFail) {
 		return nil, errInjectedDial
 	}
+	// HedgeLoser stalls this probe (tests cap it to the primary with
+	// MaxFires) so its hedge races ahead and wins.
+	faultinject.Sleep(faultinject.HedgeLoser)
 	u := backend + "/v1/cache/" + plan.imageKey
 	if plan.variant != "" {
 		u += "/" + url.PathEscape(plan.variant)
 	}
 	u += "?format=" + url.QueryEscape(plan.format)
-	preq, err := http.NewRequestWithContext(req.Context(), http.MethodGet, u, nil)
+	preq, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
 	}
 	if inm := req.Header.Get("If-None-Match"); inm != "" {
 		preq.Header.Set("If-None-Match", inm)
 	}
-	return r.cfg.Transport.RoundTrip(preq)
+	start := time.Now()
+	resp, err := r.cfg.Transport.RoundTrip(preq)
+	if err == nil {
+		r.mProbeSeconds.Observe(time.Since(start).Seconds())
+	}
+	return resp, err
 }
 
 // planRoute derives the (image key, variant) route key and the bytes
@@ -392,6 +600,10 @@ func (r *Router) relay(w http.ResponseWriter, req *http.Request, resp *http.Resp
 		r.mProxied.With(backend, outcomeUpstream4xx).Inc()
 	default:
 		r.mProxied.With(backend, outcomeOK).Inc()
+		if r.budget != nil {
+			// Successes are what earn retry allowance back.
+			r.budget.deposit()
+		}
 		if plan.format != "" {
 			if raw := rawETagFromHeader(resp.Header.Get("ETag")); raw != "" {
 				r.etags.learn(plan.routeKey, raw, backend)
@@ -549,6 +761,12 @@ type Stats struct {
 	ETag304s           int64          `json:"etag_304s"`
 	ETagEntries        int            `json:"etag_entries"`
 	PlannedDrains      int64          `json:"planned_drains"`
+	Retries            int64          `json:"retries"`
+	RetryExhausted     int64          `json:"retry_budget_exhausted"`
+	RetryBudgetTokens  float64        `json:"retry_budget_tokens"`
+	HedgedWon          int64          `json:"hedged_probes_won,omitempty"`
+	HedgedLost         int64          `json:"hedged_probes_lost,omitempty"`
+	HedgedStarved      int64          `json:"hedged_probes_starved,omitempty"`
 	InflightKeys       []string       `json:"inflight_keys,omitempty"`
 }
 
@@ -576,6 +794,14 @@ func (r *Router) Stats() Stats {
 		ReplicaCacheMisses: r.mReplicaMisses.Value(),
 		ETag304s:           r.mETag304.Value(),
 		PlannedDrains:      r.mDrains.Value(),
+		Retries:            r.mRetries.Value(),
+		RetryExhausted:     r.mRetryExhausted.Value(),
+		HedgedWon:          r.mHedged.Value("won"),
+		HedgedLost:         r.mHedged.Value("lost"),
+		HedgedStarved:      r.mHedged.Value("starved"),
+	}
+	if r.budget != nil {
+		st.RetryBudgetTokens = r.budget.balance()
 	}
 	for _, name := range r.order {
 		b := r.backends[name]

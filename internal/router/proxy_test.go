@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/serve"
 )
 
@@ -693,5 +694,268 @@ func TestRouterDrainHandoff(t *testing.T) {
 	}
 	if got := fleet[1].meshHits.Load(); got != 0 {
 		t.Fatalf("post-drain read re-meshed on the survivor (%d)", got)
+	}
+}
+
+// TestETagDropIf: the conditional drop removes an entry only while it
+// still names the backend the caller observed the miss from — a
+// concurrent re-home to another backend wins the race and survives.
+func TestETagDropIf(t *testing.T) {
+	tb := newETagTable(4)
+	tb.learn("k", "0123456789abcdef", "b1")
+	tb.dropIf("k", "b2") // observed from the wrong backend: keep
+	if _, ok := tb.lookup("k"); !ok {
+		t.Fatal("dropIf removed an entry re-homed to another backend")
+	}
+	tb.dropIf("k", "b1")
+	if _, ok := tb.lookup("k"); ok {
+		t.Fatal("dropIf kept an entry its own backend 404ed on")
+	}
+	tb.dropIf("missing", "b1") // absent key: no panic, no effect
+	if tb.len() != 0 {
+		t.Fatalf("len = %d, want 0", tb.len())
+	}
+}
+
+// TestETagStaleDropOnMiss: when the backend the ETag table attributes
+// a key to answers the cache-only probe with 404 cache_miss, the entry
+// is dropped. Before the fix the stale attribution lived on — and the
+// router kept answering local 304s for a blob no backend held, serving
+// clients an entity that could no longer be fetched.
+func TestETagStaleDropOnMiss(t *testing.T) {
+	// Uppercase raw etag: the stubs' mesh responses carry an
+	// unlearnable ETag, so nothing re-homes the entry behind our back.
+	fleet := newCacheFleet(t, 2, "ZZZZZZZZZZZZZZZZ")
+	part := &partition{}
+	r := newTestRouter(t, Config{
+		Backends:      cacheFleetURLs(fleet),
+		Replicas:      2,
+		FailThreshold: 10, // the dead owner stays "healthy": trigger-2 territory
+		Transport:     part,
+	})
+	probeAllCache(r, fleet)
+	rts := httptest.NewServer(r.Handler())
+	defer rts.Close()
+
+	body := []byte("fake-nrrd-payload-stale-etag")
+	key := meshRouteKey(t, body)
+	owner := r.Owner(key)
+	var survivor *cacheStub
+	for _, b := range fleet {
+		if b.ts.URL != owner {
+			survivor = b
+		}
+	}
+
+	// The table attributes the key to the survivor — which no longer
+	// holds the blob (evicted, disk lost, fsck dropped it) — and the
+	// ring owner dies, so the next request walks the cache ladder.
+	raw := "0123456789abcdef"
+	r.etags.learn(key, raw, survivor.ts.URL)
+	part.set(owner, true)
+
+	resp := postMesh(t, rts, body, nil)
+	b1, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(b1) != "full-"+survivor.id {
+		t.Fatalf("post-death request: status %d body %q, want a full re-mesh on the survivor", resp.StatusCode, b1)
+	}
+	if got := survivor.probeHits.Load(); got != 1 {
+		t.Fatalf("attributed backend saw %d cache probes, want 1", got)
+	}
+	st := r.Stats()
+	if st.ReplicaCacheMisses != 1 {
+		t.Fatalf("replica_cache_misses = %d, want 1", st.ReplicaCacheMisses)
+	}
+	// The regression: the 404 from the very backend the table blamed
+	// must drop the entry. Before the fix ETagEntries stayed 1 here.
+	if st.ETagEntries != 0 {
+		t.Fatalf("etag table still holds %d entries after the attributed backend 404ed", st.ETagEntries)
+	}
+
+	// Client-visible staleness check: a validator naming the gone
+	// entity must forward and re-mesh, never 304 locally against a
+	// blob nobody can produce.
+	resp = postMesh(t, rts, body, map[string]string{"If-None-Match": serve.EntityTag(raw, "vtk")})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		t.Fatal("router answered 304 for an entity no backend holds")
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("conditional re-mesh: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHedgedCacheProbeWinner: a cache-only probe that stalls past the
+// hedge delay gets a speculative second probe at the next rung; the
+// hedge's hit is relayed, the win is counted, the stalled loser is
+// canceled before it ever reaches its backend, and the key re-homes to
+// the winner.
+func TestHedgedCacheProbeWinner(t *testing.T) {
+	raw := "0123456789abcdef"
+	fleet := newCacheFleet(t, 2, raw)
+	for _, b := range fleet {
+		b.cached.Store(true)
+	}
+	dead := "http://127.0.0.1:9" // configured but never healthy
+	r := newTestRouter(t, Config{
+		Backends:      append(cacheFleetURLs(fleet), dead),
+		Replicas:      2,
+		HedgeMinDelay: 20 * time.Millisecond,
+	})
+	probeAllCache(r, fleet)
+	rts := httptest.NewServer(r.Handler())
+	defer rts.Close()
+
+	body := []byte("fake-nrrd-payload-hedge")
+	key := meshRouteKey(t, body)
+	// Attribute the key to the dead node: trigger 1 arms the ladder.
+	r.etags.learn(key, raw, dead)
+	cands := r.candidates(key)
+	if len(cands) < 2 {
+		t.Fatalf("want 2 healthy ladder candidates, have %v", cands)
+	}
+	stubOf := func(u string) *cacheStub {
+		for _, b := range fleet {
+			if b.ts.URL == u {
+				return b
+			}
+		}
+		t.Fatalf("no stub for %s", u)
+		return nil
+	}
+	primary, hedge := stubOf(cands[0]), stubOf(cands[1])
+
+	// Stall only the first probe (the primary): its hedge races ahead.
+	restore := faultinject.Enable(faultinject.New(faultinject.Config{
+		Seed:     1,
+		Rates:    map[faultinject.Point]float64{faultinject.HedgeLoser: 1},
+		MaxFires: map[faultinject.Point]int64{faultinject.HedgeLoser: 1},
+		Delay:    400 * time.Millisecond,
+	}))
+	defer restore()
+
+	resp := postMesh(t, rts, body, nil)
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(got) != "cached-"+hedge.id {
+		t.Fatalf("hedged request: status %d body %q, want the hedge's cached copy %q",
+			resp.StatusCode, got, "cached-"+hedge.id)
+	}
+	if h := resp.Header.Get(serve.CacheOnlyHeader); h != "hit" {
+		t.Fatalf("%s = %q, want \"hit\"", serve.CacheOnlyHeader, h)
+	}
+	st := r.Stats()
+	if st.HedgedWon != 1 || st.HedgedLost != 0 {
+		t.Fatalf("hedged won=%d lost=%d, want 1/0", st.HedgedWon, st.HedgedLost)
+	}
+	if st.Retries != 1 {
+		t.Fatalf("retries = %d, want exactly the hedge's withdrawal", st.Retries)
+	}
+	if st.ReplicaCacheHits != 1 {
+		t.Fatalf("replica_cache_hits = %d, want 1", st.ReplicaCacheHits)
+	}
+	// The key re-homed to the winner.
+	if ent, ok := r.etags.lookup(key); !ok || ent.backend != hedge.ts.URL {
+		t.Fatalf("etag entry = %+v ok=%v, want re-homed to the hedge winner", ent, ok)
+	}
+	// The loser was canceled while still stalled: by the time its
+	// injected delay elapses, its context is gone and the probe never
+	// reaches the backend.
+	time.Sleep(600 * time.Millisecond)
+	if got := primary.probeHits.Load(); got != 0 {
+		t.Fatalf("canceled loser still probed its backend %d times", got)
+	}
+}
+
+// TestRetryBudgetExhausted: with an empty token bucket every round
+// trip beyond a request's first is refused — the fallback ladder stops
+// before touching a survivor and the client gets the budget-exhausted
+// 503 — and successful relays earn the allowance back at the
+// configured ratio, after which exactly one funded probe rescues the
+// next failover.
+func TestRetryBudgetExhausted(t *testing.T) {
+	raw := "0123456789abcdef"
+	fleet := newCacheFleet(t, 2, raw)
+	part := &partition{}
+	r := newTestRouter(t, Config{
+		Backends:        cacheFleetURLs(fleet),
+		Replicas:        2,
+		FailThreshold:   10,
+		RetryBudgetSeed: -1, // boot with an empty bucket
+		Transport:       part,
+	})
+	probeAllCache(r, fleet)
+	rts := httptest.NewServer(r.Handler())
+	defer rts.Close()
+
+	body := []byte("fake-nrrd-payload-budget")
+	key := meshRouteKey(t, body)
+	owner := r.Owner(key)
+	var ownerStub, survivor *cacheStub
+	for _, b := range fleet {
+		if b.ts.URL == owner {
+			ownerStub = b
+		} else {
+			survivor = b
+		}
+	}
+
+	// Empty bucket: the owner's transport failure cannot buy a single
+	// fallback round trip.
+	part.set(owner, true)
+	resp := postMesh(t, rts, body, nil)
+	code, reason, retryAfterS := decodeEnvelope(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty-bucket failover: status %d, want 503", resp.StatusCode)
+	}
+	if code != serve.CodeUnavailable || !strings.Contains(reason, "retry budget exhausted") {
+		t.Fatalf("envelope code=%q reason=%q, want %q naming the exhausted budget", code, reason, serve.CodeUnavailable)
+	}
+	if retryAfterS < 1 || retryAfterS > 30 {
+		t.Fatalf("retry_after_s = %d outside the [1,30] clamp", retryAfterS)
+	}
+	if got := survivor.meshHits.Load() + survivor.probeHits.Load(); got != 0 {
+		t.Fatalf("the exhausted budget still let %d round trips reach the survivor", got)
+	}
+	st := r.Stats()
+	if st.Retries != 0 || st.RetryExhausted != 2 {
+		t.Fatalf("retries=%d exhausted=%d, want 0/2 (cache rung + fallback forward both refused)",
+			st.Retries, st.RetryExhausted)
+	}
+
+	// Successful relays at the default 0.1 ratio earn the allowance
+	// back; 12 of them overshoot one whole token (10 would leave the
+	// sum a rounding hair below 1.0 and the withdraw would refuse).
+	part.set(owner, false)
+	for i := 0; i < 12; i++ {
+		resp := postMesh(t, rts, body, nil)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("refill relay %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if tok := r.Stats().RetryBudgetTokens; tok < 1 || tok > 1.3 {
+		t.Fatalf("budget tokens = %g after 12 ok relays, want ~1.2", tok)
+	}
+	if got := ownerStub.meshHits.Load(); got != 12 {
+		t.Fatalf("owner served %d relays, want 12", got)
+	}
+
+	// The earned token funds exactly one fallback probe, which rescues
+	// the next failover from the survivor's cache.
+	survivor.cached.Store(true)
+	part.set(owner, true)
+	resp = postMesh(t, rts, body, nil)
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(got) != "cached-"+survivor.id {
+		t.Fatalf("funded failover: status %d body %q, want the survivor's cached copy", resp.StatusCode, got)
+	}
+	if st := r.Stats(); st.Retries != 1 {
+		t.Fatalf("retries = %d, want exactly the funded probe", st.Retries)
 	}
 }

@@ -62,6 +62,26 @@ type Config struct {
 	// router-side 304 short-circuit and the replica-cache read trigger.
 	// Default 4096 entries, evicted LRU.
 	ETagCacheSize int
+	// RetryBudget is the fraction of successful relays earned back as
+	// retry allowance, Finagle-style: every fallback forward, extra
+	// cache probe, or hedge beyond a request's first attempt withdraws
+	// one token from a shared bucket that successes refill at this
+	// ratio. 0 selects the default 0.1 (one retry per ten successes);
+	// negative disables budget gating entirely (unbounded retries, the
+	// pre-budget behavior).
+	RetryBudget float64
+	// RetryBudgetSeed is the bucket's boot-time token balance — the
+	// burst allowance a fresh router may spend before it has earned
+	// anything. 0 selects the default 10; negative means an empty
+	// bucket.
+	RetryBudgetSeed float64
+	// HedgeQuantile is the observed cache-probe latency quantile after
+	// which a second replica probe is hedged on tail-latency reads. 0
+	// selects the default 0.95; negative disables hedging.
+	HedgeQuantile float64
+	// HedgeMinDelay floors the hedge delay while the probe-latency
+	// histogram is still sparse (default 25ms).
+	HedgeMinDelay time.Duration
 	// Transport performs backend HTTP round trips for both proxying
 	// and probing — tests inject partitions here. Default
 	// http.DefaultTransport.
@@ -93,6 +113,20 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.ETagCacheSize <= 0 {
 		out.ETagCacheSize = 4096
+	}
+	if out.RetryBudget == 0 {
+		out.RetryBudget = 0.1
+	}
+	if out.RetryBudgetSeed == 0 {
+		out.RetryBudgetSeed = 10
+	} else if out.RetryBudgetSeed < 0 {
+		out.RetryBudgetSeed = 0
+	}
+	if out.HedgeQuantile == 0 {
+		out.HedgeQuantile = 0.95
+	}
+	if out.HedgeMinDelay <= 0 {
+		out.HedgeMinDelay = 25 * time.Millisecond
 	}
 	if out.Transport == nil {
 		out.Transport = http.DefaultTransport
@@ -147,6 +181,10 @@ type Router struct {
 	// what entity — the state behind local 304s and replica cache reads.
 	etags *etagTable
 
+	// budget bounds retry amplification across the fallback and
+	// replica-cache ladders; nil when gating is disabled.
+	budget *retryBudget
+
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	started bool
@@ -166,6 +204,10 @@ type Router struct {
 	mReplicaMisses  *serve.Counter
 	mETag304        *serve.Counter
 	mDrains         *serve.Counter
+	mRetries        *serve.Counter
+	mRetryExhausted *serve.Counter
+	mHedged         *serve.CounterVec // pi2mr_hedged_probes_total{outcome}
+	mProbeSeconds   *serve.Histogram  // pi2mr_cache_probe_seconds
 }
 
 // New builds a Router over the configured backends. Call Start to
@@ -183,6 +225,9 @@ func New(cfg Config) (*Router, error) {
 		flights:  make(map[string]*flightPin),
 		etags:    newETagTable(cfg.ETagCacheSize),
 		stop:     make(chan struct{}),
+	}
+	if cfg.RetryBudget > 0 {
+		r.budget = newRetryBudget(cfg.RetryBudget, cfg.RetryBudgetSeed)
 	}
 	for _, b := range cfg.Backends {
 		name := strings.TrimRight(strings.TrimSpace(b), "/")
@@ -233,6 +278,23 @@ func New(cfg Config) (*Router, error) {
 		"Conditional requests answered 304 from the router's ETag table without a backend round trip.")
 	r.mDrains = reg.Counter("pi2mr_planned_drains_total",
 		"Planned backend drains executed through POST /v1/drain.")
+	r.mRetries = reg.Counter("pi2mr_retries_total",
+		"Backend round trips beyond a request's first attempt (fallback forwards, extra cache probes, hedges), each paid for by a retry-budget token.")
+	r.mRetryExhausted = reg.Counter("pi2mr_retry_budget_exhausted_total",
+		"Requests whose fallback ladder was stopped by an empty retry budget.")
+	r.mHedged = reg.CounterVec("pi2mr_hedged_probes_total",
+		"Hedged cache-only probes by outcome: won (hedge answered first), lost (primary answered first), starved (budget declined the hedge).", "outcome")
+	r.mProbeSeconds = reg.Histogram("pi2mr_cache_probe_seconds",
+		"Latency of replica cache-only probes; its upper quantile sets the hedge delay.",
+		[]float64{0.001, 0.005, 0.02, 0.1, 0.5, 2, 10})
+	reg.GaugeFunc("pi2mr_retry_budget_tokens",
+		"Tokens currently in the retry budget (0 with gating disabled).",
+		func() float64 {
+			if r.budget == nil {
+				return 0
+			}
+			return r.budget.balance()
+		})
 	for _, name := range r.order {
 		r.mBackendHealthy.With(name).Set(0)
 	}

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// BrownoutHeader is stamped on every response whose mesh was produced
+// at a degraded tier, carrying the 1-based tier number. Full-quality
+// responses carry no header at all, so a client (or the router) can
+// detect degradation with a single presence check.
+const BrownoutHeader = "X-Pi2md-Brownout"
+
+// ErrOverloaded is returned when even the coarsest brownout tier
+// cannot plausibly meet the request's deadline: the one case where the
+// controller still refuses instead of degrading. It maps to 503 with
+// a Retry-After derived from the queue estimate.
+var ErrOverloaded = errors.New("serve: overloaded beyond the coarsest brownout tier")
+
+// BrownoutTier is one rung of the degradation ladder: the quality
+// bounds a request is relaxed to when the controller is at that tier.
+// Zero fields leave the corresponding spec knob alone, and every
+// rewrite is relax-only — a tier can never make a request *stricter*
+// than the client asked for.
+type BrownoutTier struct {
+	// MaxRadiusEdge relaxes rule R4 to at least this bound (0 = keep).
+	MaxRadiusEdge float64
+	// MinFacetAngle relaxes rule R1 down to at most this many degrees
+	// (0 = keep).
+	MinFacetAngle float64
+	// DeltaScale coarsens the effective δ by at least this factor
+	// (0 or 1 = keep).
+	DeltaScale float64
+	// MaxElements caps the mesh at no more than this many elements
+	// (0 = keep).
+	MaxElements int
+}
+
+// DefaultBrownoutLadder is the two-rung ladder both the daemon and the
+// tests use unless overridden: tier 1 relaxes the quality bounds past
+// the paper's defaults (R4 2→3, R1 30°→15°), tier 2 additionally
+// halves the sampling density per axis (~8× fewer samples) and caps
+// the element count — a genuine preview mesh.
+func DefaultBrownoutLadder() []BrownoutTier {
+	return []BrownoutTier{
+		{MaxRadiusEdge: 3, MinFacetAngle: 15},
+		{MaxRadiusEdge: 4, MinFacetAngle: 10, DeltaScale: 2, MaxElements: 100000},
+	}
+}
+
+// ParseBrownoutLadder parses the -brownout-ladder flag syntax: tiers
+// separated by '/', knobs within a tier separated by ',', each knob
+// one of re= (max radius-edge), fa= (min facet angle), ds= (delta
+// scale), n= (max elements). Example:
+//
+//	re=3,fa=15/re=4,fa=10,ds=2,n=100000
+//
+// An empty string yields the default ladder.
+func ParseBrownoutLadder(s string) ([]BrownoutTier, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return DefaultBrownoutLadder(), nil
+	}
+	var ladder []BrownoutTier
+	for i, tierStr := range strings.Split(s, "/") {
+		var t BrownoutTier
+		for _, kv := range strings.Split(tierStr, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("brownout ladder tier %d: %q is not knob=value", i+1, kv)
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+				return nil, fmt.Errorf("brownout ladder tier %d: bad %s=%q", i+1, k, v)
+			}
+			switch k {
+			case "re":
+				if f != 0 && f < 2 {
+					return nil, fmt.Errorf("brownout ladder tier %d: re=%g below the provable bound 2", i+1, f)
+				}
+				t.MaxRadiusEdge = f
+			case "fa":
+				t.MinFacetAngle = f
+			case "ds":
+				if f != 0 && f < 1 {
+					return nil, fmt.Errorf("brownout ladder tier %d: ds=%g would refine, not coarsen", i+1, f)
+				}
+				t.DeltaScale = f
+			case "n":
+				if f != math.Trunc(f) {
+					return nil, fmt.Errorf("brownout ladder tier %d: n=%q is not an integer", i+1, v)
+				}
+				t.MaxElements = int(f)
+			default:
+				return nil, fmt.Errorf("brownout ladder tier %d: unknown knob %q (want re/fa/ds/n)", i+1, k)
+			}
+		}
+		if t == (BrownoutTier{}) {
+			return nil, fmt.Errorf("brownout ladder tier %d is empty", i+1)
+		}
+		ladder = append(ladder, t)
+	}
+	return ladder, nil
+}
+
+// browned returns a copy of the spec rewritten to tier t's bounds.
+// Every rewrite is relax-only: a knob moves only in the cheaper
+// direction, so a client that already asked for something coarser than
+// the tier keeps what it asked for. The rewrite happens *before*
+// variant-key derivation, so the degraded result is cached and
+// coalesced under its own honest variant and can never poison a
+// full-quality entry.
+func (m MeshSpec) browned(t BrownoutTier) MeshSpec {
+	if t.MaxRadiusEdge > 0 && (m.MaxRadiusEdge == 0 || m.MaxRadiusEdge < t.MaxRadiusEdge) {
+		// 0 means "template default" (the paper's bound 2), which every
+		// valid tier relaxes.
+		m.MaxRadiusEdge = t.MaxRadiusEdge
+	}
+	if t.MinFacetAngle > 0 && (m.MinFacetAngle == 0 || m.MinFacetAngle > t.MinFacetAngle) {
+		m.MinFacetAngle = t.MinFacetAngle
+	}
+	if t.DeltaScale > m.DeltaScale && t.DeltaScale > 1 {
+		m.DeltaScale = t.DeltaScale
+	}
+	if t.MaxElements > 0 && (m.MaxElements == 0 || m.MaxElements > t.MaxElements) {
+		m.MaxElements = t.MaxElements
+	}
+	return m
+}
+
+// brownoutController is the feedback controller that picks the tier.
+// Inputs are the live EDF queue depth, the waiter's deadline headroom,
+// and the observed p90 lease time; output is a ladder index (0 = full
+// quality) plus a refuse verdict for the hopeless case. Escalation is
+// immediate — by the time the queue says "overloaded" the cheap
+// response is already late — while de-escalation steps down one tier
+// per hold period of calm, the hysteresis that keeps a controller
+// sitting at a tier boundary from flapping a client between qualities
+// on alternate requests.
+type brownoutController struct {
+	ladder   []BrownoutTier
+	hold     time.Duration
+	queueCap float64
+	pool     float64
+
+	mu   sync.Mutex
+	tier int       // current ladder position, 0..len(ladder)
+	calm time.Time // start of the current spell of desired < tier
+}
+
+func newBrownoutController(ladder []BrownoutTier, hold time.Duration, queueCap, poolSize int) *brownoutController {
+	if hold <= 0 {
+		hold = 5 * time.Second
+	}
+	return &brownoutController{
+		ladder:   ladder,
+		hold:     hold,
+		queueCap: float64(queueCap),
+		pool:     math.Max(1, float64(poolSize)),
+	}
+}
+
+// Tier reports the controller's current ladder position (0 = full
+// quality) without advancing it; it feeds the pi2md_brownout_tier
+// gauge.
+func (b *brownoutController) Tier() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tier
+}
+
+// decide advances the controller with one request's worth of evidence
+// and returns the tier that request should run at. queued is the
+// number of jobs already waiting admission, p90lease the observed p90
+// lease seconds, headroom the requester's deadline budget.
+func (b *brownoutController) decide(now time.Time, queued int64, p90lease float64, headroom time.Duration) (tier int, refuse bool) {
+	n := len(b.ladder)
+	if n == 0 {
+		return 0, false
+	}
+
+	// Desired tier from queue pressure: the fill fraction maps linearly
+	// onto the n+1 rungs (full quality plus n degraded tiers), so an
+	// empty queue wants tier 0 and a full one wants the deepest tier.
+	qf := float64(queued) / b.queueCap
+	desired := int(qf * float64(n+1))
+	if desired > n {
+		desired = n
+	}
+	if desired < 0 {
+		desired = 0
+	}
+
+	// Desired tier from deadline pressure: a queue-position wait
+	// estimate (this waiter drains behind queued/pool lease slots, plus
+	// its own run) against the requester's budget. If the estimate
+	// already eats the whole budget, only the deepest tier has a
+	// chance; past half the budget, at least some degradation does.
+	estWait := (float64(queued)/b.pool + 1) * p90lease
+	est := time.Duration(estWait * float64(time.Second))
+	if headroom > 0 && p90lease > 0 {
+		switch {
+		case est > headroom:
+			desired = n
+		case 2*est > headroom && desired < 1:
+			desired = 1
+		}
+	}
+
+	if faultinject.Fire(faultinject.BrownoutStuck) {
+		desired = n
+	}
+
+	// Refuse only when even the deepest tier is hopeless: the wait
+	// estimate alone — before any meshing — blows far past the budget.
+	// The 4× slack acknowledges that estWait is a p90 of *full-quality*
+	// runs while the request will run at the coarsest tier.
+	refuse = headroom > 0 && desired == n && est > 4*headroom
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case desired >= b.tier:
+		// Escalate (or hold) immediately; any spell of calm is over.
+		b.tier = desired
+		b.calm = time.Time{}
+	default:
+		// De-escalate one tier per hold period of sustained calm.
+		if b.calm.IsZero() {
+			b.calm = now
+		} else if now.Sub(b.calm) >= b.hold {
+			b.tier--
+			b.calm = now
+		}
+	}
+	if refuse {
+		return b.tier, true
+	}
+	return b.tier, false
+}
+
+// applyBrownout runs the controller for one request and returns the
+// (possibly rewritten) spec plus the tier it was rewritten to. The
+// deadline headroom comes from the request context when the caller set
+// one, else from the server's default timeout. On refusal the
+// overloaded rejection is counted and ErrOverloaded returned.
+func (s *Server) applyBrownout(ctx context.Context, spec MeshSpec) (MeshSpec, int, error) {
+	headroom := s.cfg.DefaultTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		headroom = time.Until(dl)
+	}
+	tier, refuse := s.brownout.decide(time.Now(), s.waiting.Load(), s.mLeaseSeconds.Quantile(0.90), headroom)
+	if refuse {
+		s.mRejected.With("overloaded").Inc()
+		return spec, 0, ErrOverloaded
+	}
+	if tier <= 0 {
+		return spec, 0, nil
+	}
+	return spec.browned(s.brownout.ladder[tier-1]), tier, nil
+}

@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cachestore"
+	"repro/internal/faultinject"
+)
+
+// readAll drains and closes a response body.
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestParseBrownoutLadder(t *testing.T) {
+	good := []struct {
+		in   string
+		want int // tiers
+	}{
+		{"", 2}, // default ladder
+		{"re=3,fa=15", 1},
+		{"re=3,fa=15/re=4,fa=10,ds=2,n=100000", 2},
+		{"ds=4", 1},
+		{" re=2.5 , fa=20 ", 1},
+	}
+	for _, c := range good {
+		ladder, err := ParseBrownoutLadder(c.in)
+		if err != nil {
+			t.Errorf("ParseBrownoutLadder(%q): %v", c.in, err)
+			continue
+		}
+		if len(ladder) != c.want {
+			t.Errorf("ParseBrownoutLadder(%q) = %d tiers, want %d", c.in, len(ladder), c.want)
+		}
+	}
+	bad := []string{
+		"re=1.5",      // below the provable R4 bound
+		"ds=0.5",      // would refine, not coarsen
+		"n=1.5",       // not an integer
+		"re=NaN",      // not a number
+		"zz=3",        // unknown knob
+		"re=3//fa=10", // empty middle tier
+		"re",          // not knob=value
+		"fa=-4",       // negative
+	}
+	for _, in := range bad {
+		if _, err := ParseBrownoutLadder(in); err == nil {
+			t.Errorf("ParseBrownoutLadder(%q) accepted, want error", in)
+		}
+	}
+}
+
+// TestBrownedRelaxOnly: a tier rewrite only ever moves a knob in the
+// cheaper direction — a client that already asked for something
+// coarser keeps what it asked for — and the rewritten spec derives a
+// different variant key than the original.
+func TestBrownedRelaxOnly(t *testing.T) {
+	tier := BrownoutTier{MaxRadiusEdge: 3, MinFacetAngle: 15, DeltaScale: 2, MaxElements: 100000}
+
+	// Default-knob request: every tier knob applies.
+	d := MeshSpec{}.browned(tier)
+	if d.MaxRadiusEdge != 3 || d.MinFacetAngle != 15 || d.DeltaScale != 2 || d.MaxElements != 100000 {
+		t.Fatalf("default spec browned = %+v, want all tier knobs applied", d)
+	}
+	empty := MeshSpec{}
+	if d.variant() == empty.variant() {
+		t.Fatal("degraded spec derives the same variant key as full quality")
+	}
+	if err := d.validate(); err != nil {
+		t.Fatalf("browned spec fails validation: %v", err)
+	}
+
+	// Already-coarser request: nothing tightens.
+	coarse := MeshSpec{MaxRadiusEdge: 5, MinFacetAngle: 5, DeltaScale: 4, MaxElements: 50000}
+	b := coarse.browned(tier)
+	if b != coarse {
+		t.Fatalf("coarser-than-tier spec was rewritten: %+v -> %+v", coarse, b)
+	}
+
+	// Stricter-than-tier request: every knob relaxes to the tier.
+	strict := MeshSpec{MaxRadiusEdge: 2, MinFacetAngle: 30, MaxElements: 500000}
+	s := strict.browned(tier)
+	if s.MaxRadiusEdge != 3 || s.MinFacetAngle != 15 || s.DeltaScale != 2 || s.MaxElements != 100000 {
+		t.Fatalf("strict spec browned = %+v, want tier bounds", s)
+	}
+}
+
+// TestBrownoutControllerHysteresis drives decide() with a synthetic
+// clock: escalation is immediate under pressure, de-escalation takes a
+// full hold period of calm per tier, and a blip of renewed pressure
+// resets the calm timer.
+func TestBrownoutControllerHysteresis(t *testing.T) {
+	hold := 10 * time.Second
+	b := newBrownoutController(DefaultBrownoutLadder(), hold, 16, 2)
+	now := time.Unix(1000, 0)
+
+	// Idle: stays at full quality.
+	if tier, refuse := b.decide(now, 0, 0.1, time.Minute); tier != 0 || refuse {
+		t.Fatalf("idle decide = (%d,%v), want (0,false)", tier, refuse)
+	}
+
+	// Full queue: escalates to the deepest tier immediately.
+	if tier, _ := b.decide(now, 16, 0.1, time.Minute); tier != 2 {
+		t.Fatalf("saturated decide = tier %d, want 2", tier)
+	}
+
+	// Calm again, but not for long enough: holds the tier.
+	now = now.Add(hold / 2)
+	if tier, _ := b.decide(now, 0, 0.1, time.Minute); tier != 2 {
+		t.Fatalf("calm %v decide = tier %d, want 2 (hold is %v)", hold/2, tier, hold)
+	}
+
+	// A pressure blip resets the calm timer.
+	if tier, _ := b.decide(now, 16, 0.1, time.Minute); tier != 2 {
+		t.Fatalf("blip decide = tier %d, want 2", tier)
+	}
+	now = now.Add(hold * 3 / 4)
+	if tier, _ := b.decide(now, 0, 0.1, time.Minute); tier != 2 {
+		t.Fatal("calm timer not reset by pressure blip")
+	}
+
+	// Sustained calm: one tier per hold period, never skipping.
+	now = now.Add(hold)
+	if tier, _ := b.decide(now, 0, 0.1, time.Minute); tier != 1 {
+		t.Fatalf("after one hold of calm tier = %d, want 1", tier)
+	}
+	now = now.Add(hold)
+	if tier, _ := b.decide(now, 0, 0.1, time.Minute); tier != 0 {
+		t.Fatalf("after two holds of calm tier = %d, want 0", tier)
+	}
+
+	// Deadline pressure escalates even with a shallow queue: the wait
+	// estimate (2 queued / 2 pool + 1) x 30s p90 lease = 60s blows a
+	// 10s headroom.
+	if tier, _ := b.decide(now, 2, 30, 10*time.Second); tier != 2 {
+		t.Fatalf("deadline-pressure decide = tier %d, want 2", tier)
+	}
+
+	// Hopeless: the wait estimate alone exceeds 4x the headroom at the
+	// deepest tier.
+	if _, refuse := b.decide(now, 8, 30, 10*time.Second); !refuse {
+		t.Fatal("hopeless overload not refused")
+	}
+}
+
+// TestBrownoutVariantIsolation: a browned-out response is cached under
+// the degraded variant key only, and a follow-up full-quality request
+// re-meshes at full quality — it never serves the coarse blob.
+func TestBrownoutVariantIsolation(t *testing.T) {
+	cache, _, err := cachestore.Open(cachestore.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cache.Close() })
+	srv, ts := newTestServer(t, Config{
+		PoolSize:     1,
+		Cache:        cache,
+		Brownout:     true,
+		BrownoutHold: 10 * time.Millisecond,
+	})
+
+	// Pin the controller at maximal pressure: every request degrades to
+	// the deepest tier.
+	restore := faultinject.Enable(faultinject.New(faultinject.Config{
+		Seed:  1,
+		Rates: map[faultinject.Point]float64{faultinject.BrownoutStuck: 1},
+	}))
+	// Scale 6: large enough that the degraded tier's doubled δ
+	// actually produces a different (smaller) mesh.
+	body := nrrdBody(t, 6)
+	key := ImageKey(body)
+	empty := MeshSpec{}
+	fullVariant := empty.variant()
+	ladder := DefaultBrownoutLadder()
+	degSpec := empty.browned(ladder[len(ladder)-1])
+	degradedVariant := degSpec.variant()
+
+	resp, err := http.Post(ts.URL+"/v1/mesh", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("browned request status %d: %s", resp.StatusCode, degraded)
+	}
+	if got := resp.Header.Get(BrownoutHeader); got != "2" {
+		t.Fatalf("%s = %q, want \"2\"", BrownoutHeader, got)
+	}
+	if _, ok := srv.CacheETag(key, degradedVariant); !ok {
+		t.Fatalf("degraded result not cached under its own variant %q", degradedVariant)
+	}
+	if _, ok := srv.CacheETag(key, fullVariant); ok {
+		t.Fatal("degraded result poisoned the full-quality cache entry")
+	}
+	restore()
+
+	// Load is gone; the controller walks back to full quality one tier
+	// per hold. Poll until a response carries no brownout header.
+	var full []byte
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("controller never returned to full quality")
+		}
+		time.Sleep(20 * time.Millisecond)
+		resp, err := http.Post(ts.URL+"/v1/mesh", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-storm request status %d: %s", resp.StatusCode, out)
+		}
+		if resp.Header.Get(BrownoutHeader) == "" {
+			full = out
+			break
+		}
+	}
+	if _, ok := srv.CacheETag(key, fullVariant); !ok {
+		t.Fatal("full-quality result not cached under the full-quality variant")
+	}
+	if bytes.Equal(full, degraded) {
+		t.Fatal("full-quality request served the coarse blob")
+	}
+	if st := srv.Stats(); st.BrownedOut == 0 || st.BrownoutTier != 0 {
+		t.Fatalf("stats = browned_out %d, tier %d; want >0 jobs and tier 0", st.BrownedOut, st.BrownoutTier)
+	}
+}
+
+// TestBrownoutCoalescedByteIdentity: two concurrent requests degraded
+// to the same tier share one coalesced flight and receive
+// byte-identical bodies, both stamped with the brownout header.
+func TestBrownoutCoalescedByteIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		PoolSize:     1,
+		Brownout:     true,
+		BrownoutHold: time.Minute,
+	})
+	restore := faultinject.Enable(faultinject.New(faultinject.Config{
+		Seed: 1,
+		Rates: map[faultinject.Point]float64{
+			faultinject.BrownoutStuck: 1,
+			faultinject.SlowSession:   1,
+		},
+		MaxFires: map[faultinject.Point]int64{faultinject.SlowSession: 1},
+		Delay:    200 * time.Millisecond,
+	}))
+	defer restore()
+
+	body := nrrdBody(t, 2)
+	type reply struct {
+		code int
+		hdr  string
+		out  []byte
+	}
+	replies := make([]reply, 2)
+	var wg sync.WaitGroup
+	for i := range replies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/mesh", "application/octet-stream", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			replies[i] = reply{resp.StatusCode, resp.Header.Get(BrownoutHeader), readAll(t, resp)}
+		}(i)
+		// Stagger just enough that the second arrives while the first
+		// (stalled by SlowSession) is still leading the flight.
+		time.Sleep(30 * time.Millisecond)
+	}
+	wg.Wait()
+	for i, r := range replies {
+		if r.code != http.StatusOK {
+			t.Fatalf("request %d status %d: %s", i, r.code, r.out)
+		}
+		if r.hdr != "2" {
+			t.Fatalf("request %d %s = %q, want \"2\"", i, BrownoutHeader, r.hdr)
+		}
+	}
+	if !bytes.Equal(replies[0].out, replies[1].out) {
+		t.Fatal("coalesced degraded responses differ byte-for-byte")
+	}
+}

@@ -19,6 +19,7 @@ const (
 	CodeBreakerOpen = "breaker_open" // the key's circuit breaker is open
 	CodeWatchdog    = "watchdog"     // run/solve abandoned by the watchdog
 	CodeCanceled    = "canceled"     // the client went away (499)
+	CodeOverloaded  = "overloaded"   // even the coarsest brownout tier can't meet the deadline
 	CodeDraining    = "draining"     // server shutting down
 	CodeUnavailable = "unavailable"  // pool closed / no session
 	CodeCacheMiss   = "cache_miss"   // cache-only request, pair not cached (404)

@@ -181,6 +181,12 @@ func (s *Server) writeMeshError(w http.ResponseWriter, err error) string {
 		// still lands in logs and metrics (nginx's 499).
 		httpError(w, StatusClientClosedRequest, CodeCanceled, "%v", err)
 		return CodeCanceled
+	case errors.Is(err, ErrOverloaded):
+		// Even the coarsest brownout tier can't meet the deadline; the
+		// queue-position estimate tells the client when it might.
+		s.setRetryAfter(w)
+		httpError(w, http.StatusServiceUnavailable, CodeOverloaded, "%v", err)
+		return CodeOverloaded
 	case errors.Is(err, ErrDraining):
 		httpError(w, http.StatusServiceUnavailable, CodeDraining, "%v", err)
 		return CodeDraining
@@ -248,18 +254,53 @@ func (s *Server) handleMesh(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Brownout: under queue or deadline pressure, rewrite the spec to a
+	// degraded quality tier instead of letting the request ride into a
+	// 429/503. A cached full-quality result short-circuits first — it
+	// is both better and cheaper than any degraded re-mesh — and the
+	// rewrite precedes variant derivation, so the degraded mesh lives
+	// under its own honest variant key and coalesces only with other
+	// same-tier requests.
+	tier := 0
+	if s.brownout != nil && !s.draining.Load() {
+		if sr, ok := s.cachedSnapshot(key, variant); ok {
+			s.writeSnapshot(w, spec.Format, sr)
+			return
+		}
+		var err error
+		spec, tier, err = s.applyBrownout(ctx, spec)
+		if err != nil {
+			s.writeMeshError(w, err)
+			return
+		}
+		if tier > 0 {
+			variant = spec.variant()
+			tune = spec.tune()
+			w.Header().Set(BrownoutHeader, strconv.Itoa(tier))
+		}
+	}
+
 	sr, err := s.MeshSnapshot(ctx, key, variant, image, tune)
 	if err != nil {
 		s.writeMeshError(w, err)
 		return
 	}
-
-	// Encode off-lease from the snapshot: the session that produced
-	// this mesh is already serving the next job.
-	if sr.ETag != "" {
-		w.Header().Set("ETag", entityTag(sr.ETag, spec.Format))
+	if tier > 0 {
+		s.mBrownedOut.With(strconv.Itoa(tier)).Inc()
 	}
-	switch spec.Format {
+
+	s.writeSnapshot(w, spec.Format, sr)
+}
+
+// writeSnapshot encodes a snapshot result as the response body in the
+// requested format, stamping the format-folded entity tag. Encoding
+// happens off-lease: the session that produced the mesh is already
+// serving the next job.
+func (s *Server) writeSnapshot(w http.ResponseWriter, format string, sr *SnapshotResult) {
+	if sr.ETag != "" {
+		w.Header().Set("ETag", entityTag(sr.ETag, format))
+	}
+	switch format {
 	case "off":
 		w.Header().Set("Content-Type", "model/off")
 		meshio.WriteOFFSnapshot(w, sr.Snapshot)
@@ -285,17 +326,7 @@ func (s *Server) serveCacheOnly(w http.ResponseWriter, key, variant, format stri
 	}
 	s.mCacheOnlyServed.Inc()
 	w.Header().Set(CacheOnlyHeader, "hit")
-	if sr.ETag != "" {
-		w.Header().Set("ETag", entityTag(sr.ETag, format))
-	}
-	switch format {
-	case "off":
-		w.Header().Set("Content-Type", "model/off")
-		meshio.WriteOFFSnapshot(w, sr.Snapshot)
-	default:
-		w.Header().Set("Content-Type", "text/vtk")
-		meshio.WriteVTKSnapshot(w, sr.Snapshot)
-	}
+	s.writeSnapshot(w, format, sr)
 }
 
 // handleCacheProbe is GET /v1/cache/{imageKey}/{variant}: the body-less

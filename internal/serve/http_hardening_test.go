@@ -7,32 +7,33 @@ import (
 	"time"
 )
 
-// TestRetryAfterTracksLatency: the Retry-After hint follows the
-// observed queue-wait p90 + lease p50 instead of a hardcoded "1" — a
-// loaded server tells clients to back off for about as long as
-// capacity actually takes to free up.
+// TestRetryAfterTracksLatency: the Retry-After hint is derived from
+// the rejected waiter's actual queue position — queued/pool lease
+// slots plus its own run, each a median lease — instead of a flat wait
+// quantile, so a loaded server tells clients to back off for about as
+// long as capacity actually takes to free up.
 func TestRetryAfterTracksLatency(t *testing.T) {
 	srv := newBareServer(t, Config{PoolSize: 1})
 	srv.retryJitter = func() float64 { return 0.5 } // ×1.0: deterministic
 
-	// Fast service: sub-millisecond waits round up to the 1s floor.
+	// Fast service: sub-millisecond leases round up to the 1s floor.
 	for i := 0; i < 100; i++ {
-		srv.mQueueWait.Observe(0.0005)
 		srv.mLeaseSeconds.Observe(0.01)
 	}
 	if got := srv.retryAfterSeconds(); got != 1 {
 		t.Errorf("fast-server hint = %ds, want 1", got)
 	}
 
-	// Load arrives: waits land in the 10s bucket, leases in the 5s
-	// bucket — the hint must grow with them.
+	// Load arrives: leases land in the 5s bucket and four jobs are
+	// already queued — the hint must account for draining all of them
+	// before the retrier's own run.
 	for i := 0; i < 1000; i++ {
-		srv.mQueueWait.Observe(8)
 		srv.mLeaseSeconds.Observe(3)
 	}
+	srv.waiting.Store(4)
 	slow := srv.retryAfterSeconds()
 	if slow < 10 {
-		t.Errorf("loaded-server hint = %ds, want >= 10 (p90 wait ~10s bucket)", slow)
+		t.Errorf("loaded-server hint = %ds, want >= 10 ((4 queued + 1) x p50 lease ~5s)", slow)
 	}
 	if slow > 30 {
 		t.Errorf("hint = %ds exceeds the 30s clamp", slow)
@@ -48,6 +49,30 @@ func TestRetryAfterTracksLatency(t *testing.T) {
 	}
 	if low < 1 || high > 30 {
 		t.Errorf("jittered hints %d..%d escape the [1,30] clamp", low, high)
+	}
+	srv.waiting.Store(0)
+}
+
+// TestRetryAfterMonotoneInQueuePosition: the raw estimate is
+// nondecreasing in queue position — a rejection from a deep queue
+// never tells its client to come back sooner than a rejection from a
+// shallow one.
+func TestRetryAfterMonotoneInQueuePosition(t *testing.T) {
+	srv := newBareServer(t, Config{PoolSize: 2})
+	for i := 0; i < 100; i++ {
+		srv.mLeaseSeconds.Observe(0.8)
+	}
+	prev := -1.0
+	for pos := int64(0); pos <= 32; pos++ {
+		est := srv.retryAfterEstimate(pos)
+		if est < prev {
+			t.Fatalf("estimate not monotone: pos %d -> %gs, pos %d -> %gs", pos-1, prev, pos, est)
+		}
+		prev = est
+	}
+	if srv.retryAfterEstimate(32) <= srv.retryAfterEstimate(0) {
+		t.Fatalf("estimate flat across queue depth: deep=%g shallow=%g",
+			srv.retryAfterEstimate(32), srv.retryAfterEstimate(0))
 	}
 }
 

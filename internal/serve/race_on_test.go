@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceDetector reports whether this test binary was built with -race,
+// whose 10-30x slowdown on refinement loops calls for longer soak
+// windows.
+const raceDetector = true

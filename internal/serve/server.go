@@ -120,6 +120,19 @@ type Config struct {
 	// The solve runs off-lease, so this bounds goroutine and CPU time,
 	// not session occupancy.
 	SolveTimeout time.Duration
+	// Brownout enables the adaptive quality-brownout controller: under
+	// queue or deadline pressure, /v1/mesh requests are rewritten to a
+	// degraded quality tier (cached under their own honest variant key,
+	// stamped X-Pi2md-Brownout) instead of being rejected. Disabled by
+	// default; the daemon enables it with -brownout.
+	Brownout bool
+	// BrownoutLadder is the degradation ladder the controller walks
+	// (nil = DefaultBrownoutLadder when Brownout is set).
+	BrownoutLadder []BrownoutTier
+	// BrownoutHold is how long load must stay calm before the
+	// controller steps back up one quality tier — the de-escalation
+	// hysteresis (default 5s).
+	BrownoutHold time.Duration
 	// Session is the configuration template every pool session runs
 	// with. Its Image and Context fields are ignored.
 	Session core.Config
@@ -170,6 +183,14 @@ func (c Config) withDefaults() Config {
 	if c.SolveTimeout <= 0 {
 		c.SolveTimeout = 30 * time.Second
 	}
+	if c.Brownout {
+		if c.BrownoutLadder == nil {
+			c.BrownoutLadder = DefaultBrownoutLadder()
+		}
+		if c.BrownoutHold <= 0 {
+			c.BrownoutHold = 5 * time.Second
+		}
+	}
 	return c
 }
 
@@ -205,6 +226,10 @@ type Server struct {
 	// synchronized clients don't retry in lockstep; injectable for
 	// deterministic tests.
 	retryJitter func() float64
+
+	// brownout is the adaptive quality controller; nil when disabled,
+	// which is the fast path handleMesh takes by default.
+	brownout *brownoutController
 
 	// imgCache retains parsed input images under an LRU-by-bytes
 	// discipline (one byte per voxel), bounded by both ImageCacheSize
@@ -251,6 +276,7 @@ type Server struct {
 	mSolveSeconds     *Histogram  // pi2md_solve_seconds
 	mSolveIters       *Histogram  // pi2md_solve_iterations
 	mSimJobs          *CounterVec // pi2md_simulate_jobs_total{outcome}
+	mBrownedOut       *CounterVec // pi2md_browned_out_jobs_total{tier}
 
 	// lastRuns is a ring of recent run summaries for /v1/stats.
 	lastMu   sync.Mutex
@@ -283,6 +309,9 @@ func NewServer(cfg Config) (*Server, error) {
 	s.flights = make(map[string]*flight)
 	s.breakers = newBreakerTable(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	s.retryJitter = rand.Float64
+	if cfg.Brownout && len(cfg.BrownoutLadder) > 0 {
+		s.brownout = newBrownoutController(cfg.BrownoutLadder, cfg.BrownoutHold, cfg.QueueDepth, cfg.PoolSize)
+	}
 	s.warmStart()
 
 	r := s.reg
@@ -382,6 +411,16 @@ func NewServer(cfg Config) (*Server, error) {
 		[]float64{10, 30, 100, 300, 1000, 3000, 10000})
 	s.mSimJobs = r.CounterVec("pi2md_simulate_jobs_total",
 		"Simulation jobs by outcome: ok, bad_request (pre-mesh), mesh_failed, and the post-mesh failures (bad_bc, solve_failed, canceled, deadline, watchdog).", "outcome")
+	s.mBrownedOut = r.CounterVec("pi2md_browned_out_jobs_total",
+		"Mesh jobs served at a degraded quality tier by the brownout controller, by tier.", "tier")
+	r.GaugeFunc("pi2md_brownout_tier",
+		"Current position of the brownout controller's degradation ladder (0 = full quality).",
+		func() float64 {
+			if s.brownout == nil {
+				return 0
+			}
+			return float64(s.brownout.Tier())
+		})
 	cacheStat := func(pick func(cachestore.Stats) float64) func() float64 {
 		return func() float64 {
 			if s.cache == nil {
@@ -953,12 +992,22 @@ func ClampRetryAfter(estSeconds float64, jitter func() float64) int {
 }
 
 // retryAfterSeconds derives the Retry-After hint for capacity
-// rejections from observed latency: a queued job typically waits
-// about one p90 queue wait plus a median lease before capacity frees
-// up, jittered and clamped by the shared policy.
+// rejections from the rejected waiter's actual queue position rather
+// than a flat wait quantile: a job arriving now would drain behind
+// queued/PoolSize lease slots plus its own run, each taking about a
+// median lease. The estimate is therefore monotone in queue depth — a
+// rejection from a deep queue backs its client off longer than one
+// from a queue that is barely over — then jittered and clamped by the
+// shared policy.
 func (s *Server) retryAfterSeconds() int {
-	est := s.mQueueWait.Quantile(0.90) + s.mLeaseSeconds.Quantile(0.50)
-	return ClampRetryAfter(est, s.retryJitter)
+	return ClampRetryAfter(s.retryAfterEstimate(s.waiting.Load()), s.retryJitter)
+}
+
+// retryAfterEstimate is the raw (unjittered, unclamped) wait estimate
+// in seconds for a waiter at queue position pos.
+func (s *Server) retryAfterEstimate(pos int64) float64 {
+	p50 := s.mLeaseSeconds.Quantile(0.50)
+	return (float64(pos)/float64(s.cfg.PoolSize) + 1) * p50
 }
 
 // Ready reports whether the server can currently serve meshing work:
@@ -990,6 +1039,9 @@ type Stats struct {
 	CacheServed   int64   `json:"jobs_cache_served"`
 	CacheOnly     int64   `json:"jobs_cache_only_served,omitempty"`
 	CacheOnlyMiss int64   `json:"jobs_cache_only_miss,omitempty"`
+	BrownoutTier  int     `json:"brownout_tier,omitempty"`
+	BrownedOut    int64   `json:"jobs_browned_out,omitempty"`
+	RejectedOver  int64   `json:"jobs_rejected_overloaded,omitempty"`
 	// InflightKeys are the coalesce keys with an open single-flight
 	// entry right now — how a router (or operator) verifies that
 	// proxy-joined traffic landed in an existing flight.
@@ -1012,6 +1064,10 @@ func (s *Server) Stats() Stats {
 		st := s.cache.Stats()
 		cacheStats = &st
 	}
+	brownoutTier := 0
+	if s.brownout != nil {
+		brownoutTier = s.brownout.Tier()
+	}
 	return Stats{
 		NodeID:        s.nodeID,
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -1033,6 +1089,9 @@ func (s *Server) Stats() Stats {
 		CacheServed:   s.mCacheServed.Value(),
 		CacheOnly:     s.mCacheOnlyServed.Value(),
 		CacheOnlyMiss: s.mCacheOnlyMiss.Value(),
+		BrownoutTier:  brownoutTier,
+		BrownedOut:    s.mBrownedOut.Total(),
+		RejectedOver:  s.mRejected.Value("overloaded"),
 		InflightKeys:  s.InflightKeys(),
 		Pool:          s.pool.Stats(),
 		Cache:         cacheStats,

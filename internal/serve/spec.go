@@ -85,6 +85,13 @@ type MeshSpec struct {
 	// MinFacetAngle overrides the rule-R1 planar bound in degrees
 	// (0 = template).
 	MinFacetAngle float64 `json:"min_facet_angle,omitempty"`
+	// DeltaScale coarsens the effective δ by a factor ≥ 1 — a cheap
+	// preview tier: 2 means half the sampling density per axis (~8×
+	// fewer samples). It composes with Delta (or the template's δ when
+	// Delta is 0) and is the knob the brownout controller's degradation
+	// ladder turns under overload, so it is part of the variant key:
+	// a scaled mesh is a different mesh. 0 or 1 = no scaling.
+	DeltaScale float64 `json:"delta_scale,omitempty"`
 	// Timeout caps the job's total time, queue wait included
 	// (0 = server default).
 	Timeout Duration `json:"timeout,omitempty"`
@@ -164,6 +171,13 @@ func (m *MeshSpec) validate() error {
 	}
 	if m.MaxElements < 0 {
 		return fmt.Errorf("bad max_elements=%d", m.MaxElements)
+	}
+	if m.DeltaScale != 0 && (math.IsNaN(m.DeltaScale) || math.IsInf(m.DeltaScale, 0) || m.DeltaScale < 1) {
+		// A scale below 1 would refine under overload — the opposite of
+		// what the preview tier exists for — and gives a client a lever
+		// to request arbitrarily dense meshes outside the delta knob's
+		// own validation.
+		return fmt.Errorf("bad delta_scale=%g (want a finite factor >= 1)", m.DeltaScale)
 	}
 	if m.Timeout < 0 {
 		return fmt.Errorf("bad timeout=%v (want a positive duration like 30s)", time.Duration(m.Timeout))
@@ -290,7 +304,7 @@ func ParseMeshSpec(data []byte) (MeshSpec, error) {
 // template (format and timeout are serving-side, not tuning).
 func (m *MeshSpec) hasTuning() bool {
 	return m.Delta > 0 || m.MaxElements > 0 || m.MaxRadiusEdge > 0 ||
-		m.MinFacetAngle > 0 || m.Size != nil
+		m.MinFacetAngle > 0 || m.Size != nil || m.DeltaScale > 1
 }
 
 // Variant exposes the canonical tuning-variant encoding — the second
@@ -312,6 +326,12 @@ func (m *MeshSpec) variant() string {
 	}
 	if m.Size != nil {
 		parts = append(parts, "sz="+m.Size.canonical())
+	}
+	// Appended as its own segment, like the size spec: the knob did not
+	// exist when the encoding was frozen, and a scale of 1 (or 0) must
+	// produce the exact bytes earlier builds produced.
+	if m.DeltaScale > 1 {
+		parts = append(parts, fmt.Sprintf("ds=%g", m.DeltaScale))
 	}
 	return strings.Join(parts, ",")
 }
@@ -371,6 +391,19 @@ func (m *MeshSpec) tune() func(*core.Config) {
 		}
 		if spec.Size != nil {
 			cfg.SizeFunc = core.SizeFunc(spec.Size.compile(cfg.Image))
+		}
+		if spec.DeltaScale > 1 {
+			// Applied last, over whatever δ the run would otherwise use:
+			// the explicit override above, the template's value, or the
+			// auto default (2× min voxel spacing) resolved here because
+			// the engine's own resolution happens after this hook.
+			d := cfg.Delta
+			if d <= 0 && cfg.Image != nil {
+				d = 2 * cfg.Image.MinSpacing()
+			}
+			if d > 0 {
+				cfg.Delta = d * spec.DeltaScale
+			}
 		}
 	}
 }
